@@ -1,0 +1,188 @@
+package h2privacy_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"h2privacy/internal/adversary"
+	"h2privacy/internal/core"
+	"h2privacy/internal/experiment"
+	"h2privacy/internal/h2"
+	"h2privacy/internal/hpack"
+	"h2privacy/internal/metrics"
+	"h2privacy/internal/simtime"
+	"h2privacy/internal/tlsrec"
+	"h2privacy/internal/website"
+)
+
+// benchExperiment runs one experiment harness per iteration at a small
+// trial count (the paper uses 100 trials; benchmarks measure the machinery,
+// the cmd/h2bench tool regenerates the full tables).
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, ok := experiment.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := runner(experiment.Options{Trials: 2, BaseSeed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep.Render(io.Discard)
+	}
+}
+
+// One benchmark per table and figure in the paper's evaluation.
+
+func BenchmarkFig1SizeEstimation(b *testing.B)       { benchExperiment(b, "fig1") }
+func BenchmarkFig2RequestSpacing(b *testing.B)       { benchExperiment(b, "fig2") }
+func BenchmarkFig3BaselineMultiplexing(b *testing.B) { benchExperiment(b, "fig3") }
+func BenchmarkTable1JitterSweep(b *testing.B)        { benchExperiment(b, "table1") }
+func BenchmarkFig4RetransmissionStorm(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFig5BandwidthSweep(b *testing.B)       { benchExperiment(b, "fig5") }
+func BenchmarkFig6StreamReset(b *testing.B)          { benchExperiment(b, "fig6") }
+func BenchmarkTable2FullAttack(b *testing.B)         { benchExperiment(b, "table2") }
+func BenchmarkAblationStages(b *testing.B)           { benchExperiment(b, "ablation") }
+func BenchmarkDefenseRandomization(b *testing.B)     { benchExperiment(b, "defense") }
+func BenchmarkDefenseServerPush(b *testing.B)        { benchExperiment(b, "pushdef") }
+func BenchmarkPartialInference(b *testing.B)         { benchExperiment(b, "partial") }
+func BenchmarkSensitivitySweep(b *testing.B)         { benchExperiment(b, "sensitivity") }
+func BenchmarkCrossTraffic(b *testing.B)             { benchExperiment(b, "crosstraffic") }
+func BenchmarkTCPAblation(b *testing.B)              { benchExperiment(b, "tcpablation") }
+func BenchmarkDefensePadding(b *testing.B)           { benchExperiment(b, "padding") }
+func BenchmarkH1Baseline(b *testing.B)               { benchExperiment(b, "h1base") }
+
+// BenchmarkTrialBaseline measures one complete simulated page load
+// (handshake, 48 objects, monitor, predictor).
+func BenchmarkTrialBaseline(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunTrial(core.TrialConfig{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Completed) == 0 {
+			b.Fatal("empty trial")
+		}
+	}
+}
+
+// BenchmarkTrialFullAttack measures one staged-attack trial end to end.
+func BenchmarkTrialFullAttack(b *testing.B) {
+	plan := adversary.DefaultPlan()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunTrial(core.TrialConfig{Seed: int64(i), Attack: &plan}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate microbenchmarks ---
+
+func BenchmarkHPACKEncodeRequest(b *testing.B) {
+	enc := hpack.NewEncoder(hpack.DefaultDynamicTableSize)
+	fields := []hpack.HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":authority", Value: "www.isidewith.test"},
+		{Name: ":path", Value: "/emblems/democratic.png"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if block := enc.Encode(nil, fields); len(block) == 0 {
+			b.Fatal("empty block")
+		}
+	}
+}
+
+func BenchmarkHPACKRoundTrip(b *testing.B) {
+	enc := hpack.NewEncoder(hpack.DefaultDynamicTableSize)
+	dec := hpack.NewDecoder(hpack.DefaultDynamicTableSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fields := []hpack.HeaderField{
+			{Name: ":method", Value: "GET"},
+			{Name: ":path", Value: fmt.Sprintf("/static/%d.js", i%32)},
+		}
+		block := enc.Encode(nil, fields)
+		if _, err := dec.Decode(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameCodecData(b *testing.B) {
+	payload := make([]byte, 1200)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wire := h2.AppendData(nil, 5, payload, false, 0)
+		if _, err := h2.ParseFrame(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTLSRecordSeal(b *testing.B) {
+	var cr, sr [32]byte
+	var client *tlsrec.Conn
+	server := tlsrec.NewConn(false, sr, func(p []byte) { _ = client.Feed(p) })
+	client = tlsrec.NewConn(true, cr, func(p []byte) { _ = server.Feed(p) })
+	server.OnRecord(func(tlsrec.ContentType, []byte) {})
+	client.Start()
+	payload := make([]byte, 1200)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := client.Send(tlsrec.ContentApplicationData, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDegreeOfMultiplexing(b *testing.B) {
+	var spans []metrics.TxSpan
+	off := int64(0)
+	for i := 0; i < 2000; i++ {
+		inst := fmt.Sprintf("obj%d#0", i%50)
+		spans = append(spans, metrics.TxSpan{Instance: inst, ObjectID: inst, Offset: off, Len: 1200})
+		off += 1200
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if dom := metrics.DegreeOfMultiplexing(spans); len(dom) == 0 {
+			b.Fatal("no result")
+		}
+	}
+}
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := simtime.NewScheduler()
+		var n int
+		for j := 0; j < 1000; j++ {
+			s.At(time.Duration(j)*time.Microsecond, func() { n++ })
+		}
+		s.Run()
+		if n != 1000 {
+			b.Fatal("missed events")
+		}
+	}
+}
+
+func BenchmarkSitePlan(b *testing.B) {
+	site := website.ISideWith()
+	rng := simtime.NewRand(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := site.PlanFor(website.RandomPerm(rng)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Command h2attack runs the paper's §V staged attack against the
+// simulated survey site and prints a full trace of what the adversary
+// observed and inferred.
+//
+//	h2attack [-seed N] [-jitter1 50ms] [-jitter3 80ms] [-drop 0.8] [-bw 800]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"h2privacy/internal/adversary"
+	"h2privacy/internal/capture"
+	"h2privacy/internal/core"
+	"h2privacy/internal/website"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "trial seed (drives the volunteer's ranking too)")
+	jitter1 := flag.Duration("jitter1", 50*time.Millisecond, "phase-1 per-GET jitter")
+	jitter3 := flag.Duration("jitter3", 80*time.Millisecond, "phase-3 per-GET jitter")
+	drop := flag.Float64("drop", 0.8, "server→client drop rate during the reset phase")
+	bw := flag.Float64("bw", 800, "throttle bandwidth in Mbps")
+	pcapPath := flag.String("pcap", "", "export the gateway's capture to this pcap file")
+	timeline := flag.Bool("timeline", false, "print the merged event timeline")
+	flag.Parse()
+
+	plan := adversary.DefaultPlan()
+	plan.Phase1Jitter = *jitter1
+	plan.Phase3Jitter = *jitter3
+	plan.DropRate = *drop
+	plan.ThrottleBps = *bw * 1e6
+
+	tb, err := core.NewTestbed(core.TrialConfig{Seed: *seed, Attack: &plan})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "h2attack:", err)
+		os.Exit(1)
+	}
+	if *pcapPath != "" {
+		tb.Monitor.EnablePacketLog()
+	}
+	res := tb.Run()
+	if *pcapPath != "" {
+		if err := writePcap(*pcapPath, tb); err != nil {
+			fmt.Fprintln(os.Stderr, "h2attack:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d observed packets to %s\n\n", len(tb.Monitor.Packets()), *pcapPath)
+	}
+
+	fmt.Println("== attack phases ==")
+	for _, pc := range tb.Driver.PhaseLog {
+		fmt.Printf("  %-12v %v\n", pc.Time.Round(time.Millisecond), pc.Phase)
+	}
+
+	fmt.Println("\n== traffic observed at the gateway ==")
+	fmt.Printf("  GET requests counted:      %d\n", res.GETs)
+	fmt.Printf("  retransmitted segments:    %d (c→s %d, s→c %d)\n",
+		res.MonitorRetransmits, res.RetransC2S, res.RetransS2C)
+	fmt.Printf("  adversary drops:           %d packets\n", tb.Controller.Stats().DroppedPkts)
+	fmt.Printf("  browser duplicate GETs:    %d, reset cycles: %d\n", res.AppRetries, res.Resets)
+
+	fmt.Println("\n== objects of interest ==")
+	fmt.Printf("  %-28s dom=%4.0f%%  identified=%-5t\n", "quiz HTML (9500 B)",
+		res.BestDoM[website.TargetID]*100, res.Identified[website.TargetID])
+	for k := 0; k < website.PartyCount; k++ {
+		obj := res.DisplaySeq[k]
+		fmt.Printf("  I%d %-25s dom=%4.0f%%  identified=%-5t  rank-correct=%t\n",
+			k+1, strings.TrimPrefix(obj, "emblem-"),
+			res.BestDoM[obj]*100, res.Identified[obj], res.SequenceRankCorrect(k))
+	}
+
+	if *timeline {
+		fmt.Println("\n== timeline ==")
+		core.RenderTimeline(os.Stdout, tb.Timeline(res))
+	}
+
+	fmt.Println("\n== verdict ==")
+	fmt.Printf("  true ranking:     %s\n", seqString(res.DisplaySeq))
+	fmt.Printf("  inferred ranking: %s\n", seqString(res.InferredSeq))
+	if res.Broken {
+		fmt.Printf("  page load broke: %s\n", res.BrokenReason)
+	}
+}
+
+func writePcap(path string, tb *core.Testbed) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return capture.WritePcap(f, tb.Monitor.Packets())
+}
+
+func seqString(ids []string) string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = strings.TrimPrefix(id, "emblem-")
+	}
+	return strings.Join(out, " > ")
+}

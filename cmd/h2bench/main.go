@@ -1,0 +1,70 @@
+// Command h2bench regenerates the paper's tables and figures from the
+// simulated testbed.
+//
+// Usage:
+//
+//	h2bench [-trials N] [-seed S] all
+//	h2bench [-trials N] [-seed S] table1 fig5 table2 …
+//	h2bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"h2privacy/internal/experiment"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	trials := flag.Int("trials", 100, "trials per configuration point")
+	seed := flag.Int64("seed", 1, "base seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: h2bench [flags] all|<experiment-id>...\nexperiments: %s\n", strings.Join(experiment.IDs(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(experiment.IDs(), "\n"))
+		return 0
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		return 2
+	}
+	opts := experiment.Options{Trials: *trials, BaseSeed: *seed}
+	if len(args) == 1 && args[0] == "all" {
+		args = experiment.IDs()
+	}
+	for _, id := range args {
+		runner, ok := experiment.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "h2bench: unknown experiment %q (try -list)\n", id)
+			return 2
+		}
+		rep, err := runner(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "h2bench:", err)
+			return 1
+		}
+		if *csvOut {
+			fmt.Printf("# %s\n", rep.ID)
+			if err := rep.RenderCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "h2bench:", err)
+				return 1
+			}
+			fmt.Println()
+		} else {
+			rep.Render(os.Stdout)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,49 @@
+// Command h2serve serves the model website over real TCP with the
+// repository's HTTP/2 stack (tlsrec + h2 + goroutine-per-stream server).
+// Poke it with examples/realtcp's client or any same-stack client.
+//
+//	h2serve [-addr 127.0.0.1:8443]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"h2privacy/internal/h2"
+	"h2privacy/internal/h2/h2sync"
+	"h2privacy/internal/website"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8443", "listen address")
+	flag.Parse()
+	if err := run(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "h2serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string) error {
+	site := website.ISideWith()
+	srv := &h2sync.Server{Handler: func(w *h2sync.ResponseWriter, r *h2sync.Request) {
+		obj := site.Lookup(r.Path)
+		if obj == nil {
+			_ = w.WriteHeader(404)
+			return
+		}
+		_ = w.WriteHeader(200, h2.HeaderField{Name: "content-type", Value: obj.Type})
+		_, _ = w.Write(site.Body(obj))
+	}}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s (%d objects) on %s\n", site.Host, len(site.Objects), l.Addr())
+	fmt.Println("objects:")
+	for _, o := range site.Objects {
+		fmt.Printf("  %-40s %7d bytes\n", o.Path, o.Size)
+	}
+	return srv.ListenAndServe(l)
+}

@@ -1,0 +1,11 @@
+// Package h2privacy is a from-scratch Go reproduction of "Depending on
+// HTTP/2 for Privacy? Good Luck!" (Mitra, Vairam, SLP SK, Chandrachoodan,
+// Kamakoti — DSN 2020): the first traffic-analysis attack on HTTP/2.
+//
+// The implementation lives under internal/: a discrete-event network and
+// TCP simulator, a TLS-like record layer, a sans-IO HTTP/2 stack with
+// HPACK (also usable over real sockets via internal/h2/h2sync), the
+// target-website model, the on-path adversary, and the experiment harness
+// that regenerates every table and figure in the paper's evaluation. See
+// README.md for the tour and DESIGN.md for the system inventory.
+package h2privacy

@@ -1,0 +1,78 @@
+// Surveysite: run the full Table II scenario — many simulated volunteers
+// take the survey, each with a random party ranking, while the compromised
+// gateway runs the staged attack. Prints per-volunteer verdicts and the
+// aggregate accuracy.
+//
+//	go run ./examples/surveysite [-volunteers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"h2privacy/internal/adversary"
+	"h2privacy/internal/core"
+	"h2privacy/internal/metrics"
+	"h2privacy/internal/website"
+)
+
+func main() {
+	volunteers := flag.Int("volunteers", 20, "number of simulated survey takers")
+	seed := flag.Int64("seed", 7, "base seed")
+	flag.Parse()
+	if err := run(*volunteers, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "surveysite:", err)
+		os.Exit(1)
+	}
+}
+
+func run(volunteers int, baseSeed int64) error {
+	plan := adversary.DefaultPlan()
+	var htmlOK metrics.Counter
+	rankOK := make([]metrics.Counter, website.PartyCount)
+	fmt.Printf("%-4s  %-9s  %-30s  %-30s  %s\n", "vol", "quiz", "true ranking", "inferred ranking", "outcome")
+	for v := 0; v < volunteers; v++ {
+		res, err := core.RunTrial(core.TrialConfig{Seed: baseSeed + int64(v), Attack: &plan})
+		if err != nil {
+			return err
+		}
+		htmlOK.Observe(res.ObjectSuccess(website.TargetID))
+		correct := 0
+		for k := 0; k < website.PartyCount; k++ {
+			ok := res.SequenceRankCorrect(k)
+			rankOK[k].Observe(ok)
+			if ok {
+				correct++
+			}
+		}
+		outcome := fmt.Sprintf("%d/%d ranks", correct, website.PartyCount)
+		if res.Broken {
+			outcome += " (connection broke: " + res.BrokenReason + ")"
+		}
+		fmt.Printf("%-4d  %-9t  %-30s  %-30s  %s\n",
+			v, res.ObjectSuccess(website.TargetID),
+			seqString(res.DisplaySeq), seqString(res.InferredSeq), outcome)
+	}
+	fmt.Printf("\nquiz HTML identified: %s\n", htmlOK.String())
+	fmt.Print("per-rank accuracy:   ")
+	parts := make([]string, website.PartyCount)
+	for k := range rankOK {
+		parts[k] = fmt.Sprintf("I%d=%.0f%%", k+1, rankOK[k].Percent())
+	}
+	fmt.Println(strings.Join(parts, " "))
+	return nil
+}
+
+func seqString(ids []string) string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		name := strings.TrimPrefix(id, "emblem-")
+		if len(name) > 3 {
+			name = name[:3]
+		}
+		out[i] = name
+	}
+	return strings.Join(out, ">")
+}

@@ -1,0 +1,3 @@
+module h2privacy
+
+go 1.22

@@ -1,0 +1,150 @@
+// Package adversary implements the paper's network adversary: the
+// controller that turns the compromised gateway's knobs (targeted per-GET
+// jitter, random per-packet jitter, bandwidth throttling, targeted packet
+// drops — §IV), and the staged attack driver that sequences them against
+// the survey site exactly as §V describes.
+package adversary
+
+import (
+	"time"
+
+	"h2privacy/internal/capture"
+	"h2privacy/internal/netsim"
+	"h2privacy/internal/simtime"
+	"h2privacy/internal/tcpsim"
+)
+
+// Controller owns the middlebox knobs. Install its Processor on both
+// directions of the path (netsim.Path.AddProcessor); then flip knobs at
+// any virtual time.
+type Controller struct {
+	sched *simtime.Scheduler
+	rng   *simtime.Rand
+	path  *netsim.Path
+
+	// Targeted per-GET spacing (§IV-B): the k-th GET since the knob was
+	// set is delayed by k·d — the paper's "first request delayed by 0 ms,
+	// second by d, third by 2d" schedule, which adds d to every
+	// inter-arrival gap. The cumulative growth over a long page is
+	// authentic: it is why the paper's connections broke under large
+	// jitter and why accuracy decays for late objects (Table II).
+	requestSpacing time.Duration
+	getIndex       int
+	lastGETExtra   time.Duration
+	classifier     capture.GETClassifier
+
+	// Random per-packet jitter, netem-style, per direction.
+	randJitter map[netsim.Direction]time.Duration
+
+	// Targeted drops (§IV-D): server→client payload packets are dropped
+	// with dropRate probability until dropUntil; TCP-retransmitted
+	// payload packets are dropped at dropRetransmitRate ("the adversary
+	// drops the packets carrying retransmitted objects"), which starves
+	// the loss-recovery trickle so the client must reset.
+	dropRate           float64
+	dropRetransmitRate float64
+	dropUntil          time.Duration
+
+	stats ControllerStats
+}
+
+// ControllerStats counts the controller's interventions.
+type ControllerStats struct {
+	DelayedGETs    int
+	TotalGETDelay  time.Duration
+	JitteredPkts   int
+	DroppedPkts    int
+	ThrottleEvents int
+}
+
+// NewController builds a controller for the given path.
+func NewController(sched *simtime.Scheduler, rng *simtime.Rand, path *netsim.Path) *Controller {
+	c := &Controller{
+		sched:      sched,
+		rng:        rng,
+		path:       path,
+		randJitter: make(map[netsim.Direction]time.Duration),
+	}
+	path.AddProcessor(c)
+	return c
+}
+
+var _ netsim.Processor = (*Controller)(nil)
+
+// Stats returns a copy of the intervention counters.
+func (c *Controller) Stats() ControllerStats { return c.stats }
+
+// SetRequestSpacing sets the targeted jitter d (§IV-B). Setting it resets
+// the request counter (the attack driver restarts the schedule per phase);
+// zero disables.
+func (c *Controller) SetRequestSpacing(d time.Duration) {
+	c.requestSpacing = d
+	c.getIndex = 0
+	c.lastGETExtra = 0
+}
+
+// SetRandomJitter applies netem-style uniform per-packet delay in [0, max)
+// to the given direction (the side-effect-laden part of the jitter knob).
+func (c *Controller) SetRandomJitter(dir netsim.Direction, max time.Duration) {
+	c.randJitter[dir] = max
+}
+
+// Throttle limits both directions' bandwidth (§IV-C).
+func (c *Controller) Throttle(bps float64) {
+	c.stats.ThrottleEvents++
+	c.path.SetBandwidth(bps)
+}
+
+// DropServerData drops server→client payload packets with probability
+// rate — and retransmitted ones with probability retransmitRate — for the
+// given duration (§IV-D's targeted drops).
+func (c *Controller) DropServerData(rate, retransmitRate float64, duration time.Duration) {
+	c.dropRate = rate
+	c.dropRetransmitRate = retransmitRate
+	c.dropUntil = c.sched.Now() + duration
+}
+
+// Process implements netsim.Processor.
+func (c *Controller) Process(now time.Duration, pkt *netsim.Packet) netsim.Verdict {
+	seg, ok := pkt.Payload.(*tcpsim.Segment)
+	if !ok {
+		return netsim.Verdict{}
+	}
+	var v netsim.Verdict
+	switch pkt.Dir {
+	case netsim.ClientToServer:
+		if c.requestSpacing > 0 && len(seg.Payload) > 0 {
+			if seg.Retransmit {
+				// netem's delay discipline applies to retransmissions
+				// too: a TCP-retransmitted GET must not overtake its
+				// delayed original, or the spacing collapses. It gets
+				// the same hold as the most recent original.
+				v.ExtraDelay += c.lastGETExtra
+				c.stats.TotalGETDelay += c.lastGETExtra
+			} else if n := c.classifier.Count(seg.Payload); n > 0 {
+				c.getIndex += n
+				extra := time.Duration(c.getIndex) * c.requestSpacing
+				c.lastGETExtra = extra
+				v.ExtraDelay += extra
+				c.stats.DelayedGETs++
+				c.stats.TotalGETDelay += extra
+			}
+		}
+	case netsim.ServerToClient:
+		if (c.dropRate > 0 || c.dropRetransmitRate > 0) && now < c.dropUntil && len(seg.Payload) > 0 {
+			rate := c.dropRate
+			if seg.Retransmit {
+				rate = c.dropRetransmitRate
+			}
+			if c.rng.Bool(rate) {
+				c.stats.DroppedPkts++
+				return netsim.Verdict{Drop: true}
+			}
+		}
+	}
+	if max := c.randJitter[pkt.Dir]; max > 0 {
+		v.ExtraDelay += c.rng.Uniform(0, max)
+		c.stats.JitteredPkts++
+	}
+	return v
+}

@@ -1,0 +1,148 @@
+package adversary
+
+import (
+	"time"
+
+	"h2privacy/internal/capture"
+	"h2privacy/internal/netsim"
+	"h2privacy/internal/simtime"
+)
+
+// AttackPlan parameterizes the §V staged attack. DefaultPlan returns the
+// paper's published values.
+type AttackPlan struct {
+	// Phase1Jitter is the per-GET spacing applied from the start (50 ms).
+	Phase1Jitter time.Duration
+	// Phase1RandomJitter is the accompanying netem-style random jitter
+	// applied to both directions (the delay discipline is imprecise even
+	// for packets it does not target). Default 0.8 ms.
+	Phase1RandomJitter time.Duration
+	// TriggerGET is the GET ordinal (1-based) that starts phase 2 — the
+	// 6th GET corresponds to the quiz HTML.
+	TriggerGET int
+	// ThrottleBps is the bandwidth limit applied at the trigger (800 Mbps).
+	ThrottleBps float64
+	// DropRate is the server→client payload drop probability (0.8).
+	DropRate float64
+	// DropRetransmitRate applies to TCP-retransmitted payload packets
+	// (§IV-D: "the adversary drops the packets carrying retransmitted
+	// objects"), starving loss recovery so the client times out and
+	// resets. Default 0.97.
+	DropRetransmitRate float64
+	// DropDuration is how long the drops last. The paper dropped for 6 s,
+	// "until the client sends stream reset"; our client's patience makes
+	// 5 s the equivalent: the reset lands just after the window closes,
+	// so the re-requested object of interest transmits on a clean path.
+	DropDuration time.Duration
+	// Phase3Jitter is the per-GET spacing after the drop window (80 ms),
+	// sized to serialize the eight emblem images.
+	Phase3Jitter time.Duration
+}
+
+// DefaultPlan returns the paper's §V attack parameters.
+func DefaultPlan() AttackPlan {
+	return AttackPlan{
+		Phase1Jitter: 50 * time.Millisecond,
+		TriggerGET:   6,
+		ThrottleBps:  800e6,
+		DropRate:     0.8,
+		DropDuration: 5 * time.Second,
+		Phase3Jitter: 80 * time.Millisecond,
+	}
+}
+
+func (p AttackPlan) withDefaults() AttackPlan {
+	if p.Phase1RandomJitter == 0 {
+		p.Phase1RandomJitter = 800 * time.Microsecond
+	}
+	if p.DropRetransmitRate == 0 {
+		p.DropRetransmitRate = 0.97
+	}
+	return p
+}
+
+// Phase identifies the driver's progress.
+type Phase int
+
+// Attack phases.
+const (
+	PhaseIdle     Phase = iota + 1 // armed, jitter active, counting GETs
+	PhaseDropping                  // trigger seen: throttled + dropping
+	PhaseSpacing                   // post-reset: phase-3 jitter active
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "jitter+count"
+	case PhaseDropping:
+		return "throttle+drop"
+	case PhaseSpacing:
+		return "space-images"
+	default:
+		return "phase?"
+	}
+}
+
+// Driver sequences the attack: phase 1 applies jitter and counts GETs at
+// the monitor; on the trigger GET it throttles and starts targeted drops;
+// when the drop window ends it switches to the phase-3 spacing that
+// serializes the emblem images.
+type Driver struct {
+	sched      *simtime.Scheduler
+	controller *Controller
+	plan       AttackPlan
+	phase      Phase
+	// PhaseLog records (time, phase) transitions for the experiment logs.
+	PhaseLog []PhaseChange
+}
+
+// PhaseChange is one driver transition.
+type PhaseChange struct {
+	Time  time.Duration
+	Phase Phase
+}
+
+// NewDriver arms the attack: it installs phase-1 jitter immediately and
+// subscribes to the monitor's GET feed. The monitor must already be tapped
+// into the same path.
+func NewDriver(sched *simtime.Scheduler, controller *Controller, monitor *capture.Monitor, plan AttackPlan) *Driver {
+	plan = plan.withDefaults()
+	d := &Driver{sched: sched, controller: controller, plan: plan}
+	d.transition(PhaseIdle)
+	controller.SetRequestSpacing(plan.Phase1Jitter)
+	controller.SetRandomJitter(netsim.ClientToServer, plan.Phase1RandomJitter)
+	controller.SetRandomJitter(netsim.ServerToClient, plan.Phase1RandomJitter)
+	monitor.OnGET(func(count int, ev capture.RecordEvent) {
+		if d.phase == PhaseIdle && count >= plan.TriggerGET {
+			d.onTrigger()
+		}
+	})
+	return d
+}
+
+// Phase reports the current phase.
+func (d *Driver) Phase() Phase { return d.phase }
+
+func (d *Driver) transition(p Phase) {
+	d.phase = p
+	d.PhaseLog = append(d.PhaseLog, PhaseChange{Time: d.sched.Now(), Phase: p})
+}
+
+// onTrigger fires when the monitor has counted the trigger GET: throttle
+// to the §IV-C sweet spot and black-hole server data until the client
+// resets (§IV-D), then move to the image-spacing phase.
+func (d *Driver) onTrigger() {
+	d.transition(PhaseDropping)
+	if d.plan.ThrottleBps > 0 {
+		d.controller.Throttle(d.plan.ThrottleBps)
+	}
+	if d.plan.DropRate > 0 {
+		d.controller.DropServerData(d.plan.DropRate, d.plan.DropRetransmitRate, d.plan.DropDuration)
+	}
+	d.sched.After(d.plan.DropDuration, func() {
+		d.transition(PhaseSpacing)
+		d.controller.SetRequestSpacing(d.plan.Phase3Jitter)
+	})
+}

@@ -1,0 +1,313 @@
+// Package capture implements the adversary's traffic monitor (the tshark
+// component of the paper's §V setup): a passive tap on the compromised
+// gateway that reassembles each direction's TCP byte stream, parses TLS
+// record headers (type and length — never payload), classifies
+// client→server application records as GET requests by size (the paper's
+// `ssl.record.content_type==23` filter), and logs per-packet metadata
+// including retransmissions. Everything here uses only information a real
+// on-path device has.
+package capture
+
+import (
+	"time"
+
+	"h2privacy/internal/netsim"
+	"h2privacy/internal/tcpsim"
+	"h2privacy/internal/tlsrec"
+)
+
+// GET classification gate: client→server application records whose
+// on-stream size falls in this range are counted as GETs. HPACK-compressed
+// request HEADERS records land in it; the client's WINDOW_UPDATE (42-byte
+// record), SETTINGS ACK and RST_STREAM records fall below it.
+const (
+	getMinRecordLen = 50
+	getMaxRecordLen = 260
+)
+
+// setupRecordSkip is how many leading client→server application-data
+// records are connection setup rather than requests: the HTTP/2 preface
+// and the client SETTINGS frame. A protocol-aware adversary discounts
+// them when counting GETs.
+const setupRecordSkip = 2
+
+// GETClassifier classifies raw client→server segment payloads without
+// reassembly — the middlebox's real-time path (the jitter processor must
+// decide per packet). It greedily parses record headers from the segment
+// start (records rarely straddle segments in this workload: the client
+// seals each frame as one record) and falls back to a whole-payload size
+// gate when the bytes do not parse as records.
+type GETClassifier struct {
+	seenAppData int
+}
+
+// Count returns how many GET-classified records the payload carries.
+func (g *GETClassifier) Count(payload []byte) int {
+	if len(payload) == 0 {
+		return 0
+	}
+	n := 0
+	rest := payload
+	parsedAny := false
+	for {
+		hdr, ok := tlsrec.ParseHeader(rest)
+		if !ok || tlsrec.HeaderSize+hdr.Length > len(rest) {
+			break
+		}
+		parsedAny = true
+		if hdr.Type == tlsrec.ContentApplicationData {
+			g.seenAppData++
+			wire := tlsrec.HeaderSize + hdr.Length
+			if g.seenAppData > setupRecordSkip && wire >= getMinRecordLen && wire <= getMaxRecordLen {
+				n++
+			}
+		}
+		rest = rest[tlsrec.HeaderSize+hdr.Length:]
+		if len(rest) == 0 {
+			break
+		}
+	}
+	if !parsedAny {
+		// Unaligned continuation bytes: gate on the whole payload.
+		g.seenAppData++
+		if g.seenAppData > setupRecordSkip && len(payload) >= getMinRecordLen && len(payload) <= getMaxRecordLen {
+			return 1
+		}
+	}
+	return n
+}
+
+// RecordEvent is one parsed TLS record observed on the path.
+type RecordEvent struct {
+	// Time is when the packet completing the record crossed the tap.
+	Time time.Duration
+	Dir  netsim.Direction
+	Type tlsrec.ContentType
+	// WireLen is the record's on-stream size (header + sealed payload).
+	WireLen int
+	// PlainLen is the inferred plaintext length (sealed length minus the
+	// constant AEAD overhead); zero for handshake records.
+	PlainLen int
+	// IsGET marks client→server records classified as GET requests.
+	IsGET bool
+	// Tainted marks records whose bytes arrived (at least partly) via
+	// TCP-retransmitted segments — tshark's tcp.analysis.retransmission.
+	// The predictor excludes them: retransmitted bytes are replays of
+	// traffic already accounted for, not fresh object data.
+	Tainted bool
+}
+
+// PacketStats aggregates per-direction packet-level observations.
+type PacketStats struct {
+	Packets       int
+	PayloadBytes  int64
+	Retransmits   int // segments flagged as TCP retransmissions
+	DroppedPolicy int // packets the adversary itself dropped
+	DroppedOther  int
+}
+
+// Monitor is the passive tap. Install it on a netsim.Path with AddTap.
+type Monitor struct {
+	records     []RecordEvent
+	stats       map[netsim.Direction]*PacketStats
+	streams     map[netsim.Direction]*dirStream
+	getCount    int
+	c2sAppCount int
+	onGET       func(count int, ev RecordEvent)
+	logPackets  bool
+	packets     []PacketRecord
+}
+
+var _ netsim.Tap = (*Monitor)(nil)
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{
+		stats: map[netsim.Direction]*PacketStats{
+			netsim.ClientToServer: {},
+			netsim.ServerToClient: {},
+		},
+		streams: map[netsim.Direction]*dirStream{
+			netsim.ClientToServer: newDirStream(),
+			netsim.ServerToClient: newDirStream(),
+		},
+	}
+}
+
+// OnGET registers a callback fired for each newly counted GET (the attack
+// driver's phase trigger).
+func (m *Monitor) OnGET(fn func(count int, ev RecordEvent)) { m.onGET = fn }
+
+// Records returns all parsed record events in observation order.
+func (m *Monitor) Records() []RecordEvent { return m.records }
+
+// GETCount reports the GETs counted so far.
+func (m *Monitor) GETCount() int { return m.getCount }
+
+// Stats returns the per-direction packet counters.
+func (m *Monitor) Stats(dir netsim.Direction) PacketStats { return *m.stats[dir] }
+
+// TotalRetransmits reports retransmitted segments seen in both directions.
+func (m *Monitor) TotalRetransmits() int {
+	return m.stats[netsim.ClientToServer].Retransmits + m.stats[netsim.ServerToClient].Retransmits
+}
+
+// Observe implements netsim.Tap.
+func (m *Monitor) Observe(ev netsim.PacketEvent) {
+	seg, ok := ev.Pkt.Payload.(*tcpsim.Segment)
+	if !ok {
+		return
+	}
+	st := m.stats[ev.Pkt.Dir]
+	st.Packets++
+	st.PayloadBytes += int64(len(seg.Payload))
+	if seg.Retransmit {
+		st.Retransmits++
+	}
+	if m.logPackets {
+		m.packets = append(m.packets, PacketRecord{
+			Time: ev.Now, Dir: ev.Pkt.Dir, Seg: seg, Action: ev.Action,
+		})
+	}
+	switch ev.Action {
+	case netsim.ActionDroppedPolicy:
+		st.DroppedPolicy++
+		return // never reaches the receiver: exclude from reassembly
+	case netsim.ActionDroppedLoss, netsim.ActionDroppedQueue:
+		st.DroppedOther++
+		return
+	}
+	// Reassemble the forwarded byte stream and parse record headers.
+	ds := m.streams[ev.Pkt.Dir]
+	for _, rec := range ds.push(seg) {
+		rec.Time = ev.Now
+		rec.Dir = ev.Pkt.Dir
+		if rec.Dir == netsim.ClientToServer && rec.Type == tlsrec.ContentApplicationData {
+			m.c2sAppCount++
+			if m.c2sAppCount > setupRecordSkip &&
+				rec.WireLen >= getMinRecordLen && rec.WireLen <= getMaxRecordLen {
+				rec.IsGET = true
+				m.getCount++
+			}
+		}
+		m.records = append(m.records, rec)
+		if rec.IsGET && m.onGET != nil {
+			m.onGET(m.getCount, rec)
+		}
+	}
+}
+
+// dirStream reassembles one direction's TCP stream (sequence-based, with
+// out-of-order buffering and retransmission dedup) and incrementally cuts
+// TLS records out of it, tracking per-byte retransmission taint.
+type dirStream struct {
+	synSeen bool
+	nextSeq uint64
+	ooo     map[uint64]oooChunk
+	buf     []byte // contiguous unparsed record bytes
+	taint   []bool // parallel to buf: byte arrived via a retransmission
+}
+
+type oooChunk struct {
+	data    []byte
+	tainted bool
+}
+
+func newDirStream() *dirStream {
+	return &dirStream{ooo: make(map[uint64]oooChunk)}
+}
+
+// push ingests a segment and returns any records completed by it.
+func (d *dirStream) push(seg *tcpsim.Segment) []RecordEvent {
+	if seg.Flags.Has(tcpsim.FlagSYN) {
+		d.synSeen = true
+		d.nextSeq = seg.Seq + 1
+		return nil
+	}
+	if !d.synSeen || len(seg.Payload) == 0 {
+		return nil
+	}
+	d.ingest(seg.Seq, seg.Payload, seg.Retransmit)
+	return d.parse()
+}
+
+func (d *dirStream) ingest(seq uint64, payload []byte, tainted bool) {
+	end := seq + uint64(len(payload))
+	switch {
+	case end <= d.nextSeq:
+		return // pure duplicate of delivered bytes
+	case seq <= d.nextSeq:
+		fresh := payload[d.nextSeq-seq:]
+		d.append(fresh, tainted)
+		d.drain()
+	default:
+		if _, ok := d.ooo[seq]; !ok {
+			cp := make([]byte, len(payload))
+			copy(cp, payload)
+			d.ooo[seq] = oooChunk{data: cp, tainted: tainted}
+		}
+	}
+}
+
+func (d *dirStream) append(fresh []byte, tainted bool) {
+	d.buf = append(d.buf, fresh...)
+	for i := 0; i < len(fresh); i++ {
+		d.taint = append(d.taint, tainted)
+	}
+	d.nextSeq += uint64(len(fresh))
+}
+
+func (d *dirStream) drain() {
+	for {
+		advanced := false
+		for seq, chunk := range d.ooo {
+			end := seq + uint64(len(chunk.data))
+			switch {
+			case end <= d.nextSeq:
+				delete(d.ooo, seq)
+				advanced = true
+			case seq <= d.nextSeq:
+				delete(d.ooo, seq)
+				d.append(chunk.data[d.nextSeq-seq:], chunk.tainted)
+				advanced = true
+			}
+		}
+		if !advanced {
+			return
+		}
+	}
+}
+
+// parse cuts complete TLS records off the front of buf.
+func (d *dirStream) parse() []RecordEvent {
+	var out []RecordEvent
+	for {
+		hdr, ok := tlsrec.ParseHeader(d.buf)
+		if !ok {
+			return out
+		}
+		total := tlsrec.HeaderSize + hdr.Length
+		if len(d.buf) < total {
+			return out
+		}
+		plain := 0
+		if hdr.Type == tlsrec.ContentApplicationData && hdr.Length >= tlsrec.SealOverhead {
+			plain = hdr.Length - tlsrec.SealOverhead
+		}
+		tainted := false
+		for _, tb := range d.taint[:total] {
+			if tb {
+				tainted = true
+				break
+			}
+		}
+		out = append(out, RecordEvent{
+			Type:     hdr.Type,
+			WireLen:  total,
+			PlainLen: plain,
+			Tainted:  tainted,
+		})
+		d.buf = d.buf[total:]
+		d.taint = d.taint[total:]
+	}
+}

@@ -1,0 +1,136 @@
+package capture
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"h2privacy/internal/netsim"
+	"h2privacy/internal/tcpsim"
+)
+
+// PacketRecord is one fully-logged packet (enable with EnablePacketLog).
+type PacketRecord struct {
+	Time   time.Duration
+	Dir    netsim.Direction
+	Seg    *tcpsim.Segment
+	Action netsim.Action
+}
+
+// EnablePacketLog makes the monitor retain every observed packet so the
+// trace can be exported (WritePcap). Off by default: a full page load is
+// a few thousand packets and most callers only need record metadata.
+func (m *Monitor) EnablePacketLog() { m.logPackets = true }
+
+// Packets returns the retained packet log (empty unless EnablePacketLog
+// was called before traffic flowed).
+func (m *Monitor) Packets() []PacketRecord { return m.packets }
+
+// Synthesized addressing for exported traces.
+const (
+	pcapMagic    = 0xa1b2c3d4
+	linkEthernet = 1
+	clientPort   = 49152
+	serverPort   = 443
+)
+
+var (
+	clientIP = [4]byte{10, 0, 0, 2}
+	serverIP = [4]byte{10, 0, 0, 1}
+	clientM  = [6]byte{0x02, 0, 0, 0, 0, 2}
+	serverM  = [6]byte{0x02, 0, 0, 0, 0, 1}
+)
+
+// WritePcap serializes the packet log as a classic libpcap capture
+// (Ethernet + IPv4 + TCP, checksums zeroed) that Wireshark and tshark can
+// open — the artifact the paper's monitor produced. Only forwarded
+// packets are written: dropped packets never crossed the tap's egress.
+func WritePcap(w io.Writer, packets []PacketRecord) error {
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2) // major
+	binary.LittleEndian.PutUint16(hdr[6:8], 4) // minor
+	binary.LittleEndian.PutUint32(hdr[16:20], 65535)
+	binary.LittleEndian.PutUint32(hdr[20:24], linkEthernet)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("capture: pcap header: %w", err)
+	}
+	for i := range packets {
+		p := &packets[i]
+		if p.Action != netsim.ActionForwarded {
+			continue
+		}
+		frame := buildFrame(p)
+		rec := make([]byte, 16)
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(p.Time/time.Second))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(p.Time%time.Second/time.Microsecond))
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(len(frame)))
+		binary.LittleEndian.PutUint32(rec[12:16], uint32(len(frame)))
+		if _, err := w.Write(rec); err != nil {
+			return fmt.Errorf("capture: pcap record: %w", err)
+		}
+		if _, err := w.Write(frame); err != nil {
+			return fmt.Errorf("capture: pcap frame: %w", err)
+		}
+	}
+	return nil
+}
+
+// buildFrame synthesizes Ethernet/IPv4/TCP framing around the segment.
+func buildFrame(p *PacketRecord) []byte {
+	payload := p.Seg.Payload
+	frame := make([]byte, 14+20+20+len(payload))
+
+	// Ethernet.
+	srcM, dstM := clientM, serverM
+	srcIP, dstIP := clientIP, serverIP
+	srcPort, dstPort := uint16(clientPort), uint16(serverPort)
+	if p.Dir == netsim.ServerToClient {
+		srcM, dstM = serverM, clientM
+		srcIP, dstIP = serverIP, clientIP
+		srcPort, dstPort = serverPort, clientPort
+	}
+	copy(frame[0:6], dstM[:])
+	copy(frame[6:12], srcM[:])
+	frame[12], frame[13] = 0x08, 0x00 // IPv4
+
+	// IPv4 header.
+	ip := frame[14:34]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:4], uint16(20+20+len(payload)))
+	ip[8] = 64 // TTL
+	ip[9] = 6  // TCP
+	copy(ip[12:16], srcIP[:])
+	copy(ip[16:20], dstIP[:])
+
+	// TCP header.
+	tcp := frame[34:54]
+	binary.BigEndian.PutUint16(tcp[0:2], srcPort)
+	binary.BigEndian.PutUint16(tcp[2:4], dstPort)
+	binary.BigEndian.PutUint32(tcp[4:8], uint32(p.Seg.Seq))
+	binary.BigEndian.PutUint32(tcp[8:12], uint32(p.Seg.Ack))
+	tcp[12] = 5 << 4 // data offset
+	var flags byte
+	if p.Seg.Flags.Has(tcpsim.FlagSYN) {
+		flags |= 0x02
+	}
+	if p.Seg.Flags.Has(tcpsim.FlagACK) {
+		flags |= 0x10
+	}
+	if p.Seg.Flags.Has(tcpsim.FlagFIN) {
+		flags |= 0x01
+	}
+	if p.Seg.Flags.Has(tcpsim.FlagRST) {
+		flags |= 0x04
+	}
+	tcp[13] = flags
+	wnd := p.Seg.Window
+	if wnd > 65535 {
+		wnd = 65535
+	}
+	binary.BigEndian.PutUint16(tcp[14:16], uint16(wnd))
+
+	copy(frame[54:], payload)
+	return frame
+}

@@ -1,0 +1,281 @@
+// Package core is the library facade: it assembles the full testbed —
+// network path, TCP pair, TLS, HTTP/2, website, server, browser, monitor,
+// adversary — and runs seeded trials, returning everything the paper's
+// tables and figures are computed from. Downstream users who want the
+// attack as a black box use RunTrial; the experiment harness and examples
+// build on it.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"h2privacy/internal/adversary"
+	"h2privacy/internal/capture"
+	"h2privacy/internal/endpoint"
+	"h2privacy/internal/metrics"
+	"h2privacy/internal/netsim"
+	"h2privacy/internal/predict"
+	"h2privacy/internal/simtime"
+	"h2privacy/internal/tcpsim"
+	"h2privacy/internal/website"
+)
+
+// DefaultLink returns the paper's testbed path: a 1 Gbps gateway link
+// with campus-scale latency and mild natural reordering.
+func DefaultLink() netsim.LinkConfig {
+	return netsim.LinkConfig{
+		BandwidthBps:  1e9,
+		PropDelay:     8 * time.Millisecond,
+		NaturalJitter: 300 * time.Microsecond,
+		ReorderProb:   0.005,
+	}
+}
+
+// TrialConfig describes one page-load trial.
+type TrialConfig struct {
+	// Seed drives every random quantity in the trial.
+	Seed int64
+	// Link configures the path (zero value → DefaultLink).
+	Link netsim.LinkConfig
+	// TCP tunes the transport endpoints.
+	TCP tcpsim.Config
+	// Server and Browser tune the applications.
+	Server  endpoint.ServerConfig
+	Browser endpoint.BrowserConfig
+	// Perm is the user's party-preference permutation; nil draws one
+	// from the seed (the paper's volunteer).
+	Perm []int
+	// ShuffledEmblemOrder enables the §VII defense: the client requests
+	// the emblems in a random order unrelated to the displayed ranking.
+	ShuffledEmblemOrder bool
+	// ServerPush enables the §VII server-push defense: the server pushes
+	// all emblems (catalog order) when the results script is requested,
+	// and the browser advertises ENABLE_PUSH and adopts the pushes.
+	ServerPush bool
+	// Attack, when non-nil, arms the full §V staged adversary.
+	Attack *adversary.AttackPlan
+	// Knobs for the single-parameter studies (§IV): applied from t=0
+	// when Attack is nil.
+	RequestSpacing time.Duration // per-GET jitter d (Table I)
+	RandomJitter   time.Duration // netem-style jitter, both directions
+	ThrottleBps    float64       // bandwidth limit (Fig. 5)
+	DropRate       float64       // server→client drop probability
+	DropFrom       time.Duration // when drops start (with DropRate)
+	DropDuration   time.Duration // how long drops last
+	// CrossTrafficBps injects Poisson background load (each direction)
+	// through the same gateway — the uncontrolled traffic a real campus
+	// link carries. Zero disables.
+	CrossTrafficBps float64
+	// Predict tunes the prediction module.
+	Predict predict.Config
+	// Duration bounds the simulated time. Default 120 s.
+	Duration time.Duration
+}
+
+// Testbed is an assembled, un-run trial. Most callers use RunTrial; the
+// defense experiments assemble a Testbed to poke at components first.
+type Testbed struct {
+	Sched      *simtime.Scheduler
+	Path       *netsim.Path
+	Pair       *tcpsim.Pair
+	Site       *website.Site
+	Plan       *website.Plan
+	Server     *endpoint.Server
+	Browser    *endpoint.Browser
+	Monitor    *capture.Monitor
+	Controller *adversary.Controller
+	Driver     *adversary.Driver
+	cfg        TrialConfig
+}
+
+// NewTestbed assembles all components for a trial without starting it.
+func NewTestbed(cfg TrialConfig) (*Testbed, error) {
+	if cfg.Link.BandwidthBps == 0 {
+		cfg.Link = DefaultLink()
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 120 * time.Second
+	}
+	sched := simtime.NewScheduler()
+	rng := simtime.NewRand(cfg.Seed)
+	tb := &Testbed{Sched: sched, Site: website.ISideWith(), cfg: cfg}
+
+	var err error
+	tb.Path, err = netsim.NewPath(sched, rng.Fork(), netsim.PathConfig{Link: cfg.Link})
+	if err != nil {
+		return nil, fmt.Errorf("core: path: %w", err)
+	}
+	// The monitor taps the path; the controller installs its processor.
+	// Taps observe at middlebox ingress, before the adversary's own
+	// delays, so the adversary never confuses itself.
+	tb.Monitor = capture.NewMonitor()
+	tb.Path.AddTap(tb.Monitor)
+	tb.Controller = adversary.NewController(sched, rng.Fork(), tb.Path)
+	if cfg.CrossTrafficBps > 0 {
+		ct := netsim.NewCrossTraffic(sched, rng.Fork(), tb.Path, cfg.CrossTrafficBps, 0)
+		sched.At(0, ct.Start)
+		// The page load and attack finish well inside 40 s; stopping the
+		// generator lets the trial quiesce instead of simulating hours
+		// of idle background packets.
+		sched.At(40*time.Second, ct.Stop)
+	}
+
+	tb.Pair, err = tcpsim.NewPair(sched, rng.Fork(), tb.Path, cfg.TCP)
+	if err != nil {
+		return nil, fmt.Errorf("core: tcp: %w", err)
+	}
+	perm := cfg.Perm
+	if perm == nil {
+		perm = website.RandomPerm(rng.Fork())
+	}
+	if cfg.ShuffledEmblemOrder {
+		tb.Plan, err = tb.Site.PlanForShuffled(perm, rng.Fork())
+	} else {
+		tb.Plan, err = tb.Site.PlanFor(perm)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: plan: %w", err)
+	}
+	if cfg.ServerPush {
+		cfg.Server.PushEmblems = true
+		cfg.Browser.AcceptPush = true
+	}
+	tb.Server, err = endpoint.NewServer(sched, rng.Fork(), tb.Pair.Server, tb.Site, cfg.Server)
+	if err != nil {
+		return nil, fmt.Errorf("core: server: %w", err)
+	}
+	tb.Browser, err = endpoint.NewBrowser(sched, rng.Fork(), tb.Pair.Client, tb.Site, tb.Plan, cfg.Browser)
+	if err != nil {
+		return nil, fmt.Errorf("core: browser: %w", err)
+	}
+
+	if cfg.Attack != nil {
+		tb.Driver = adversary.NewDriver(sched, tb.Controller, tb.Monitor, *cfg.Attack)
+	} else {
+		// Single-knob studies.
+		if cfg.RequestSpacing > 0 {
+			tb.Controller.SetRequestSpacing(cfg.RequestSpacing)
+		}
+		if cfg.RandomJitter > 0 {
+			tb.Controller.SetRandomJitter(netsim.ClientToServer, cfg.RandomJitter)
+			tb.Controller.SetRandomJitter(netsim.ServerToClient, cfg.RandomJitter)
+		}
+		if cfg.ThrottleBps > 0 {
+			tb.Controller.Throttle(cfg.ThrottleBps)
+		}
+		if cfg.DropRate > 0 && cfg.DropDuration > 0 {
+			sched.At(cfg.DropFrom, func() {
+				tb.Controller.DropServerData(cfg.DropRate, cfg.DropRate, cfg.DropDuration)
+			})
+		}
+	}
+	return tb, nil
+}
+
+// Run starts both endpoints and executes the trial to quiescence or the
+// configured duration, returning the collected result.
+func (tb *Testbed) Run() *TrialResult {
+	tb.Server.Start()
+	tb.Browser.Start()
+	tb.Sched.RunUntil(tb.cfg.Duration)
+	return tb.collect()
+}
+
+// RunTrial assembles and runs one trial.
+func RunTrial(cfg TrialConfig) (*TrialResult, error) {
+	tb, err := NewTestbed(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return tb.Run(), nil
+}
+
+// TrialResult is everything a trial yields.
+type TrialResult struct {
+	// Perm is the user's true preference permutation.
+	Perm []int
+	// TrueSeq is the emblem request order (what traffic analysis can
+	// reconstruct at best).
+	TrueSeq []string
+	// DisplaySeq is the displayed ranking — the secret the attack is
+	// after. Equal to TrueSeq unless the §VII defense shuffles requests.
+	DisplaySeq []string
+	// InferredSeq is the adversary's reconstruction from the traffic.
+	InferredSeq []string
+	// DoM is the ground-truth degree of multiplexing per instance.
+	DoM map[string]float64
+	// BestDoM is the per-object minimum across instances.
+	BestDoM map[string]float64
+	// BestCompleteDoM restricts the minimum to complete servings — the
+	// success criterion uses it (a partial fragment cannot leak a size).
+	BestCompleteDoM map[string]float64
+	// Bursts are the predictor's segmented server→client bursts.
+	Bursts []predict.Burst
+	// Identified is the set of object ids the predictor matched.
+	Identified map[string]bool
+	// Completed maps object id → completion time at the browser.
+	Completed map[string]time.Duration
+	// Broken reports a dead page load; BrokenReason explains it.
+	Broken       bool
+	BrokenReason string
+	// Resets and AppRetries are the browser's §IV-D/§IV-B behaviours.
+	Resets     int
+	AppRetries int
+	// MonitorRetransmits counts retransmitted segments seen on path.
+	MonitorRetransmits int
+	// RetransC2S / RetransS2C split retransmissions by direction: the
+	// client→server count is the paper's §IV-B "retransmission requests";
+	// the server→client count dominates Fig. 5's bandwidth study.
+	RetransC2S int
+	RetransS2C int
+	// GETs is the monitor's GET count.
+	GETs int
+	// ServerTasks counts stream-serving tasks (duplicates included).
+	ServerTasks int
+}
+
+func (tb *Testbed) collect() *TrialResult {
+	res := &TrialResult{
+		Perm:               append([]int(nil), tb.Plan.Perm...),
+		TrueSeq:            tb.Plan.EmblemRequestOrder(),
+		DisplaySeq:         tb.Plan.EmblemDisplayOrder(),
+		DoM:                metrics.DegreeOfMultiplexing(tb.Server.TxLog()),
+		BestDoM:            metrics.BestDoMPerObject(tb.Server.TxLog()),
+		BestCompleteDoM:    metrics.BestCompleteDoMPerObject(tb.Server.TxLog(), tb.Site.Sizes()),
+		Completed:          tb.Browser.Result().Completed,
+		Broken:             tb.Browser.Result().Broken,
+		BrokenReason:       tb.Browser.Result().BrokenReason,
+		Resets:             tb.Browser.Result().Resets,
+		AppRetries:         tb.Browser.Result().AppRetries,
+		MonitorRetransmits: tb.Monitor.TotalRetransmits(),
+		RetransC2S:         tb.Monitor.Stats(netsim.ClientToServer).Retransmits,
+		RetransS2C:         tb.Monitor.Stats(netsim.ServerToClient).Retransmits,
+		GETs:               tb.Monitor.GETCount(),
+		ServerTasks:        tb.Server.TasksServed(),
+	}
+	analyzer := predict.NewAnalyzer(tb.Site.SizeToIdentity(), tb.cfg.Predict)
+	res.Bursts = analyzer.Bursts(tb.Monitor.Records())
+	res.Identified = analyzer.MatchedObjects(res.Bursts)
+	res.InferredSeq = analyzer.InferSequence(res.Bursts, res.TrueSeq)
+	return res
+}
+
+// ObjectSuccess reports the paper's success criterion for one object: its
+// degree of multiplexing was driven to zero (some serving transmitted
+// serialized) AND the predictor identified it from the encrypted traffic.
+func (r *TrialResult) ObjectSuccess(objectID string) bool {
+	dom, ok := r.BestCompleteDoM[objectID]
+	return ok && dom == 0 && r.Identified[objectID]
+}
+
+// SequenceRankCorrect reports whether the adversary's inferred emblem at
+// the given rank matches the displayed ranking (Table II's all-objects
+// mode). Under the §VII defense the request order no longer matches the
+// display order, so this is what collapses.
+func (r *TrialResult) SequenceRankCorrect(rank int) bool {
+	if rank >= len(r.DisplaySeq) || rank >= len(r.InferredSeq) {
+		return false
+	}
+	return r.InferredSeq[rank] == r.DisplaySeq[rank]
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"h2privacy/internal/adversary"
+	"h2privacy/internal/website"
+)
+
+func TestBaselineTrialCompletes(t *testing.T) {
+	res, err := RunTrial(TrialConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Broken {
+		t.Fatalf("baseline broken: %s", res.BrokenReason)
+	}
+	if len(res.Completed) != 48 {
+		t.Fatalf("completed %d objects", len(res.Completed))
+	}
+	if res.GETs < 48 {
+		t.Fatalf("monitor counted %d GETs, want ≥48", res.GETs)
+	}
+	if len(res.TrueSeq) != website.PartyCount || len(res.DisplaySeq) != website.PartyCount {
+		t.Fatalf("sequences: %v / %v", res.TrueSeq, res.DisplaySeq)
+	}
+}
+
+func TestTrialDeterminism(t *testing.T) {
+	a, err := RunTrial(TrialConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrial(TrialConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GETs != b.GETs || a.MonitorRetransmits != b.MonitorRetransmits ||
+		a.AppRetries != b.AppRetries || len(a.Bursts) != len(b.Bursts) {
+		t.Fatalf("same seed diverged: %+v vs %+v", a.GETs, b.GETs)
+	}
+	for obj, dom := range a.BestDoM {
+		if b.BestDoM[obj] != dom {
+			t.Fatalf("DoM diverged for %s: %v vs %v", obj, dom, b.BestDoM[obj])
+		}
+	}
+	c, err := RunTrial(TrialConfig{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GETs == c.GETs && a.MonitorRetransmits == c.MonitorRetransmits && len(a.Bursts) == len(c.Bursts) {
+		t.Log("warning: different seeds produced identical summary (possible but unlikely)")
+	}
+}
+
+func TestAttackTrialProducesVerdicts(t *testing.T) {
+	plan := adversary.DefaultPlan()
+	res, err := RunTrial(TrialConfig{Seed: 8, Attack: &plan, Perm: []int{3, 1, 4, 0, 7, 6, 2, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resets == 0 && !res.Broken {
+		t.Fatal("attack never forced a reset")
+	}
+	if got := res.Perm; len(got) != website.PartyCount || got[0] != 3 {
+		t.Fatalf("perm = %v", got)
+	}
+	// The attack should usually succeed on this seed's emblems.
+	hits := 0
+	for k := 0; k < website.PartyCount; k++ {
+		if res.SequenceRankCorrect(k) {
+			hits++
+		}
+	}
+	if hits == 0 && !res.Broken {
+		t.Fatalf("no emblem ranks inferred; inferred=%v true=%v", res.InferredSeq, res.TrueSeq)
+	}
+}
+
+func TestSingleKnobConfigs(t *testing.T) {
+	res, err := RunTrial(TrialConfig{
+		Seed:           5,
+		RequestSpacing: 50 * time.Millisecond,
+		RandomJitter:   time.Millisecond,
+		ThrottleBps:    800e6,
+		DropRate:       0.5,
+		DropFrom:       time.Second,
+		DropDuration:   500 * time.Millisecond,
+		Duration:       60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GETs == 0 {
+		t.Fatal("no traffic observed")
+	}
+}
+
+func TestShuffledEmblemOrderDecouples(t *testing.T) {
+	decoupled := false
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := RunTrial(TrialConfig{Seed: seed, ShuffledEmblemOrder: true, Duration: 30 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res.TrueSeq {
+			if res.TrueSeq[i] != res.DisplaySeq[i] {
+				decoupled = true
+			}
+		}
+	}
+	if !decoupled {
+		t.Fatal("shuffled plans never decoupled request from display order")
+	}
+}
+
+func TestObjectSuccessCriteria(t *testing.T) {
+	r := &TrialResult{
+		BestCompleteDoM: map[string]float64{"a": 0, "b": 0.5, "c": 0},
+		Identified:      map[string]bool{"a": true, "b": true},
+	}
+	if !r.ObjectSuccess("a") {
+		t.Fatal("serialized+identified must succeed")
+	}
+	if r.ObjectSuccess("b") {
+		t.Fatal("multiplexed object must not succeed")
+	}
+	if r.ObjectSuccess("c") {
+		t.Fatal("unidentified object must not succeed")
+	}
+	if r.ObjectSuccess("missing") {
+		t.Fatal("absent object must not succeed")
+	}
+}
+
+func TestSequenceRankCorrect(t *testing.T) {
+	r := &TrialResult{
+		DisplaySeq:  []string{"x", "y", "z"},
+		InferredSeq: []string{"x", "q"},
+	}
+	if !r.SequenceRankCorrect(0) || r.SequenceRankCorrect(1) || r.SequenceRankCorrect(2) || r.SequenceRankCorrect(9) {
+		t.Fatal("rank matching broken")
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	if _, err := RunTrial(TrialConfig{Seed: 1, Perm: []int{0, 1}}); err == nil {
+		t.Fatal("bad permutation accepted")
+	}
+}
+
+func TestServerPushDefenseTrial(t *testing.T) {
+	plan := adversary.DefaultPlan()
+	res, err := RunTrial(TrialConfig{Seed: 9, Attack: &plan, ServerPush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With push, the attack must not recover the ranking.
+	correct := 0
+	for k := 0; k < website.PartyCount; k++ {
+		if res.SequenceRankCorrect(k) {
+			correct++
+		}
+	}
+	if correct > website.PartyCount/2 {
+		t.Fatalf("push defense leaked %d/%d ranks", correct, website.PartyCount)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	plan := adversary.DefaultPlan()
+	tb, err := NewTestbed(TrialConfig{Seed: 3, Attack: &plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tb.Run()
+	evs := tb.Timeline(res)
+	if len(evs) < 50 {
+		t.Fatalf("timeline has %d events", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("timeline not sorted")
+		}
+	}
+	var sawPhase, sawGET, sawBurst bool
+	for _, e := range evs {
+		switch e.Actor {
+		case "adversary":
+			sawPhase = true
+		case "browser":
+			sawGET = true
+		case "monitor":
+			sawBurst = true
+		}
+	}
+	if !sawPhase || !sawGET || !sawBurst {
+		t.Fatalf("timeline missing actors: phase=%t get=%t burst=%t", sawPhase, sawGET, sawBurst)
+	}
+	var buf strings.Builder
+	RenderTimeline(&buf, evs)
+	if !strings.Contains(buf.String(), "phase") {
+		t.Fatal("render missing phase lines")
+	}
+	RenderTimeline(&buf, nil)
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"h2privacy/internal/endpoint"
+)
+
+// TimelineEvent is one entry of a trial's merged event log.
+type TimelineEvent struct {
+	At    time.Duration
+	Actor string // "adversary", "browser", "monitor"
+	What  string
+}
+
+// Timeline merges the attack phases, the browser's request/reset log and
+// the predictor's burst verdicts into one chronological narrative — the
+// view an analyst wants when replaying a single attack run.
+func (tb *Testbed) Timeline(res *TrialResult) []TimelineEvent {
+	var evs []TimelineEvent
+	add := func(at time.Duration, actor, what string) {
+		evs = append(evs, TimelineEvent{At: at, Actor: actor, What: what})
+	}
+	if tb.Driver != nil {
+		for _, pc := range tb.Driver.PhaseLog {
+			add(pc.Time, "adversary", "phase → "+pc.Phase.String())
+		}
+	}
+	for _, req := range tb.Browser.Result().Requests {
+		switch req.Kind {
+		case endpoint.RequestInitial:
+			add(req.Time, "browser", "GET "+req.ObjectID)
+		case endpoint.RequestRetry:
+			add(req.Time, "browser", "retry GET "+req.ObjectID+" (response stalled)")
+		case endpoint.RequestReRequest:
+			add(req.Time, "browser", "re-request "+req.ObjectID+" (after reset)")
+		case endpoint.RequestPushed:
+			add(req.Time, "browser", "adopted pushed "+req.ObjectID)
+		}
+	}
+	for _, b := range res.Bursts {
+		if b.MatchID == "" {
+			continue
+		}
+		add(b.End, "monitor", fmt.Sprintf("burst %d B → identified %s (±%d B)", b.EstSize, b.MatchID, b.MatchErr))
+	}
+	if res.Broken {
+		// The browser result has no timestamp for breakage; anchor it at
+		// the last observed event.
+		var last time.Duration
+		for _, e := range evs {
+			if e.At > last {
+				last = e.At
+			}
+		}
+		add(last, "browser", "page load broken: "+res.BrokenReason)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// RenderTimeline writes the merged event log as aligned text.
+func RenderTimeline(w io.Writer, evs []TimelineEvent) {
+	for _, e := range evs {
+		fmt.Fprintf(w, "%12s  %-9s  %s\n", e.At.Round(time.Millisecond), e.Actor, e.What)
+	}
+	if len(evs) == 0 {
+		fmt.Fprintln(w, "(no events)")
+	}
+}

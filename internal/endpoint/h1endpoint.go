@@ -1,0 +1,222 @@
+package endpoint
+
+import (
+	"fmt"
+	"time"
+
+	"h2privacy/internal/h1"
+	"h2privacy/internal/metrics"
+	"h2privacy/internal/simtime"
+	"h2privacy/internal/tcpsim"
+	"h2privacy/internal/tlsrec"
+	"h2privacy/internal/website"
+)
+
+// H1Server is the §II baseline: an HTTP/1.1 server that processes requests
+// strictly sequentially on the connection. Every object transmits
+// serialized (degree of multiplexing identically zero), which is what made
+// HTTP/1.x websites trivially fingerprintable.
+type H1Server struct {
+	sched *simtime.Scheduler
+	rng   *simtime.Rand
+	site  *website.Site
+	cfg   ServerConfig
+
+	tcp   *tcpsim.Conn
+	tls   *tlsrec.Conn
+	conn  *h1.ServerConn
+	queue []*website.Object // responses owed, in request order
+	busy  bool
+
+	txLog      []metrics.TxSpan
+	payloadOff int64
+	fatalErr   error
+}
+
+// NewH1Server builds the baseline server endpoint.
+func NewH1Server(sched *simtime.Scheduler, rng *simtime.Rand, tcp *tcpsim.Conn, site *website.Site, cfg ServerConfig) (*H1Server, error) {
+	if site == nil {
+		return nil, fmt.Errorf("endpoint: NewH1Server requires a site")
+	}
+	s := &H1Server{sched: sched, rng: rng, site: site, cfg: cfg.withDefaults(), tcp: tcp}
+	var random [32]byte
+	for i := range random {
+		random[i] = byte(rng.Intn(256))
+	}
+	s.tls = tlsrec.NewConn(false, random, func(b []byte) {
+		if err := tcp.Write(b); err != nil && s.fatalErr == nil {
+			s.fatalErr = err
+		}
+	})
+	s.conn = h1.NewServerConn(func(b []byte) {
+		if err := s.tls.Send(tlsrec.ContentApplicationData, b); err != nil && s.fatalErr == nil {
+			s.fatalErr = err
+		}
+	})
+	s.conn.OnRequest(s.onRequest)
+	s.tls.OnRecord(func(ct tlsrec.ContentType, payload []byte) {
+		if ct != tlsrec.ContentApplicationData {
+			return
+		}
+		if err := s.conn.Feed(payload); err != nil && s.fatalErr == nil {
+			s.fatalErr = err
+		}
+	})
+	tcp.OnData(func(b []byte) {
+		if err := s.tls.Feed(b); err != nil && s.fatalErr == nil {
+			s.fatalErr = err
+		}
+	})
+	return s, nil
+}
+
+// Start begins listening.
+func (s *H1Server) Start() { s.tcp.Listen() }
+
+// Err returns the first fatal error.
+func (s *H1Server) Err() error { return s.fatalErr }
+
+// TxLog returns the ground-truth transmission log.
+func (s *H1Server) TxLog() []metrics.TxSpan { return s.txLog }
+
+func (s *H1Server) onRequest(req h1.Request) {
+	obj := s.site.Lookup(req.Path)
+	if obj == nil {
+		_ = s.conn.Respond(h1.Response{Status: 404})
+		return
+	}
+	s.queue = append(s.queue, obj)
+	s.serveNext()
+}
+
+// serveNext processes the head-of-line request after its service time —
+// one at a time: the HoL blocking that defines the baseline.
+func (s *H1Server) serveNext() {
+	if s.busy || len(s.queue) == 0 {
+		return
+	}
+	s.busy = true
+	obj := s.queue[0]
+	s.queue = s.queue[1:]
+	dispatch := s.cfg.DispatchDelay
+	if obj.Dynamic {
+		dispatch = s.cfg.DynamicDispatch
+	}
+	service := s.rng.LogNormal(dispatch, s.cfg.ChunkDelaySigma) +
+		time.Duration(obj.Size/s.cfg.ChunkSize+1)*s.rng.LogNormal(s.cfg.ChunkDelayMedian, s.cfg.ChunkDelaySigma)
+	s.sched.After(service, func() {
+		body := s.site.Body(obj)
+		s.txLog = append(s.txLog, metrics.TxSpan{
+			Instance: obj.ID + "#0",
+			ObjectID: obj.ID,
+			Offset:   s.payloadOff,
+			Len:      len(body),
+			At:       s.sched.Now(),
+		})
+		s.payloadOff += int64(len(body))
+		_ = s.conn.Respond(h1.Response{
+			Status: 200,
+			Header: map[string]string{"Content-Type": obj.Type},
+			Body:   body,
+		})
+		s.busy = false
+		s.serveNext()
+	})
+}
+
+// H1Browser drives the same request plan over HTTP/1.1, requesting
+// objects sequentially (one outstanding request, as pre-pipelining
+// browsers did per connection).
+type H1Browser struct {
+	sched *simtime.Scheduler
+	site  *website.Site
+	plan  *website.Plan
+
+	tcp  *tcpsim.Conn
+	tls  *tlsrec.Conn
+	conn *h1.ClientConn
+
+	nextStep  int
+	completed map[string]time.Duration
+	fatalErr  error
+}
+
+// NewH1Browser builds the baseline client endpoint.
+func NewH1Browser(sched *simtime.Scheduler, rng *simtime.Rand, tcp *tcpsim.Conn, site *website.Site, plan *website.Plan) (*H1Browser, error) {
+	if site == nil || plan == nil {
+		return nil, fmt.Errorf("endpoint: NewH1Browser requires a site and plan")
+	}
+	b := &H1Browser{
+		sched:     sched,
+		site:      site,
+		plan:      plan,
+		tcp:       tcp,
+		completed: make(map[string]time.Duration),
+	}
+	var random [32]byte
+	for i := range random {
+		random[i] = byte(rng.Intn(256))
+	}
+	b.tls = tlsrec.NewConn(true, random, func(buf []byte) {
+		if err := tcp.Write(buf); err != nil && b.fatalErr == nil {
+			b.fatalErr = err
+		}
+	})
+	b.conn = h1.NewClientConn(func(buf []byte) {
+		if err := b.tls.Send(tlsrec.ContentApplicationData, buf); err != nil && b.fatalErr == nil {
+			b.fatalErr = err
+		}
+	})
+	b.conn.OnResponse(func(resp h1.Response) { b.onResponse() })
+	b.tls.OnRecord(func(ct tlsrec.ContentType, payload []byte) {
+		if ct != tlsrec.ContentApplicationData {
+			return
+		}
+		if err := b.conn.Feed(payload); err != nil && b.fatalErr == nil {
+			b.fatalErr = err
+		}
+	})
+	tcp.OnData(func(buf []byte) {
+		if err := b.tls.Feed(buf); err != nil && b.fatalErr == nil {
+			b.fatalErr = err
+		}
+	})
+	tcp.OnStateChange(func(state tcpsim.State) {
+		if state == tcpsim.StateEstablished {
+			b.tls.Start()
+		}
+	})
+	b.tls.OnEstablished(func() { b.issueNext() })
+	return b, nil
+}
+
+// Start opens the connection; the sequential page load runs to completion.
+func (b *H1Browser) Start() { b.tcp.Connect() }
+
+// Err returns the first fatal error.
+func (b *H1Browser) Err() error { return b.fatalErr }
+
+// Completed maps object id → completion time.
+func (b *H1Browser) Completed() map[string]time.Duration { return b.completed }
+
+// Done reports whether the whole plan finished.
+func (b *H1Browser) Done() bool { return b.nextStep >= len(b.plan.Steps) }
+
+func (b *H1Browser) issueNext() {
+	if b.nextStep >= len(b.plan.Steps) || b.fatalErr != nil {
+		return
+	}
+	step := b.plan.Steps[b.nextStep]
+	obj := b.site.Object(step.ObjectID)
+	b.conn.Request("GET", b.site.Host, obj.Path)
+}
+
+func (b *H1Browser) onResponse() {
+	step := b.plan.Steps[b.nextStep]
+	b.completed[step.ObjectID] = b.sched.Now()
+	b.nextStep++
+	if b.nextStep < len(b.plan.Steps) {
+		gap := b.plan.Steps[b.nextStep].Gap
+		b.sched.After(gap, func() { b.issueNext() })
+	}
+}

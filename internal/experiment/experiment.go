@@ -1,0 +1,175 @@
+// Package experiment regenerates every table and figure in the paper's
+// evaluation: parameterized multi-trial sweeps over the core testbed, with
+// text-table reports recording the measured values next to the paper's.
+// See DESIGN.md §4 for the experiment index.
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options tunes a harness run.
+type Options struct {
+	// Trials per configuration point. Default 100 (the paper's count);
+	// benchmarks use fewer.
+	Trials int
+	// BaseSeed offsets the per-trial seeds, for independent repetitions.
+	BaseSeed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trials == 0 {
+		o.Trials = 100
+	}
+	return o
+}
+
+// Report is one experiment's rendered result.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carry the paper-vs-measured commentary and caveats.
+	Notes []string
+}
+
+// Render writes the report as an aligned text table.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the report as CSV (header row first) for plotting.
+func (r *Report) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Runner produces one experiment report.
+type Runner func(Options) (*Report, error)
+
+// registry maps experiment ids to runners, in presentation order.
+var registry = []struct {
+	id     string
+	title  string
+	runner Runner
+}{
+	{"fig1", "Size estimation: serialized vs multiplexed transmissions", Fig1},
+	{"fig2", "Request spacing eliminates multiplexing (attack overview)", Fig2},
+	{"fig3", "Baseline HTTP/2 multiplexing of the quiz HTML", Fig3},
+	{"table1", "Effect of jitter on HTTP/2 multiplexing (Table I)", Table1},
+	{"fig4", "Jitter side-effect: retransmission storm & duplicate copies", Fig4},
+	{"fig5", "Effect of bandwidth limitation (Fig. 5)", Fig5},
+	{"fig6", "Targeted drops force a stream reset (§IV-D)", Fig6},
+	{"table2", "Full attack prediction accuracy (Table II)", Table2},
+	{"ablation", "Adversary stage ablation (§IV build-up)", Ablation},
+	{"defense", "§VII defense: randomized emblem request order", Defense},
+	{"pushdef", "§VII defense: server push for the emblems", PushDefense},
+	{"partial", "§VII extension: partial-multiplexing inference", Partial},
+	{"sensitivity", "Attack parameter sensitivity sweep", Sensitivity},
+	{"crosstraffic", "Attack vs background cross-traffic", CrossTraffic},
+	{"tcpablation", "Attack vs victim TCP generation", TCPAblation},
+	{"padding", "Defense extension: random DATA-frame padding", Padding},
+	{"h1base", "HTTP/1.1 baseline: everything serialized (§II)", H1Baseline},
+}
+
+// IDs lists the experiment ids in order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Lookup returns the runner for an id.
+func Lookup(id string) (Runner, bool) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.runner, true
+		}
+	}
+	return nil, false
+}
+
+// RunAll executes every experiment in order.
+func RunAll(opts Options, w io.Writer) error {
+	for _, e := range registry {
+		rep, err := e.runner(opts)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.id, err)
+		}
+		rep.Render(w)
+	}
+	return nil
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
+func itoa(v int) string    { return fmt.Sprintf("%d", v) }
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v) }
+
+// sortedKeys is a tiny helper for deterministic map iteration in reports.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallOpts keeps experiment tests fast; statistical strength comes from
+// the full 100-trial harness runs.
+var smallOpts = Options{Trials: 4, BaseSeed: 10}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig3", "table1", "fig4", "fig5", "fig6", "table2", "ablation", "defense", "pushdef", "partial", "sensitivity", "crosstraffic", "tcpablation", "padding", "h1base"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("ids = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ids[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Fatalf("Lookup(%q) failed", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus id resolved")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	rep := &Report{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"col-a", "b"},
+		Rows:   [][]string{{"1", "22"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x — demo ==", "col-a", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// runOne executes an experiment at tiny scale and sanity-checks the report.
+func runOne(t *testing.T, id string, wantRows int) *Report {
+	t.Helper()
+	runner, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("unknown experiment %s", id)
+	}
+	rep, err := runner(smallOpts)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if rep.ID != id {
+		t.Fatalf("report id %q", rep.ID)
+	}
+	if len(rep.Rows) < wantRows {
+		t.Fatalf("%s: %d rows, want ≥%d", id, len(rep.Rows), wantRows)
+	}
+	for _, row := range rep.Rows {
+		if len(row) != len(rep.Header) && len(row) != 0 {
+			if len(row) > len(rep.Header) {
+				t.Fatalf("%s: row wider than header: %v", id, row)
+			}
+		}
+	}
+	return rep
+}
+
+func TestFig1Small(t *testing.T)     { runOne(t, "fig1", 2) }
+func TestFig2Small(t *testing.T)     { runOne(t, "fig2", 2) }
+func TestFig3Small(t *testing.T)     { runOne(t, "fig3", 3) }
+func TestTable1Small(t *testing.T)   { runOne(t, "table1", 4) }
+func TestFig4Small(t *testing.T)     { runOne(t, "fig4", 3) }
+func TestFig6Small(t *testing.T)     { runOne(t, "fig6", 2) }
+func TestTable2Small(t *testing.T)   { runOne(t, "table2", 9) }
+func TestAblationSmall(t *testing.T) { runOne(t, "ablation", 4) }
+func TestDefenseSmall(t *testing.T)  { runOne(t, "defense", 2) }
+func TestH1BaseSmall(t *testing.T) {
+	rep := runOne(t, "h1base", 2)
+	// The h1 baseline is deterministic in shape: everything serialized.
+	if !strings.Contains(rep.Rows[0][1], "100%") {
+		t.Fatalf("h1 serialization row = %v", rep.Rows[0])
+	}
+}
+
+func TestFig5Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 sweeps five bandwidths")
+	}
+	runOne(t, "fig5", 5)
+}
+
+func TestPaddingSmall(t *testing.T) { runOne(t, "padding", 2) }
+
+func TestPushDefenseSmall(t *testing.T) { runOne(t, "pushdef", 2) }
+
+func TestPartialSmall(t *testing.T) { runOne(t, "partial", 2) }
+
+func TestCrossTrafficSmall(t *testing.T) { runOne(t, "crosstraffic", 3) }
+
+func TestTCPAblationSmall(t *testing.T) { runOne(t, "tcpablation", 2) }
+
+func TestSensitivitySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweeps nine configurations")
+	}
+	runOne(t, "sensitivity", 9)
+}
+
+func TestRenderCSV(t *testing.T) {
+	rep := &Report{
+		ID:     "c",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "with,comma"}},
+	}
+	var buf bytes.Buffer
+	if err := rep.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"with,comma\"\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}

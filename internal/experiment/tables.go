@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"h2privacy/internal/adversary"
+	"h2privacy/internal/core"
+	"h2privacy/internal/metrics"
+	"h2privacy/internal/website"
+)
+
+// table1Jitters are the paper's sweep points (ms of added delay per request).
+var table1Jitters = []time.Duration{0, 25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond}
+
+// table1Point runs one jitter setting and aggregates.
+type table1Point struct {
+	nonMux  metrics.Counter
+	retrans metrics.Sample // client→server retransmissions + duplicate GETs
+	broken  metrics.Counter
+}
+
+// Table1 reproduces Table I: jitter d ∈ {0,25,50,100} ms, reporting the
+// fraction of trials where the quiz HTML transmitted non-multiplexed and
+// the growth in client-side retransmission requests (TCP retransmits of
+// GETs plus the browser's duplicate GETs — the paper's "retransmission
+// requests").
+func Table1(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	points := make([]table1Point, len(table1Jitters))
+	for i, d := range table1Jitters {
+		for t := 0; t < opts.Trials; t++ {
+			res, err := core.RunTrial(core.TrialConfig{
+				Seed:           opts.BaseSeed + int64(i*opts.Trials+t),
+				RequestSpacing: d,
+				RandomJitter:   800 * time.Microsecond,
+			})
+			if err != nil {
+				return nil, err
+			}
+			points[i].nonMux.Observe(res.BestDoM[website.TargetID] == 0)
+			points[i].retrans.Add(float64(res.RetransC2S + res.AppRetries))
+			points[i].broken.Observe(res.Broken)
+		}
+	}
+	rep := &Report{
+		ID:     "table1",
+		Title:  "Effect of jitter on HTTP/2 multiplexing",
+		Header: []string{"jitter/req (ms)", "non-multiplexed (%)", "retransmission reqs (mean)", "broken (%)", "paper: non-mux / Δretrans"},
+	}
+	paper := []string{"32 / 0 (baseline)", "46 / ≈33", "54 / ≈130", "54 / ≈194"}
+	for i, d := range table1Jitters {
+		rep.Rows = append(rep.Rows, []string{
+			f0(d.Seconds() * 1000),
+			pct(points[i].nonMux.Percent()),
+			f1(points[i].retrans.Mean()),
+			pct(points[i].broken.Percent()),
+			paper[i],
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"shape criterion: non-multiplexed fraction rises with d and saturates; retransmission requests grow with d",
+		"our clean simulated path has a near-zero retransmission baseline, so absolute counts replace the paper's percentages",
+		fmt.Sprintf("%d trials per point", opts.Trials))
+	return rep, nil
+}
+
+// Table2 reproduces Table II: the full staged attack against the survey
+// page, reporting per-object success in both targeting modes.
+func Table2(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	plan := adversary.DefaultPlan()
+	labels := append([]string{"HTML"}, func() []string {
+		out := make([]string, website.PartyCount)
+		for i := range out {
+			out[i] = fmt.Sprintf("I%d", i+1)
+		}
+		return out
+	}()...)
+	single := make([]metrics.Counter, len(labels))
+	all := make([]metrics.Counter, len(labels))
+	var broken metrics.Counter
+	for t := 0; t < opts.Trials; t++ {
+		res, err := core.RunTrial(core.TrialConfig{
+			Seed:   opts.BaseSeed + int64(t),
+			Attack: &plan,
+		})
+		if err != nil {
+			return nil, err
+		}
+		broken.Observe(res.Broken)
+		// HTML row: the quiz is one fixed object in both modes.
+		single[0].Observe(res.ObjectSuccess(website.TargetID))
+		all[0].Observe(res.ObjectSuccess(website.TargetID))
+		// Image rows: single-object mode asks only "was the emblem at
+		// rank k identified with DoM 0 somewhere"; all-objects mode
+		// requires the inferred sequence position to be correct too.
+		for k := 0; k < website.PartyCount; k++ {
+			obj := res.DisplaySeq[k]
+			single[k+1].Observe(res.ObjectSuccess(obj))
+			all[k+1].Observe(res.ObjectSuccess(obj) && res.SequenceRankCorrect(k))
+		}
+	}
+	rep := &Report{
+		ID:     "table2",
+		Title:  "Full attack prediction accuracy",
+		Header: []string{"object", "single-object (%)", "all-objects (%)", "paper: single / all"},
+	}
+	paperSingle := []string{"100", "100", "100", "100", "100", "100", "100", "100", "100"}
+	paperAll := []string{"90", "90", "85", "81", "80", "62", "64", "78", "64"}
+	for i, label := range labels {
+		rep.Rows = append(rep.Rows, []string{
+			label,
+			pct(single[i].Percent()),
+			pct(all[i].Percent()),
+			paperSingle[i] + " / " + paperAll[i],
+		})
+	}
+	rep.Rows = append(rep.Rows, []string{"(broken loads)", pct(broken.Percent()), "", ""})
+	rep.Notes = append(rep.Notes,
+		"shape criterion: high accuracy for the HTML and early images, decaying for later images (jitter accumulates; connections degrade)",
+		fmt.Sprintf("%d trials, random volunteer permutation per trial", opts.Trials))
+	return rep, nil
+}

@@ -1,0 +1,199 @@
+package h1
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ServerConn is the sans-IO server side of one HTTP/1.1 connection.
+// Requests are delivered in arrival order; the application must respond in
+// the same order (HTTP/1.1 has no interleaving — that is the point of the
+// baseline). Responses for not-yet-head-of-line requests are queued.
+type ServerConn struct {
+	out       func([]byte)
+	onRequest func(Request)
+	buf       []byte
+	failed    error
+
+	// pipeline bookkeeping: responses must go out in request order.
+	pendingRequests int // requests delivered but not yet responded to
+}
+
+// NewServerConn builds a server endpoint; out transmits wire bytes.
+func NewServerConn(out func([]byte)) *ServerConn {
+	if out == nil {
+		panic("h1: NewServerConn requires an output function")
+	}
+	return &ServerConn{out: out}
+}
+
+// OnRequest registers the request callback.
+func (c *ServerConn) OnRequest(fn func(Request)) { c.onRequest = fn }
+
+// Err returns the first fatal parse error.
+func (c *ServerConn) Err() error { return c.failed }
+
+// Feed consumes transport bytes, emitting complete requests.
+func (c *ServerConn) Feed(b []byte) error {
+	if c.failed != nil {
+		return c.failed
+	}
+	c.buf = append(c.buf, b...)
+	for {
+		head, n, err := splitHead(c.buf)
+		if err != nil {
+			c.failed = err
+			return err
+		}
+		if head == nil {
+			return nil
+		}
+		c.buf = c.buf[n:]
+		req, err := parseRequestHead(head)
+		if err != nil {
+			c.failed = err
+			return err
+		}
+		c.pendingRequests++
+		if c.onRequest != nil {
+			c.onRequest(req)
+		}
+	}
+}
+
+// Respond sends the response for the oldest unanswered request. The
+// sequential discipline means callers answer strictly in order; Respond
+// returns an error when no request is outstanding.
+func (c *ServerConn) Respond(resp Response) error {
+	if c.pendingRequests == 0 {
+		return fmt.Errorf("h1: Respond with no outstanding request")
+	}
+	c.pendingRequests--
+	c.out(FormatResponse(resp))
+	return nil
+}
+
+func parseRequestHead(head []byte) (Request, error) {
+	lines := strings.Split(string(head), "\r\n")
+	if len(lines) == 0 {
+		return Request{}, ErrMalformedRequest
+	}
+	parts := strings.Split(lines[0], " ")
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
+		return Request{}, fmt.Errorf("%w: request line %q", ErrMalformedRequest, lines[0])
+	}
+	hdr, err := parseHeaderBlock(lines[1:])
+	if err != nil {
+		return Request{}, err
+	}
+	return Request{
+		Method: parts[0],
+		Path:   parts[1],
+		Host:   hdr["host"],
+		Header: hdr,
+	}, nil
+}
+
+// ClientConn is the sans-IO client side: issue requests with Request,
+// receive parsed responses (in order) via OnResponse.
+type ClientConn struct {
+	out        func([]byte)
+	onResponse func(Response)
+	buf        []byte
+	failed     error
+	inFlight   int
+
+	// partial response state
+	waitingBody bool
+	current     Response
+	bodyNeed    int
+}
+
+// NewClientConn builds a client endpoint.
+func NewClientConn(out func([]byte)) *ClientConn {
+	if out == nil {
+		panic("h1: NewClientConn requires an output function")
+	}
+	return &ClientConn{out: out}
+}
+
+// OnResponse registers the response callback.
+func (c *ClientConn) OnResponse(fn func(Response)) { c.onResponse = fn }
+
+// Err returns the first fatal parse error.
+func (c *ClientConn) Err() error { return c.failed }
+
+// InFlight reports requests awaiting responses (pipelining depth).
+func (c *ClientConn) InFlight() int { return c.inFlight }
+
+// Request sends a GET-style request head.
+func (c *ClientConn) Request(method, host, path string) {
+	c.inFlight++
+	c.out(FormatRequest(Request{Method: method, Host: host, Path: path}))
+}
+
+// Feed consumes transport bytes, emitting complete responses.
+func (c *ClientConn) Feed(b []byte) error {
+	if c.failed != nil {
+		return c.failed
+	}
+	c.buf = append(c.buf, b...)
+	for {
+		if c.waitingBody {
+			if len(c.buf) < c.bodyNeed {
+				return nil
+			}
+			c.current.Body = append(c.current.Body, c.buf[:c.bodyNeed]...)
+			c.buf = c.buf[c.bodyNeed:]
+			c.waitingBody = false
+			c.inFlight--
+			if c.onResponse != nil {
+				c.onResponse(c.current)
+			}
+			c.current = Response{}
+			continue
+		}
+		head, n, err := splitHead(c.buf)
+		if err != nil {
+			c.failed = err
+			return err
+		}
+		if head == nil {
+			return nil
+		}
+		c.buf = c.buf[n:]
+		resp, bodyLen, err := parseResponseHead(head)
+		if err != nil {
+			c.failed = err
+			return err
+		}
+		c.current = resp
+		c.bodyNeed = bodyLen
+		c.waitingBody = true
+	}
+}
+
+func parseResponseHead(head []byte) (Response, int, error) {
+	lines := strings.Split(string(head), "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return Response{}, 0, fmt.Errorf("%w: status line %q", ErrMalformedResponse, lines[0])
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return Response{}, 0, fmt.Errorf("%w: status %q", ErrMalformedResponse, parts[1])
+	}
+	hdr, err := parseHeaderBlock(lines[1:])
+	if err != nil {
+		return Response{}, 0, ErrMalformedResponse
+	}
+	bodyLen := 0
+	if cl, ok := hdr["content-length"]; ok {
+		bodyLen, err = strconv.Atoi(cl)
+		if err != nil || bodyLen < 0 {
+			return Response{}, 0, fmt.Errorf("%w: content-length %q", ErrMalformedResponse, cl)
+		}
+	}
+	return Response{Status: status, Header: hdr}, bodyLen, nil
+}

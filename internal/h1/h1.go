@@ -1,0 +1,103 @@
+// Package h1 implements a minimal HTTP/1.1 codec and sans-IO
+// server/client connection pair. It exists as the paper's §II baseline:
+// HTTP/1.1 processes requests strictly sequentially on a connection
+// (head-of-line blocking), so every object transmits serialized and a
+// passive eavesdropper reads object sizes directly — no attack required.
+// The h1base experiment contrasts this with HTTP/2 multiplexing.
+package h1
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Errors returned by the parsers.
+var (
+	ErrMalformedRequest  = errors.New("h1: malformed request")
+	ErrMalformedResponse = errors.New("h1: malformed response")
+	ErrHeaderTooLarge    = errors.New("h1: header section too large")
+)
+
+// maxHeaderBytes bounds the request/response head.
+const maxHeaderBytes = 64 << 10
+
+// Request is a parsed HTTP/1.1 request head (bodies are not used by the
+// baseline workload).
+type Request struct {
+	Method string
+	Path   string
+	Host   string
+	Header map[string]string
+}
+
+// Response is a parsed HTTP/1.1 response.
+type Response struct {
+	Status int
+	Header map[string]string
+	Body   []byte
+}
+
+// FormatRequest renders a GET-style request head.
+func FormatRequest(req Request) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", req.Method, req.Path)
+	fmt.Fprintf(&b, "Host: %s\r\n", req.Host)
+	for k, v := range req.Header {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	}
+	b.WriteString("\r\n")
+	return b.Bytes()
+}
+
+// FormatResponse renders a full response with Content-Length framing.
+func FormatResponse(resp Response) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", resp.Status, statusText(resp.Status))
+	for k, v := range resp.Header {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	}
+	fmt.Fprintf(&b, "Content-Length: %d\r\n\r\n", len(resp.Body))
+	b.Write(resp.Body)
+	return b.Bytes()
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return "Status"
+	}
+}
+
+// parseHeaderBlock splits "Name: value" lines.
+func parseHeaderBlock(lines []string) (map[string]string, error) {
+	h := make(map[string]string, len(lines))
+	for _, line := range lines {
+		i := strings.IndexByte(line, ':')
+		if i <= 0 {
+			return nil, fmt.Errorf("%w: header line %q", ErrMalformedRequest, line)
+		}
+		h[strings.ToLower(strings.TrimSpace(line[:i]))] = strings.TrimSpace(line[i+1:])
+	}
+	return h, nil
+}
+
+// splitHead returns the head (up to and excluding CRLFCRLF) and the number
+// of bytes it consumed including the terminator, or (nil, 0) if incomplete.
+func splitHead(buf []byte) ([]byte, int, error) {
+	i := bytes.Index(buf, []byte("\r\n\r\n"))
+	if i < 0 {
+		if len(buf) > maxHeaderBytes {
+			return nil, 0, ErrHeaderTooLarge
+		}
+		return nil, 0, nil
+	}
+	return buf[:i], i + 4, nil
+}

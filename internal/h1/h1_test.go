@@ -1,0 +1,175 @@
+package h1
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	srv := NewServerConn(func([]byte) {})
+	var got []Request
+	srv.OnRequest(func(r Request) { got = append(got, r) })
+	wire := FormatRequest(Request{Method: "GET", Path: "/quiz", Host: "isidewith.test",
+		Header: map[string]string{"User-Agent": "firefox"}})
+	if err := srv.Feed(wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Method != "GET" || got[0].Path != "/quiz" || got[0].Host != "isidewith.test" {
+		t.Fatalf("got %+v", got)
+	}
+	if got[0].Header["user-agent"] != "firefox" {
+		t.Fatalf("header = %+v", got[0].Header)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cli := NewClientConn(func([]byte) {})
+	var got []Response
+	cli.OnResponse(func(r Response) { got = append(got, r) })
+	cli.Request("GET", "h", "/x")
+	body := bytes.Repeat([]byte("b"), 9500)
+	wire := FormatResponse(Response{Status: 200, Header: map[string]string{"Content-Type": "text/html"}, Body: body})
+	if err := cli.Feed(wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Status != 200 || !bytes.Equal(got[0].Body, body) {
+		t.Fatalf("got %d responses", len(got))
+	}
+	if cli.InFlight() != 0 {
+		t.Fatalf("in flight = %d", cli.InFlight())
+	}
+}
+
+func TestFragmentedDelivery(t *testing.T) {
+	cli := NewClientConn(func([]byte) {})
+	var got []Response
+	cli.OnResponse(func(r Response) { got = append(got, r) })
+	wire := FormatResponse(Response{Status: 200, Body: []byte("hello world")})
+	for i := range wire {
+		if err := cli.Feed(wire[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 1 || string(got[0].Body) != "hello world" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestPipelinedSequentialResponses(t *testing.T) {
+	var wire bytes.Buffer
+	srv := NewServerConn(func(b []byte) { wire.Write(b) })
+	var reqs []Request
+	srv.OnRequest(func(r Request) { reqs = append(reqs, r) })
+	// Client pipelines three requests.
+	var toServer bytes.Buffer
+	cli := NewClientConn(func(b []byte) { toServer.Write(b) })
+	var resps []Response
+	cli.OnResponse(func(r Response) { resps = append(resps, r) })
+	cli.Request("GET", "h", "/a")
+	cli.Request("GET", "h", "/b")
+	cli.Request("GET", "h", "/c")
+	if err := srv.Feed(toServer.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 3 {
+		t.Fatalf("server saw %d requests", len(reqs))
+	}
+	for i, r := range reqs {
+		if err := srv.Respond(Response{Status: 200, Body: []byte(r.Path)}); err != nil {
+			t.Fatalf("respond %d: %v", i, err)
+		}
+	}
+	if err := srv.Respond(Response{Status: 200}); err == nil {
+		t.Fatal("Respond with no outstanding request succeeded")
+	}
+	if err := cli.Feed(wire.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 3 {
+		t.Fatalf("client saw %d responses", len(resps))
+	}
+	for i, want := range []string{"/a", "/b", "/c"} {
+		if string(resps[i].Body) != want {
+			t.Fatalf("response %d body = %q (order broken)", i, resps[i].Body)
+		}
+	}
+}
+
+func TestMalformedRequestRejected(t *testing.T) {
+	srv := NewServerConn(func([]byte) {})
+	if err := srv.Feed([]byte("NOT A REQUEST\r\n\r\n")); err == nil {
+		t.Fatal("malformed request accepted")
+	}
+	if srv.Err() == nil {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestMalformedResponseRejected(t *testing.T) {
+	cases := []string{
+		"NOPE 200 OK\r\n\r\n",
+		"HTTP/1.1 abc OK\r\n\r\n",
+		"HTTP/1.1 200 OK\r\nContent-Length: -5\r\n\r\n",
+		"HTTP/1.1 200 OK\r\nContent-Length: xyz\r\n\r\n",
+		"HTTP/1.1 200 OK\r\nbadheaderline\r\n\r\n",
+	}
+	for _, c := range cases {
+		cli := NewClientConn(func([]byte) {})
+		if err := cli.Feed([]byte(c)); err == nil {
+			t.Fatalf("accepted %q", c)
+		}
+	}
+}
+
+func TestHeaderTooLarge(t *testing.T) {
+	srv := NewServerConn(func([]byte) {})
+	huge := []byte("GET / HTTP/1.1\r\nX: " + strings.Repeat("v", maxHeaderBytes+100))
+	if err := srv.Feed(huge); !errors.Is(err, ErrHeaderTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: any (status, body) round-trips, and the serialized wire size
+// reveals the body size exactly — HTTP/1.1's fundamental leak.
+func TestResponseRoundTripProperty(t *testing.T) {
+	f := func(status uint8, body []byte) bool {
+		st := 200 + int(status)%200
+		wire := FormatResponse(Response{Status: st, Body: body})
+		cli := NewClientConn(func([]byte) {})
+		var got *Response
+		cli.OnResponse(func(r Response) { got = &r })
+		if err := cli.Feed(wire); err != nil {
+			return false
+		}
+		return got != nil && got.Status == st && bytes.Equal(got.Body, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: requests with arbitrary paths round-trip.
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(pathBytes []byte) bool {
+		path := "/" + strings.Map(func(r rune) rune {
+			if r <= ' ' || r > '~' {
+				return 'x'
+			}
+			return r
+		}, string(pathBytes))
+		wire := FormatRequest(Request{Method: "GET", Path: path, Host: "h"})
+		srv := NewServerConn(func([]byte) {})
+		var got *Request
+		srv.OnRequest(func(r Request) { got = &r })
+		if err := srv.Feed(wire); err != nil {
+			return false
+		}
+		return got != nil && got.Path == path
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package h2 implements HTTP/2 (RFC 7540) as a sans-IO state machine:
+// frame codec, HPACK integration, stream lifecycle, flow control, priority
+// bookkeeping, server push and connection management. Bytes in via Feed,
+// bytes out via the output callback — no goroutines, no sockets — so the
+// same protocol core drives both the event-driven network simulation
+// (package endpoint) and the blocking net.Conn transport (package h2sync).
+//
+// The paper's attack manipulates this layer from below: multiplexing is
+// interleaved DATA frames from concurrent streams, and the client's
+// RST_STREAM "clean slate" (§IV-D) is a stream reset that flushes the
+// server's per-stream send queues.
+package h2
+
+import "fmt"
+
+// ErrCode is an RFC 7540 §7 error code.
+type ErrCode uint32
+
+// RFC 7540 error codes.
+const (
+	ErrCodeNo                 ErrCode = 0x0
+	ErrCodeProtocol           ErrCode = 0x1
+	ErrCodeInternal           ErrCode = 0x2
+	ErrCodeFlowControl        ErrCode = 0x3
+	ErrCodeSettingsTimeout    ErrCode = 0x4
+	ErrCodeStreamClosed       ErrCode = 0x5
+	ErrCodeFrameSize          ErrCode = 0x6
+	ErrCodeRefusedStream      ErrCode = 0x7
+	ErrCodeCancel             ErrCode = 0x8
+	ErrCodeCompression        ErrCode = 0x9
+	ErrCodeConnect            ErrCode = 0xa
+	ErrCodeEnhanceYourCalm    ErrCode = 0xb
+	ErrCodeInadequateSecurity ErrCode = 0xc
+	ErrCodeHTTP11Required     ErrCode = 0xd
+)
+
+// String names the error code as in RFC 7540.
+func (c ErrCode) String() string {
+	switch c {
+	case ErrCodeNo:
+		return "NO_ERROR"
+	case ErrCodeProtocol:
+		return "PROTOCOL_ERROR"
+	case ErrCodeInternal:
+		return "INTERNAL_ERROR"
+	case ErrCodeFlowControl:
+		return "FLOW_CONTROL_ERROR"
+	case ErrCodeSettingsTimeout:
+		return "SETTINGS_TIMEOUT"
+	case ErrCodeStreamClosed:
+		return "STREAM_CLOSED"
+	case ErrCodeFrameSize:
+		return "FRAME_SIZE_ERROR"
+	case ErrCodeRefusedStream:
+		return "REFUSED_STREAM"
+	case ErrCodeCancel:
+		return "CANCEL"
+	case ErrCodeCompression:
+		return "COMPRESSION_ERROR"
+	case ErrCodeConnect:
+		return "CONNECT_ERROR"
+	case ErrCodeEnhanceYourCalm:
+		return "ENHANCE_YOUR_CALM"
+	case ErrCodeInadequateSecurity:
+		return "INADEQUATE_SECURITY"
+	case ErrCodeHTTP11Required:
+		return "HTTP_1_1_REQUIRED"
+	default:
+		return fmt.Sprintf("ERR_CODE_%d", uint32(c))
+	}
+}
+
+// ConnectionError is a fatal error that tears down the whole connection
+// (RFC 7540 §5.4.1). Feed returns it after emitting a GOAWAY.
+type ConnectionError struct {
+	Code   ErrCode
+	Reason string
+}
+
+// Error implements error.
+func (e ConnectionError) Error() string {
+	return fmt.Sprintf("h2: connection error %v: %s", e.Code, e.Reason)
+}
+
+// StreamError is an error scoped to one stream (RFC 7540 §5.4.2); the
+// connection survives and the stream is reset.
+type StreamError struct {
+	StreamID uint32
+	Code     ErrCode
+	Reason   string
+}
+
+// Error implements error.
+func (e StreamError) Error() string {
+	return fmt.Sprintf("h2: stream %d error %v: %s", e.StreamID, e.Code, e.Reason)
+}

@@ -1,0 +1,168 @@
+package h2
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FrameType is an RFC 7540 §6 frame type.
+type FrameType uint8
+
+// Frame types.
+const (
+	FrameData         FrameType = 0x0
+	FrameHeaders      FrameType = 0x1
+	FramePriority     FrameType = 0x2
+	FrameRSTStream    FrameType = 0x3
+	FrameSettings     FrameType = 0x4
+	FramePushPromise  FrameType = 0x5
+	FramePing         FrameType = 0x6
+	FrameGoAway       FrameType = 0x7
+	FrameWindowUpdate FrameType = 0x8
+	FrameContinuation FrameType = 0x9
+)
+
+// String names the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case FrameData:
+		return "DATA"
+	case FrameHeaders:
+		return "HEADERS"
+	case FramePriority:
+		return "PRIORITY"
+	case FrameRSTStream:
+		return "RST_STREAM"
+	case FrameSettings:
+		return "SETTINGS"
+	case FramePushPromise:
+		return "PUSH_PROMISE"
+	case FramePing:
+		return "PING"
+	case FrameGoAway:
+		return "GOAWAY"
+	case FrameWindowUpdate:
+		return "WINDOW_UPDATE"
+	case FrameContinuation:
+		return "CONTINUATION"
+	default:
+		return fmt.Sprintf("FRAME_TYPE_%d", uint8(t))
+	}
+}
+
+// Flags is the frame flags byte.
+type Flags uint8
+
+// Frame flags. The same bit means different things on different frame
+// types, exactly as in the RFC.
+const (
+	FlagEndStream  Flags = 0x1 // DATA, HEADERS
+	FlagAck        Flags = 0x1 // SETTINGS, PING
+	FlagEndHeaders Flags = 0x4 // HEADERS, PUSH_PROMISE, CONTINUATION
+	FlagPadded     Flags = 0x8 // DATA, HEADERS, PUSH_PROMISE
+	FlagPriority   Flags = 0x20
+)
+
+// Has reports whether all bits of f2 are set.
+func (f Flags) Has(f2 Flags) bool { return f&f2 == f2 }
+
+// FrameHeaderSize is the fixed 9-byte frame header.
+const FrameHeaderSize = 9
+
+// FrameHeader is the fixed header preceding every frame.
+type FrameHeader struct {
+	Length   int // payload length (24 bits)
+	Type     FrameType
+	Flags    Flags
+	StreamID uint32 // 31 bits
+}
+
+// String formats the header for traces.
+func (h FrameHeader) String() string {
+	return fmt.Sprintf("%v len=%d flags=%#x stream=%d", h.Type, h.Length, uint8(h.Flags), h.StreamID)
+}
+
+// parseFrameHeader decodes the 9-byte header. b must be ≥ 9 bytes.
+func parseFrameHeader(b []byte) FrameHeader {
+	return FrameHeader{
+		Length:   int(b[0])<<16 | int(b[1])<<8 | int(b[2]),
+		Type:     FrameType(b[3]),
+		Flags:    Flags(b[4]),
+		StreamID: binary.BigEndian.Uint32(b[5:9]) & 0x7fffffff,
+	}
+}
+
+// appendFrameHeader serializes a frame header.
+func appendFrameHeader(dst []byte, length int, t FrameType, flags Flags, streamID uint32) []byte {
+	return append(dst,
+		byte(length>>16), byte(length>>8), byte(length),
+		byte(t), byte(flags),
+		byte(streamID>>24), byte(streamID>>16), byte(streamID>>8), byte(streamID),
+	)
+}
+
+// PriorityParam is the HEADERS/PRIORITY stream dependency block
+// (RFC 7540 §5.3). The paper's §VII defense idea randomizes these.
+type PriorityParam struct {
+	StreamDep uint32
+	Exclusive bool
+	// Weight is the wire value (0-255), representing weights 1-256.
+	Weight uint8
+}
+
+// IsZero reports whether the parameter carries no information.
+func (p PriorityParam) IsZero() bool { return p == PriorityParam{} }
+
+// Setting is one SETTINGS parameter.
+type Setting struct {
+	ID  SettingID
+	Val uint32
+}
+
+// SettingID identifies a SETTINGS parameter (RFC 7540 §6.5.2).
+type SettingID uint16
+
+// Settings parameters.
+const (
+	SettingHeaderTableSize      SettingID = 0x1
+	SettingEnablePush           SettingID = 0x2
+	SettingMaxConcurrentStreams SettingID = 0x3
+	SettingInitialWindowSize    SettingID = 0x4
+	SettingMaxFrameSize         SettingID = 0x5
+	SettingMaxHeaderListSize    SettingID = 0x6
+)
+
+// String names the setting.
+func (s SettingID) String() string {
+	switch s {
+	case SettingHeaderTableSize:
+		return "HEADER_TABLE_SIZE"
+	case SettingEnablePush:
+		return "ENABLE_PUSH"
+	case SettingMaxConcurrentStreams:
+		return "MAX_CONCURRENT_STREAMS"
+	case SettingInitialWindowSize:
+		return "INITIAL_WINDOW_SIZE"
+	case SettingMaxFrameSize:
+		return "MAX_FRAME_SIZE"
+	case SettingMaxHeaderListSize:
+		return "MAX_HEADER_LIST_SIZE"
+	default:
+		return fmt.Sprintf("SETTING_%d", uint16(s))
+	}
+}
+
+// Protocol constants (RFC 7540).
+const (
+	// ClientPreface opens every client connection (§3.5).
+	ClientPreface = "PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n"
+	// DefaultInitialWindowSize is the flow-control window at startup.
+	DefaultInitialWindowSize = 65535
+	// DefaultMaxFrameSize is the largest payload peers may send before
+	// SETTINGS says otherwise.
+	DefaultMaxFrameSize = 16384
+	// maxWindow is the largest legal flow-control window (2^31-1).
+	maxWindow = 1<<31 - 1
+	// maxFrameSizeLimit is the protocol ceiling for MAX_FRAME_SIZE.
+	maxFrameSizeLimit = 1<<24 - 1
+)

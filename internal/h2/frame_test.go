@@ -1,0 +1,243 @@
+package h2
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func parseOne(t *testing.T, wire []byte) *Frame {
+	t.Helper()
+	r := NewFrameReader()
+	r.MaxFrameSize = maxFrameSizeLimit
+	r.Feed(wire)
+	f, err := r.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if f == nil {
+		t.Fatal("incomplete frame")
+	}
+	return f
+}
+
+func TestDataFrameRoundTrip(t *testing.T) {
+	data := []byte("hello h2")
+	wire := AppendData(nil, 5, data, true, 0)
+	f := parseOne(t, wire)
+	if f.Header.Type != FrameData || f.Header.StreamID != 5 {
+		t.Fatalf("header = %v", f.Header)
+	}
+	if !f.Header.Flags.Has(FlagEndStream) || !bytes.Equal(f.Data, data) {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestDataFramePaddingRoundTrip(t *testing.T) {
+	data := []byte("padded payload")
+	wire := AppendData(nil, 7, data, false, 37)
+	f := parseOne(t, wire)
+	if !bytes.Equal(f.Data, data) || f.PadLength != 37 {
+		t.Fatalf("data=%q pad=%d", f.Data, f.PadLength)
+	}
+	if f.Header.Length != len(data)+1+37 {
+		t.Fatalf("wire length = %d", f.Header.Length)
+	}
+}
+
+func TestHeadersFrameWithPriorityRoundTrip(t *testing.T) {
+	prio := PriorityParam{StreamDep: 11, Exclusive: true, Weight: 147}
+	frag := []byte{0x82, 0x87}
+	wire := AppendHeaders(nil, 9, frag, true, true, prio)
+	f := parseOne(t, wire)
+	if f.Priority != prio {
+		t.Fatalf("priority = %+v", f.Priority)
+	}
+	if !bytes.Equal(f.Data, frag) {
+		t.Fatalf("fragment = %v", f.Data)
+	}
+	if !f.Header.Flags.Has(FlagEndStream | FlagEndHeaders | FlagPriority) {
+		t.Fatalf("flags = %v", f.Header.Flags)
+	}
+}
+
+func TestRSTStreamRoundTrip(t *testing.T) {
+	wire := AppendRSTStream(nil, 3, ErrCodeCancel)
+	f := parseOne(t, wire)
+	if f.ErrCode != ErrCodeCancel || f.Header.StreamID != 3 {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestSettingsRoundTrip(t *testing.T) {
+	in := []Setting{
+		{SettingInitialWindowSize, 1 << 20},
+		{SettingMaxFrameSize, 32768},
+	}
+	f := parseOne(t, AppendSettings(nil, in))
+	if len(f.Settings) != 2 || f.Settings[0] != in[0] || f.Settings[1] != in[1] {
+		t.Fatalf("settings = %+v", f.Settings)
+	}
+	ack := parseOne(t, AppendSettingsAck(nil))
+	if !ack.Header.Flags.Has(FlagAck) || len(ack.Settings) != 0 {
+		t.Fatalf("ack = %+v", ack)
+	}
+}
+
+func TestGoAwayRoundTrip(t *testing.T) {
+	f := parseOne(t, AppendGoAway(nil, 41, ErrCodeEnhanceYourCalm, []byte("calm down")))
+	if f.LastStreamID != 41 || f.ErrCode != ErrCodeEnhanceYourCalm || string(f.Data) != "calm down" {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestWindowUpdateRoundTrip(t *testing.T) {
+	f := parseOne(t, AppendWindowUpdate(nil, 0, 123456))
+	if f.WindowIncrement != 123456 || f.Header.StreamID != 0 {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestPingRoundTripCodec(t *testing.T) {
+	data := [8]byte{9, 8, 7, 6, 5, 4, 3, 2}
+	f := parseOne(t, AppendPing(nil, true, data))
+	if f.PingData != data || !f.Header.Flags.Has(FlagAck) {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestPushPromiseRoundTrip(t *testing.T) {
+	f := parseOne(t, AppendPushPromise(nil, 1, 6, []byte{0x82}, true))
+	if f.PromisedStreamID != 6 || f.Header.StreamID != 1 || !bytes.Equal(f.Data, []byte{0x82}) {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestFragmentedParse(t *testing.T) {
+	wire := AppendData(nil, 1, bytes.Repeat([]byte("x"), 500), true, 0)
+	r := NewFrameReader()
+	for i := 0; i < len(wire); i++ {
+		r.Feed(wire[i : i+1])
+		f, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < len(wire)-1 && f != nil {
+			t.Fatal("frame completed early")
+		}
+		if i == len(wire)-1 && (f == nil || len(f.Data) != 500) {
+			t.Fatalf("final byte: f=%v", f)
+		}
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	r := NewFrameReader() // default 16384 limit
+	wire := appendFrameHeader(nil, 100_000, FrameData, 0, 1)
+	r.Feed(wire)
+	if _, err := r.Next(); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestMalformedFrames(t *testing.T) {
+	cases := map[string][]byte{
+		"DATA stream 0":        AppendData(nil, 0, []byte("x"), false, 0),
+		"RST length 3":         append(appendFrameHeader(nil, 3, FrameRSTStream, 0, 1), 0, 0, 8),
+		"SETTINGS on stream":   appendFrameHeader(nil, 0, FrameSettings, 0, 3),
+		"PING length 4":        append(appendFrameHeader(nil, 4, FramePing, 0, 0), 1, 2, 3, 4),
+		"GOAWAY truncated":     append(appendFrameHeader(nil, 4, FrameGoAway, 0, 0), 0, 0, 0, 0),
+		"WINDOW_UPDATE len 2":  append(appendFrameHeader(nil, 2, FrameWindowUpdate, 0, 0), 0, 1),
+		"padding exceeds body": append(appendFrameHeader(nil, 2, FrameData, FlagPadded, 1), 200, 1),
+		"HEADERS stream 0":     AppendHeaders(nil, 0, []byte{0x82}, false, true, PriorityParam{}),
+		"CONTINUATION s0":      AppendContinuation(nil, 0, []byte{0x82}, true),
+		"PRIORITY stream 0":    AppendPriority(nil, 0, PriorityParam{Weight: 1}),
+	}
+	for name, wire := range cases {
+		r := NewFrameReader()
+		r.Feed(wire)
+		if _, err := r.Next(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestUnknownFrameTypeIgnored(t *testing.T) {
+	wire := append(appendFrameHeader(nil, 3, FrameType(0xbe), 0, 1), 1, 2, 3)
+	f := parseOne(t, wire)
+	if f.Header.Type != FrameType(0xbe) {
+		t.Fatalf("type = %v", f.Header.Type)
+	}
+}
+
+// Property: DATA frames round-trip for any payload and pad value.
+func TestDataRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, streamID uint32, pad uint8, endStream bool) bool {
+		if len(payload) > 16000 {
+			payload = payload[:16000]
+		}
+		sid := streamID&0x7fffffff | 1
+		wire := AppendData(nil, sid, payload, endStream, int(pad))
+		r := NewFrameReader()
+		r.MaxFrameSize = maxFrameSizeLimit
+		r.Feed(wire)
+		fr, err := r.Next()
+		if err != nil || fr == nil {
+			return false
+		}
+		return bytes.Equal(fr.Data, payload) &&
+			fr.Header.StreamID == sid &&
+			fr.Header.Flags.Has(FlagEndStream) == endStream
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: frame headers round-trip for all field values.
+func TestFrameHeaderRoundTripProperty(t *testing.T) {
+	f := func(length uint32, typ uint8, flags uint8, streamID uint32) bool {
+		l := int(length % (1 << 24))
+		sid := streamID & 0x7fffffff
+		wire := appendFrameHeader(nil, l, FrameType(typ), Flags(flags), sid)
+		hdr := parseFrameHeader(wire)
+		return hdr.Length == l && hdr.Type == FrameType(typ) &&
+			hdr.Flags == Flags(flags) && hdr.StreamID == sid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if FrameData.String() != "DATA" || FrameType(99).String() != "FRAME_TYPE_99" {
+		t.Fatal("FrameType.String broken")
+	}
+	if ErrCodeProtocol.String() != "PROTOCOL_ERROR" || ErrCode(200).String() != "ERR_CODE_200" {
+		t.Fatal("ErrCode.String broken")
+	}
+	if SettingMaxFrameSize.String() != "MAX_FRAME_SIZE" || SettingID(99).String() != "SETTING_99" {
+		t.Fatal("SettingID.String broken")
+	}
+	for st, want := range map[StreamState]string{
+		StreamIdle: "idle", StreamOpen: "open", StreamClosed: "closed",
+		StreamHalfClosedLocal: "half-closed-local", StreamHalfClosedRemote: "half-closed-remote",
+		StreamReservedLocal: "reserved-local", StreamReservedRemote: "reserved-remote",
+	} {
+		if st.String() != want {
+			t.Fatalf("StreamState %d = %q, want %q", st, st.String(), want)
+		}
+	}
+	ce := ConnectionError{ErrCodeProtocol, "boom"}
+	if ce.Error() == "" {
+		t.Fatal("empty ConnectionError")
+	}
+	se := StreamError{5, ErrCodeCancel, "gone"}
+	if se.Error() == "" {
+		t.Fatal("empty StreamError")
+	}
+	hdr := FrameHeader{Length: 4, Type: FramePing, StreamID: 0}
+	if hdr.String() == "" {
+		t.Fatal("empty FrameHeader.String")
+	}
+}

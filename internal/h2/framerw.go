@@ -1,0 +1,369 @@
+package h2
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame is one parsed frame: the header plus the decoded, type-specific
+// payload fields (a tagged union; only the fields for Header.Type are
+// meaningful).
+type Frame struct {
+	Header FrameHeader
+
+	// Data is the DATA payload (padding stripped), the HEADERS /
+	// PUSH_PROMISE / CONTINUATION header-block fragment, or GOAWAY debug
+	// data.
+	Data []byte
+	// PadLength is the stripped padding length (DATA/HEADERS).
+	PadLength int
+	// Priority is the dependency block on HEADERS (FlagPriority) and
+	// PRIORITY frames.
+	Priority PriorityParam
+	// ErrCode is set on RST_STREAM and GOAWAY.
+	ErrCode ErrCode
+	// Settings is set on non-ACK SETTINGS.
+	Settings []Setting
+	// LastStreamID is set on GOAWAY.
+	LastStreamID uint32
+	// WindowIncrement is set on WINDOW_UPDATE.
+	WindowIncrement uint32
+	// PingData is set on PING.
+	PingData [8]byte
+	// PromisedStreamID is set on PUSH_PROMISE.
+	PromisedStreamID uint32
+}
+
+// ParseFrame decodes exactly one complete frame from b (as produced by a
+// Conn's per-frame output callback). Instrumentation — the simulated
+// server's ground-truth transmission log — uses it to attribute DATA
+// payload bytes to streams.
+func ParseFrame(b []byte) (*Frame, error) {
+	if len(b) < FrameHeaderSize {
+		return nil, ConnectionError{ErrCodeFrameSize, "short frame"}
+	}
+	hdr := parseFrameHeader(b)
+	if len(b) != FrameHeaderSize+hdr.Length {
+		return nil, ConnectionError{ErrCodeFrameSize, fmt.Sprintf("frame length %d does not match buffer %d", hdr.Length, len(b)-FrameHeaderSize)}
+	}
+	return decodePayload(hdr, b[FrameHeaderSize:])
+}
+
+// FrameReader incrementally parses a frame stream (after the connection
+// preface). Feed bytes in any fragmentation; Next pops parsed frames.
+type FrameReader struct {
+	buf []byte
+	// MaxFrameSize is the largest payload this endpoint advertised
+	// (frames above it are a FRAME_SIZE_ERROR).
+	MaxFrameSize int
+}
+
+// NewFrameReader returns a reader enforcing the default max frame size.
+func NewFrameReader() *FrameReader {
+	return &FrameReader{MaxFrameSize: DefaultMaxFrameSize}
+}
+
+// Feed appends transport bytes.
+func (r *FrameReader) Feed(b []byte) { r.buf = append(r.buf, b...) }
+
+// Buffered reports unparsed bytes held.
+func (r *FrameReader) Buffered() int { return len(r.buf) }
+
+// Next returns the next complete frame, nil when more bytes are needed, or
+// an error that must be treated as a connection error.
+func (r *FrameReader) Next() (*Frame, error) {
+	if len(r.buf) < FrameHeaderSize {
+		return nil, nil
+	}
+	hdr := parseFrameHeader(r.buf)
+	if hdr.Length > r.MaxFrameSize {
+		return nil, ConnectionError{ErrCodeFrameSize, fmt.Sprintf("frame length %d exceeds %d", hdr.Length, r.MaxFrameSize)}
+	}
+	if len(r.buf) < FrameHeaderSize+hdr.Length {
+		return nil, nil
+	}
+	payload := r.buf[FrameHeaderSize : FrameHeaderSize+hdr.Length]
+	frame, err := decodePayload(hdr, payload)
+	// Consume the frame bytes even on error: the caller will tear the
+	// connection down anyway.
+	r.buf = r.buf[FrameHeaderSize+hdr.Length:]
+	return frame, err
+}
+
+func decodePayload(hdr FrameHeader, payload []byte) (*Frame, error) {
+	f := &Frame{Header: hdr}
+	switch hdr.Type {
+	case FrameData:
+		if hdr.StreamID == 0 {
+			return nil, ConnectionError{ErrCodeProtocol, "DATA on stream 0"}
+		}
+		data, pad, err := stripPadding(hdr, payload)
+		if err != nil {
+			return nil, err
+		}
+		f.Data, f.PadLength = data, pad
+
+	case FrameHeaders:
+		if hdr.StreamID == 0 {
+			return nil, ConnectionError{ErrCodeProtocol, "HEADERS on stream 0"}
+		}
+		data, pad, err := stripPadding(hdr, payload)
+		if err != nil {
+			return nil, err
+		}
+		f.PadLength = pad
+		if hdr.Flags.Has(FlagPriority) {
+			if len(data) < 5 {
+				return nil, ConnectionError{ErrCodeFrameSize, "HEADERS priority block truncated"}
+			}
+			f.Priority = parsePriority(data)
+			data = data[5:]
+		}
+		f.Data = data
+
+	case FramePriority:
+		if hdr.StreamID == 0 {
+			return nil, ConnectionError{ErrCodeProtocol, "PRIORITY on stream 0"}
+		}
+		if len(payload) != 5 {
+			return nil, StreamError{hdr.StreamID, ErrCodeFrameSize, "PRIORITY length != 5"}
+		}
+		f.Priority = parsePriority(payload)
+
+	case FrameRSTStream:
+		if hdr.StreamID == 0 {
+			return nil, ConnectionError{ErrCodeProtocol, "RST_STREAM on stream 0"}
+		}
+		if len(payload) != 4 {
+			return nil, ConnectionError{ErrCodeFrameSize, "RST_STREAM length != 4"}
+		}
+		f.ErrCode = ErrCode(binary.BigEndian.Uint32(payload))
+
+	case FrameSettings:
+		if hdr.StreamID != 0 {
+			return nil, ConnectionError{ErrCodeProtocol, "SETTINGS on non-zero stream"}
+		}
+		if hdr.Flags.Has(FlagAck) {
+			if len(payload) != 0 {
+				return nil, ConnectionError{ErrCodeFrameSize, "SETTINGS ACK with payload"}
+			}
+			return f, nil
+		}
+		if len(payload)%6 != 0 {
+			return nil, ConnectionError{ErrCodeFrameSize, "SETTINGS length not multiple of 6"}
+		}
+		for i := 0; i < len(payload); i += 6 {
+			f.Settings = append(f.Settings, Setting{
+				ID:  SettingID(binary.BigEndian.Uint16(payload[i : i+2])),
+				Val: binary.BigEndian.Uint32(payload[i+2 : i+6]),
+			})
+		}
+
+	case FramePushPromise:
+		if hdr.StreamID == 0 {
+			return nil, ConnectionError{ErrCodeProtocol, "PUSH_PROMISE on stream 0"}
+		}
+		data, pad, err := stripPadding(hdr, payload)
+		if err != nil {
+			return nil, err
+		}
+		f.PadLength = pad
+		if len(data) < 4 {
+			return nil, ConnectionError{ErrCodeFrameSize, "PUSH_PROMISE truncated"}
+		}
+		f.PromisedStreamID = binary.BigEndian.Uint32(data) & 0x7fffffff
+		f.Data = data[4:]
+
+	case FramePing:
+		if hdr.StreamID != 0 {
+			return nil, ConnectionError{ErrCodeProtocol, "PING on non-zero stream"}
+		}
+		if len(payload) != 8 {
+			return nil, ConnectionError{ErrCodeFrameSize, "PING length != 8"}
+		}
+		copy(f.PingData[:], payload)
+
+	case FrameGoAway:
+		if hdr.StreamID != 0 {
+			return nil, ConnectionError{ErrCodeProtocol, "GOAWAY on non-zero stream"}
+		}
+		if len(payload) < 8 {
+			return nil, ConnectionError{ErrCodeFrameSize, "GOAWAY truncated"}
+		}
+		f.LastStreamID = binary.BigEndian.Uint32(payload) & 0x7fffffff
+		f.ErrCode = ErrCode(binary.BigEndian.Uint32(payload[4:8]))
+		f.Data = payload[8:]
+
+	case FrameWindowUpdate:
+		if len(payload) != 4 {
+			return nil, ConnectionError{ErrCodeFrameSize, "WINDOW_UPDATE length != 4"}
+		}
+		f.WindowIncrement = binary.BigEndian.Uint32(payload) & 0x7fffffff
+
+	case FrameContinuation:
+		if hdr.StreamID == 0 {
+			return nil, ConnectionError{ErrCodeProtocol, "CONTINUATION on stream 0"}
+		}
+		f.Data = payload
+
+	default:
+		// Unknown frame types are ignored by the caller (§4.1); parse
+		// succeeds with just the header.
+	}
+	return f, nil
+}
+
+func parsePriority(b []byte) PriorityParam {
+	dep := binary.BigEndian.Uint32(b[:4])
+	return PriorityParam{
+		Exclusive: dep&0x80000000 != 0,
+		StreamDep: dep & 0x7fffffff,
+		Weight:    b[4],
+	}
+}
+
+func stripPadding(hdr FrameHeader, payload []byte) ([]byte, int, error) {
+	if !hdr.Flags.Has(FlagPadded) {
+		return payload, 0, nil
+	}
+	if len(payload) < 1 {
+		return nil, 0, ConnectionError{ErrCodeFrameSize, "padded frame with empty payload"}
+	}
+	pad := int(payload[0])
+	body := payload[1:]
+	if pad > len(body) {
+		return nil, 0, ConnectionError{ErrCodeProtocol, "padding exceeds payload"}
+	}
+	return body[:len(body)-pad], pad, nil
+}
+
+// --- Frame writers. Each returns dst with exactly one frame appended. ---
+
+// AppendData writes a DATA frame; pad adds that many padding bytes
+// (emitting the PADDED flag when > 0) — the size-obfuscation defense knob.
+func AppendData(dst []byte, streamID uint32, data []byte, endStream bool, pad int) []byte {
+	var flags Flags
+	if endStream {
+		flags |= FlagEndStream
+	}
+	length := len(data)
+	if pad > 0 {
+		if pad > 255 {
+			pad = 255
+		}
+		flags |= FlagPadded
+		length += 1 + pad
+	}
+	dst = appendFrameHeader(dst, length, FrameData, flags, streamID)
+	if pad > 0 {
+		dst = append(dst, byte(pad))
+	}
+	dst = append(dst, data...)
+	if pad > 0 {
+		dst = append(dst, make([]byte, pad)...)
+	}
+	return dst
+}
+
+// AppendHeaders writes a HEADERS frame carrying a (complete) header-block
+// fragment. Callers needing CONTINUATION splitting use appendHeaderBlock.
+func AppendHeaders(dst []byte, streamID uint32, fragment []byte, endStream, endHeaders bool, prio PriorityParam) []byte {
+	var flags Flags
+	if endStream {
+		flags |= FlagEndStream
+	}
+	if endHeaders {
+		flags |= FlagEndHeaders
+	}
+	length := len(fragment)
+	if !prio.IsZero() {
+		flags |= FlagPriority
+		length += 5
+	}
+	dst = appendFrameHeader(dst, length, FrameHeaders, flags, streamID)
+	if !prio.IsZero() {
+		dst = appendPriorityParam(dst, prio)
+	}
+	return append(dst, fragment...)
+}
+
+// AppendPriority writes a PRIORITY frame.
+func AppendPriority(dst []byte, streamID uint32, prio PriorityParam) []byte {
+	dst = appendFrameHeader(dst, 5, FramePriority, 0, streamID)
+	return appendPriorityParam(dst, prio)
+}
+
+func appendPriorityParam(dst []byte, prio PriorityParam) []byte {
+	dep := prio.StreamDep & 0x7fffffff
+	if prio.Exclusive {
+		dep |= 0x80000000
+	}
+	dst = binary.BigEndian.AppendUint32(dst, dep)
+	return append(dst, prio.Weight)
+}
+
+// AppendRSTStream writes a RST_STREAM frame.
+func AppendRSTStream(dst []byte, streamID uint32, code ErrCode) []byte {
+	dst = appendFrameHeader(dst, 4, FrameRSTStream, 0, streamID)
+	return binary.BigEndian.AppendUint32(dst, uint32(code))
+}
+
+// AppendSettings writes a SETTINGS frame.
+func AppendSettings(dst []byte, settings []Setting) []byte {
+	dst = appendFrameHeader(dst, 6*len(settings), FrameSettings, 0, 0)
+	for _, s := range settings {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(s.ID))
+		dst = binary.BigEndian.AppendUint32(dst, s.Val)
+	}
+	return dst
+}
+
+// AppendSettingsAck writes a SETTINGS ACK.
+func AppendSettingsAck(dst []byte) []byte {
+	return appendFrameHeader(dst, 0, FrameSettings, FlagAck, 0)
+}
+
+// AppendPushPromise writes a PUSH_PROMISE frame.
+func AppendPushPromise(dst []byte, streamID, promisedID uint32, fragment []byte, endHeaders bool) []byte {
+	var flags Flags
+	if endHeaders {
+		flags |= FlagEndHeaders
+	}
+	dst = appendFrameHeader(dst, 4+len(fragment), FramePushPromise, flags, streamID)
+	dst = binary.BigEndian.AppendUint32(dst, promisedID&0x7fffffff)
+	return append(dst, fragment...)
+}
+
+// AppendPing writes a PING frame.
+func AppendPing(dst []byte, ack bool, data [8]byte) []byte {
+	var flags Flags
+	if ack {
+		flags |= FlagAck
+	}
+	dst = appendFrameHeader(dst, 8, FramePing, flags, 0)
+	return append(dst, data[:]...)
+}
+
+// AppendGoAway writes a GOAWAY frame.
+func AppendGoAway(dst []byte, lastStreamID uint32, code ErrCode, debug []byte) []byte {
+	dst = appendFrameHeader(dst, 8+len(debug), FrameGoAway, 0, 0)
+	dst = binary.BigEndian.AppendUint32(dst, lastStreamID&0x7fffffff)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(code))
+	return append(dst, debug...)
+}
+
+// AppendWindowUpdate writes a WINDOW_UPDATE frame (streamID 0 = connection).
+func AppendWindowUpdate(dst []byte, streamID uint32, increment uint32) []byte {
+	dst = appendFrameHeader(dst, 4, FrameWindowUpdate, 0, streamID)
+	return binary.BigEndian.AppendUint32(dst, increment&0x7fffffff)
+}
+
+// AppendContinuation writes a CONTINUATION frame.
+func AppendContinuation(dst []byte, streamID uint32, fragment []byte, endHeaders bool) []byte {
+	var flags Flags
+	if endHeaders {
+		flags |= FlagEndHeaders
+	}
+	dst = appendFrameHeader(dst, len(fragment), FrameContinuation, flags, streamID)
+	return append(dst, fragment...)
+}

@@ -1,0 +1,175 @@
+package h2
+
+import "fmt"
+
+// PriorityTree implements the RFC 7540 §5.3 stream dependency tree:
+// streams depend on a parent (stream 0 is the root), carry weights 1–256,
+// and siblings share capacity proportionally to weight. Servers consult
+// the tree to decide which ready stream to serve next; the §VII defense
+// discussion is about randomizing exactly this structure.
+//
+// The tree is a plain data structure (no locking, no I/O) so both the
+// event-driven simulation and a goroutine server can use it under their
+// own synchronization.
+type PriorityTree struct {
+	nodes map[uint32]*prioNode
+}
+
+type prioNode struct {
+	id       uint32
+	parent   *prioNode
+	children []*prioNode
+	weight   int // effective weight 1..256
+	ready    bool
+}
+
+// NewPriorityTree returns a tree containing only the root (stream 0).
+func NewPriorityTree() *PriorityTree {
+	root := &prioNode{id: 0, weight: 256}
+	return &PriorityTree{nodes: map[uint32]*prioNode{0: root}}
+}
+
+// Add inserts a stream with the given priority parameter. A zero
+// parameter means "depend on the root with default weight 16" (§5.3.5).
+// Unknown dependency targets default to the root (§5.3.1).
+func (t *PriorityTree) Add(id uint32, prio PriorityParam) error {
+	if id == 0 {
+		return fmt.Errorf("h2: cannot add stream 0 to the priority tree")
+	}
+	if _, dup := t.nodes[id]; dup {
+		return fmt.Errorf("h2: stream %d already in the priority tree", id)
+	}
+	n := &prioNode{id: id, weight: int(prio.Weight) + 1}
+	if prio.IsZero() {
+		n.weight = 16
+	}
+	t.nodes[id] = n
+	t.attach(n, prio.StreamDep, prio.Exclusive)
+	return nil
+}
+
+// Reprioritize applies a PRIORITY frame to an existing stream. Moving a
+// stream under its own descendant first moves that descendant up to the
+// stream's old parent (§5.3.3).
+func (t *PriorityTree) Reprioritize(id uint32, prio PriorityParam) error {
+	n := t.nodes[id]
+	if n == nil || id == 0 {
+		return fmt.Errorf("h2: stream %d not in the priority tree", id)
+	}
+	if prio.StreamDep == id {
+		return fmt.Errorf("h2: stream %d cannot depend on itself", id)
+	}
+	n.weight = int(prio.Weight) + 1
+	// If the new parent is a descendant of n, hoist it first.
+	if dep := t.nodes[prio.StreamDep]; dep != nil && t.isDescendant(dep, n) {
+		t.detach(dep)
+		t.attachNode(dep, n.parent, false)
+	}
+	t.detach(n)
+	t.attach(n, prio.StreamDep, prio.Exclusive)
+	return nil
+}
+
+// Remove deletes a closed stream; its children are redistributed to its
+// parent (§5.3.4, simplified: weights are kept as-is).
+func (t *PriorityTree) Remove(id uint32) {
+	n := t.nodes[id]
+	if n == nil || id == 0 {
+		return
+	}
+	parent := n.parent
+	t.detach(n)
+	for _, c := range append([]*prioNode(nil), n.children...) {
+		t.detach(c)
+		t.attachNode(c, parent, false)
+	}
+	delete(t.nodes, id)
+}
+
+// SetReady marks whether the stream has data to send.
+func (t *PriorityTree) SetReady(id uint32, ready bool) {
+	if n := t.nodes[id]; n != nil {
+		n.ready = ready
+	}
+}
+
+// Contains reports whether the stream is tracked.
+func (t *PriorityTree) Contains(id uint32) bool {
+	_, ok := t.nodes[id]
+	return ok
+}
+
+// Len reports the number of tracked streams (excluding the root).
+func (t *PriorityTree) Len() int { return len(t.nodes) - 1 }
+
+// Next picks the stream to serve: the highest-priority ready stream,
+// where children are only eligible when no ready stream exists above
+// them, and siblings are chosen by largest weight (deterministic
+// tie-break by lowest id — a weighted round-robin caller achieves
+// proportional sharing by calling SetReady/Next repeatedly).
+func (t *PriorityTree) Next() (uint32, bool) {
+	return t.next(t.nodes[0])
+}
+
+func (t *PriorityTree) next(n *prioNode) (uint32, bool) {
+	if n.id != 0 && n.ready {
+		return n.id, true
+	}
+	bestID, bestW := uint32(0), -1
+	found := false
+	for _, c := range n.children {
+		if id, ok := t.next(c); ok {
+			// Sibling comparison happens at branch weight (§5.3.2).
+			if c.weight > bestW || (c.weight == bestW && id < bestID) {
+				bestID, bestW = id, c.weight
+				found = true
+			}
+		}
+	}
+	return bestID, found
+}
+
+func (t *PriorityTree) attach(n *prioNode, dep uint32, exclusive bool) {
+	parent := t.nodes[dep]
+	if parent == nil || parent == n {
+		parent = t.nodes[0]
+	}
+	t.attachNode(n, parent, exclusive)
+}
+
+func (t *PriorityTree) attachNode(n, parent *prioNode, exclusive bool) {
+	if exclusive {
+		// n adopts all of parent's current children (§5.3.1).
+		for _, c := range parent.children {
+			c.parent = n
+			n.children = append(n.children, c)
+		}
+		parent.children = parent.children[:0]
+	}
+	n.parent = parent
+	parent.children = append(parent.children, n)
+}
+
+func (t *PriorityTree) detach(n *prioNode) {
+	p := n.parent
+	if p == nil {
+		return
+	}
+	for i, c := range p.children {
+		if c == n {
+			p.children = append(p.children[:i], p.children[i+1:]...)
+			break
+		}
+	}
+	n.parent = nil
+}
+
+// isDescendant reports whether x lies in n's subtree.
+func (t *PriorityTree) isDescendant(x, n *prioNode) bool {
+	for p := x.parent; p != nil; p = p.parent {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,198 @@
+package h2
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPriorityTreeBasics(t *testing.T) {
+	tr := NewPriorityTree()
+	if err := tr.Add(1, PriorityParam{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add(3, PriorityParam{}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if _, ok := tr.Next(); ok {
+		t.Fatal("Next found a stream with nothing ready")
+	}
+	tr.SetReady(3, true)
+	if id, ok := tr.Next(); !ok || id != 3 {
+		t.Fatalf("Next = %d, %t", id, ok)
+	}
+	tr.SetReady(1, true)
+	// Equal weights: deterministic lowest-id tie-break.
+	if id, _ := tr.Next(); id != 1 {
+		t.Fatalf("tie-break picked %d", id)
+	}
+}
+
+func TestPriorityTreeWeightsSelectHeavier(t *testing.T) {
+	tr := NewPriorityTree()
+	_ = tr.Add(1, PriorityParam{Weight: 255}) // weight 256
+	_ = tr.Add(3, PriorityParam{Weight: 0})   // weight 1
+	tr.SetReady(1, true)
+	tr.SetReady(3, true)
+	if id, _ := tr.Next(); id != 1 {
+		t.Fatalf("picked %d, want the heavy stream", id)
+	}
+	tr.SetReady(1, false)
+	if id, _ := tr.Next(); id != 3 {
+		t.Fatalf("picked %d, want the light stream once heavy is idle", id)
+	}
+}
+
+func TestPriorityTreeDependencyBlocks(t *testing.T) {
+	tr := NewPriorityTree()
+	_ = tr.Add(1, PriorityParam{})
+	_ = tr.Add(3, PriorityParam{StreamDep: 1}) // 3 depends on 1
+	tr.SetReady(3, true)
+	// 1 not ready: its child may proceed.
+	if id, ok := tr.Next(); !ok || id != 3 {
+		t.Fatalf("child not reachable: %d %t", id, ok)
+	}
+	tr.SetReady(1, true)
+	// Parent ready: it shadows the child.
+	if id, _ := tr.Next(); id != 1 {
+		t.Fatalf("parent did not take precedence: %d", id)
+	}
+}
+
+func TestPriorityTreeExclusive(t *testing.T) {
+	tr := NewPriorityTree()
+	_ = tr.Add(1, PriorityParam{})
+	_ = tr.Add(3, PriorityParam{})
+	// 5 inserts exclusively under root: adopts 1 and 3.
+	_ = tr.Add(5, PriorityParam{Exclusive: true})
+	tr.SetReady(1, true)
+	tr.SetReady(3, true)
+	// 5 is idle, so its children are eligible; they are now below 5.
+	if id, ok := tr.Next(); !ok || (id != 1 && id != 3) {
+		t.Fatalf("adopted children unreachable: %d %t", id, ok)
+	}
+	tr.SetReady(5, true)
+	if id, _ := tr.Next(); id != 5 {
+		t.Fatalf("exclusive parent did not shadow: %d", id)
+	}
+}
+
+func TestPriorityTreeReprioritizeUnderDescendant(t *testing.T) {
+	tr := NewPriorityTree()
+	_ = tr.Add(1, PriorityParam{})
+	_ = tr.Add(3, PriorityParam{StreamDep: 1})
+	// Move 1 under its own descendant 3: 3 must be hoisted first.
+	if err := tr.Reprioritize(1, PriorityParam{StreamDep: 3, Weight: 10}); err != nil {
+		t.Fatal(err)
+	}
+	tr.SetReady(1, true)
+	if id, ok := tr.Next(); !ok || id != 1 {
+		t.Fatalf("cycle handling broke reachability: %d %t", id, ok)
+	}
+	tr.SetReady(3, true)
+	if id, _ := tr.Next(); id != 3 {
+		t.Fatalf("hoisted node should shadow its new child: %d", id)
+	}
+}
+
+func TestPriorityTreeRemoveRedistributes(t *testing.T) {
+	tr := NewPriorityTree()
+	_ = tr.Add(1, PriorityParam{})
+	_ = tr.Add(3, PriorityParam{StreamDep: 1})
+	_ = tr.Add(5, PriorityParam{StreamDep: 1})
+	tr.Remove(1)
+	if tr.Contains(1) {
+		t.Fatal("removed stream still present")
+	}
+	tr.SetReady(3, true)
+	tr.SetReady(5, true)
+	if id, ok := tr.Next(); !ok || id != 3 {
+		t.Fatalf("orphaned children unreachable: %d %t", id, ok)
+	}
+}
+
+func TestPriorityTreeErrors(t *testing.T) {
+	tr := NewPriorityTree()
+	if err := tr.Add(0, PriorityParam{}); err == nil {
+		t.Fatal("added stream 0")
+	}
+	_ = tr.Add(1, PriorityParam{})
+	if err := tr.Add(1, PriorityParam{}); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+	if err := tr.Reprioritize(9, PriorityParam{}); err == nil {
+		t.Fatal("reprioritized unknown stream")
+	}
+	if err := tr.Reprioritize(1, PriorityParam{StreamDep: 1}); err == nil {
+		t.Fatal("self-dependency accepted")
+	}
+	// Unknown dependency defaults to root rather than failing.
+	if err := tr.Add(7, PriorityParam{StreamDep: 99}); err != nil {
+		t.Fatal(err)
+	}
+	tr.SetReady(7, true)
+	if id, ok := tr.Next(); !ok || id != 7 {
+		t.Fatalf("default-to-root dependency broken: %d %t", id, ok)
+	}
+}
+
+// Property: after any sequence of adds/reprioritizations/removals, every
+// tracked ready stream is findable and Next never panics or loops.
+func TestPriorityTreeRandomOpsProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tr := NewPriorityTree()
+		live := map[uint32]bool{}
+		nextID := uint32(1)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // add
+				dep := uint32(op/4) % (nextID + 1)
+				_ = tr.Add(nextID, PriorityParam{StreamDep: dep, Weight: uint8(op)})
+				live[nextID] = true
+				nextID += 2
+			case 1: // reprioritize a random live stream
+				for id := range live {
+					_ = tr.Reprioritize(id, PriorityParam{StreamDep: uint32(op/4) % nextID, Weight: uint8(op), Exclusive: op%8 == 1})
+					break
+				}
+			case 2: // remove
+				for id := range live {
+					tr.Remove(id)
+					delete(live, id)
+					break
+				}
+			case 3: // toggle readiness
+				for id := range live {
+					tr.SetReady(id, op%8 < 4)
+					break
+				}
+			}
+		}
+		if tr.Len() != len(live) {
+			return false
+		}
+		// Mark everything ready: every live stream must be reachable by
+		// repeatedly picking and silencing Next.
+		for id := range live {
+			tr.SetReady(id, true)
+		}
+		seen := map[uint32]bool{}
+		for i := 0; i <= len(live); i++ {
+			id, ok := tr.Next()
+			if !ok {
+				break
+			}
+			if seen[id] {
+				return false // livelock: Next repeated without SetReady change
+			}
+			seen[id] = true
+			tr.SetReady(id, false)
+		}
+		return len(seen) == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package hpack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Decode errors.
+var (
+	ErrIntegerOverflow = errors.New("hpack: integer overflow")
+	ErrTruncated       = errors.New("hpack: truncated input")
+	ErrInvalidIndex    = errors.New("hpack: invalid table index")
+	ErrStringTooLong   = errors.New("hpack: string literal exceeds limit")
+)
+
+// maxDecodedInt bounds decoded integers; anything larger is hostile.
+const maxDecodedInt = 1 << 28
+
+// appendInteger encodes v with an n-bit prefix (RFC 7541 §5.1). first is
+// the byte holding the pattern bits above the prefix.
+func appendInteger(dst []byte, first byte, n uint, v int) []byte {
+	if n < 1 || n > 8 {
+		panic(fmt.Sprintf("hpack: invalid prefix size %d", n))
+	}
+	limit := 1<<n - 1
+	if v < limit {
+		return append(dst, first|byte(v))
+	}
+	dst = append(dst, first|byte(limit))
+	v -= limit
+	for v >= 128 {
+		dst = append(dst, byte(v&0x7f)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// readInteger decodes an n-bit-prefix integer from b, returning the value
+// and the remaining bytes.
+func readInteger(b []byte, n uint) (int, []byte, error) {
+	if len(b) == 0 {
+		return 0, nil, ErrTruncated
+	}
+	limit := 1<<n - 1
+	v := int(b[0]) & limit
+	b = b[1:]
+	if v < limit {
+		return v, b, nil
+	}
+	shift := uint(0)
+	for {
+		if len(b) == 0 {
+			return 0, nil, ErrTruncated
+		}
+		c := b[0]
+		b = b[1:]
+		v += int(c&0x7f) << shift
+		if v > maxDecodedInt {
+			return 0, nil, ErrIntegerOverflow
+		}
+		if c&0x80 == 0 {
+			return v, b, nil
+		}
+		shift += 7
+		if shift > 28 {
+			return 0, nil, ErrIntegerOverflow
+		}
+	}
+}
+
+// appendString encodes a string literal without Huffman coding.
+func appendString(dst []byte, s string) []byte {
+	dst = appendInteger(dst, 0, 7, len(s))
+	return append(dst, s...)
+}
+
+// readString decodes a string literal, Huffman-coded or plain.
+func readString(b []byte, maxLen int) (string, []byte, error) {
+	if len(b) == 0 {
+		return "", nil, ErrTruncated
+	}
+	huffman := b[0]&0x80 != 0
+	n, rest, err := readInteger(b, 7)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > maxLen {
+		return "", nil, fmt.Errorf("%w: %d > %d", ErrStringTooLong, n, maxLen)
+	}
+	if len(rest) < n {
+		return "", nil, ErrTruncated
+	}
+	raw, rest := rest[:n], rest[n:]
+	if !huffman {
+		return string(raw), rest, nil
+	}
+	dec, err := HuffmanDecode(raw)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(dec) > maxLen {
+		return "", nil, fmt.Errorf("%w: decoded %d > %d", ErrStringTooLong, len(dec), maxLen)
+	}
+	return dec, rest, nil
+}

@@ -1,0 +1,185 @@
+package hpack
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHuffmanRoundTripBasics(t *testing.T) {
+	cases := []string{
+		"",
+		"a",
+		"www.isidewith.com",
+		"/polls/2020-presidential/results",
+		"gzip, deflate",
+		"Mozilla/5.0 (X11; Linux x86_64) Firefox/74.0",
+		string([]byte{0, 1, 2, 0xfe, 0xff}),
+		strings.Repeat("z", 1000),
+	}
+	for _, s := range cases {
+		enc := AppendHuffmanString(nil, s)
+		if len(enc) != HuffmanEncodeLength(s) {
+			t.Fatalf("%q: length %d, predicted %d", s, len(enc), HuffmanEncodeLength(s))
+		}
+		dec, err := HuffmanDecode(enc)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if dec != s {
+			t.Fatalf("roundtrip %q → %q", s, dec)
+		}
+	}
+}
+
+func TestHuffmanCompressesHeaderText(t *testing.T) {
+	// Typical header text must compress (the point of the exercise).
+	for _, s := range []string{
+		"/emblems/democratic.png",
+		"text/html; charset=utf-8",
+		"cache-control: max-age=3600",
+	} {
+		if got := HuffmanEncodeLength(s); got >= len(s) {
+			t.Fatalf("%q: huffman %dB ≥ plain %dB", s, got, len(s))
+		}
+	}
+}
+
+func TestHuffmanCodeIsCompletePrefixCode(t *testing.T) {
+	// Kraft sum must be exactly 1 (complete code): Σ 2^(L-li) == 2^L.
+	maxLen := 0
+	for _, c := range huffEncode {
+		if c.bits > maxLen {
+			maxLen = c.bits
+		}
+	}
+	if maxLen > 32 {
+		t.Fatalf("max code length %d", maxLen)
+	}
+	var sum uint64
+	for _, c := range huffEncode {
+		sum += uint64(1) << uint(maxLen-c.bits)
+	}
+	if sum != uint64(1)<<uint(maxLen) {
+		t.Fatalf("Kraft sum %d != 2^%d", sum, maxLen)
+	}
+	// No code is a prefix of another (walk: every code must end on a leaf
+	// whose children are nil).
+	for sym, c := range huffEncode {
+		n := huffRoot
+		for i := c.bits - 1; i >= 0; i-- {
+			n = n.children[(c.code>>uint(i))&1]
+			if n == nil {
+				t.Fatalf("symbol %d: dead branch", sym)
+			}
+		}
+		if n.symbol != sym {
+			t.Fatalf("symbol %d decodes to %d", sym, n.symbol)
+		}
+		if n.children[0] != nil || n.children[1] != nil {
+			t.Fatalf("symbol %d is not a leaf", sym)
+		}
+	}
+}
+
+func TestHuffmanPaddingValidation(t *testing.T) {
+	// A byte of zero bits: the zero-padding after the first symbol(s) is
+	// not the EOS prefix.
+	if _, err := HuffmanDecode([]byte{0x00}); !errors.Is(err, ErrHuffman) {
+		t.Fatalf("zero padding accepted: %v", err)
+	}
+	// A full byte of EOS prefix alone is >7 bits of padding only if no
+	// symbol completes; the EOS prefix's first 8 bits form "padding
+	// exceeds 7 bits" or hit the EOS error. Either way: an error.
+	eos := huffEncode[eosSymbol]
+	b := byte(eos.code >> uint(eos.bits-8))
+	if _, err := HuffmanDecode([]byte{b}); err == nil {
+		t.Fatal("8 bits of EOS prefix accepted")
+	}
+}
+
+func TestHuffmanEncoderDecoderIntegration(t *testing.T) {
+	enc := NewEncoder(DefaultDynamicTableSize)
+	enc.UseHuffman = true
+	dec := NewDecoder(DefaultDynamicTableSize)
+	fields := []HeaderField{
+		{Name: ":method", Value: "GET"},
+		{Name: ":path", Value: "/polls/2020-presidential/results"},
+		{Name: "user-agent", Value: "Firefox/74.0"},
+		{Name: "x-bin", Value: string([]byte{0xff, 0x00, 0x80})}, // incompressible
+	}
+	plain := NewEncoder(DefaultDynamicTableSize).Encode(nil, fields)
+	block := enc.Encode(nil, fields)
+	if len(block) >= len(plain) {
+		t.Fatalf("huffman block %dB not smaller than plain %dB", len(block), len(plain))
+	}
+	got, err := dec.Decode(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fieldsEqualIgnoreSensitive(got, fields) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// Property: every byte string round-trips through the Huffman coder.
+func TestHuffmanRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		s := string(data)
+		dec, err := HuffmanDecode(AppendHuffmanString(nil, s))
+		return err == nil && dec == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the huffman-enabled encoder and the standard decoder agree on
+// arbitrary header lists.
+func TestHuffmanHPACKProperty(t *testing.T) {
+	f := func(names, values [][]byte) bool {
+		enc := NewEncoder(DefaultDynamicTableSize)
+		enc.UseHuffman = true
+		dec := NewDecoder(DefaultDynamicTableSize)
+		dec.MaxStringLength = 1 << 20
+		var fields []HeaderField
+		for i := range names {
+			name := string(names[i])
+			if name == "" || len(name) > 2048 {
+				name = "n"
+			}
+			v := ""
+			if i < len(values) && len(values[i]) <= 2048 {
+				v = string(values[i])
+			}
+			fields = append(fields, HeaderField{Name: name, Value: v})
+		}
+		block := enc.Encode(nil, fields)
+		got, err := dec.Decode(block)
+		return err == nil && fieldsEqualIgnoreSensitive(got, fields)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHuffmanEncode(b *testing.B) {
+	s := "/polls/2020-presidential/results?utm_source=share"
+	b.SetBytes(int64(len(s)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AppendHuffmanString(nil, s)
+	}
+}
+
+func BenchmarkHuffmanDecode(b *testing.B) {
+	enc := AppendHuffmanString(nil, "/polls/2020-presidential/results?utm_source=share")
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := HuffmanDecode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package metrics implements the paper's measurement machinery: the
+// degree-of-multiplexing metric (§II-A) computed from ground-truth
+// transmission logs, plus the small summary statistics the experiment
+// tables report.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// TxSpan records where one DATA frame's payload landed in the ordered
+// server→client application byte stream. The simulated server emits one
+// TxSpan per DATA frame; offsets are cumulative bytes of h2 frame payload
+// sent on the connection, so byte positions compare across streams.
+type TxSpan struct {
+	// Instance identifies one serving of one object ("quiz#0"; a
+	// retransmitted copy of the same object is a distinct instance).
+	Instance string
+	// ObjectID is the catalog object this instance serves.
+	ObjectID string
+	// Offset is the stream position of the frame's first payload byte.
+	Offset int64
+	// Len is the payload length.
+	Len int
+	// At is the emission time (diagnostic; not used by the metric).
+	At time.Duration
+}
+
+// interval is a half-open byte range [lo, hi).
+type interval struct{ lo, hi int64 }
+
+// DegreeOfMultiplexing computes, per instance, how much of the object is
+// interleaved with other objects in the stream (§II-A). The value is
+//
+//	1 − (largest isolated contiguous run of the instance's bytes) / size
+//
+// where a run breaks whenever another instance's bytes sit between two of
+// this instance's frames, and a run only counts as isolated where no other
+// instance's transmission envelope covers it. DoM = 0 therefore means the
+// instance went out as one contiguous block with nothing else around it —
+// exactly the condition under which the eavesdropper's delimiter+sum
+// attack (Fig. 1) reads the size; any positive value breaks that
+// bookkeeping.
+func DegreeOfMultiplexing(spans []TxSpan) map[string]float64 {
+	byInstance := make(map[string][]TxSpan)
+	for _, s := range spans {
+		if s.Len <= 0 {
+			continue
+		}
+		byInstance[s.Instance] = append(byInstance[s.Instance], s)
+	}
+	// Envelope [min, max) per instance.
+	envelopes := make(map[string]interval, len(byInstance))
+	for inst, ss := range byInstance {
+		env := interval{lo: math.MaxInt64, hi: math.MinInt64}
+		for _, s := range ss {
+			if s.Offset < env.lo {
+				env.lo = s.Offset
+			}
+			if end := s.Offset + int64(s.Len); end > env.hi {
+				env.hi = end
+			}
+		}
+		envelopes[inst] = env
+	}
+	out := make(map[string]float64, len(byInstance))
+	for inst, ss := range byInstance {
+		others := make([]interval, 0, len(envelopes)-1)
+		for other, env := range envelopes {
+			if other != inst {
+				others = append(others, env)
+			}
+		}
+		merged := mergeIntervals(others)
+		// Spans arrive in emission order = offset order; merge
+		// offset-contiguous spans into runs.
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Offset < ss[j].Offset })
+		var total, bestIsolated int64
+		run := interval{lo: ss[0].Offset, hi: ss[0].Offset}
+		flush := func() {
+			iso := (run.hi - run.lo) - overlap(run, merged)
+			if iso > bestIsolated {
+				bestIsolated = iso
+			}
+		}
+		for _, s := range ss {
+			total += int64(s.Len)
+			if s.Offset != run.hi {
+				flush()
+				run = interval{lo: s.Offset, hi: s.Offset}
+			}
+			run.hi = s.Offset + int64(s.Len)
+		}
+		flush()
+		if total == 0 {
+			out[inst] = 0
+			continue
+		}
+		out[inst] = 1 - float64(bestIsolated)/float64(total)
+	}
+	return out
+}
+
+// BestDoMPerObject reduces instance-level DoM to the minimum per object:
+// the attacker succeeds if *any* serving of the object (including a
+// retransmitted copy, §IV-C) transmits serialized.
+func BestDoMPerObject(spans []TxSpan) map[string]float64 {
+	return bestDoM(spans, nil)
+}
+
+// BestCompleteDoMPerObject is BestDoMPerObject restricted to complete
+// servings: an instance only counts if its spans sum to the object's full
+// size (sizes maps object id → size). A partially-transmitted copy — the
+// server stopped mid-object when the stream was reset — cannot leak the
+// size even when its fragment happens to be contiguous.
+func BestCompleteDoMPerObject(spans []TxSpan, sizes map[string]int) map[string]float64 {
+	return bestDoM(spans, sizes)
+}
+
+func bestDoM(spans []TxSpan, sizes map[string]int) map[string]float64 {
+	dom := DegreeOfMultiplexing(spans)
+	instObj := make(map[string]string)
+	instBytes := make(map[string]int)
+	for _, s := range spans {
+		instObj[s.Instance] = s.ObjectID
+		instBytes[s.Instance] += s.Len
+	}
+	best := make(map[string]float64)
+	for inst, d := range dom {
+		obj := instObj[inst]
+		if sizes != nil && instBytes[inst] != sizes[obj] {
+			continue
+		}
+		if cur, ok := best[obj]; !ok || d < cur {
+			best[obj] = d
+		}
+	}
+	return best
+}
+
+func mergeIntervals(in []interval) []interval {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].lo < in[j].lo })
+	out := in[:1]
+	for _, iv := range in[1:] {
+		last := &out[len(out)-1]
+		if iv.lo <= last.hi {
+			if iv.hi > last.hi {
+				last.hi = iv.hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// overlap returns how many bytes of iv fall inside the merged set.
+func overlap(iv interval, merged []interval) int64 {
+	var n int64
+	for _, m := range merged {
+		lo, hi := iv.lo, iv.hi
+		if m.lo > lo {
+			lo = m.lo
+		}
+		if m.hi < hi {
+			hi = m.hi
+		}
+		if hi > lo {
+			n += hi - lo
+		}
+	}
+	return n
+}
+
+// Sample accumulates scalar observations across trials.
+type Sample struct {
+	values []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// N reports the observation count.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean reports the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// StdDev reports the sample standard deviation.
+func (s *Sample) StdDev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Percentile returns the p-th percentile (0–100) by nearest-rank.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Counter tallies boolean outcomes across trials.
+type Counter struct {
+	Hits, Total int
+}
+
+// Observe records one outcome.
+func (c *Counter) Observe(hit bool) {
+	c.Total++
+	if hit {
+		c.Hits++
+	}
+}
+
+// Percent reports hits as a percentage of total (0 when empty).
+func (c *Counter) Percent() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return 100 * float64(c.Hits) / float64(c.Total)
+}
+
+// String renders "hits/total (pct%)".
+func (c *Counter) String() string {
+	return fmt.Sprintf("%d/%d (%.0f%%)", c.Hits, c.Total, c.Percent())
+}
+
+// PercentChange reports (new-base)/base as a percentage; 0 when base is 0.
+func PercentChange(base, new float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (new - base) / base
+}

@@ -1,0 +1,67 @@
+package netsim
+
+import (
+	"time"
+
+	"h2privacy/internal/simtime"
+)
+
+// Background is the payload marker for cross-traffic packets: they consume
+// link capacity and queue space like real packets but carry no transport
+// segment. Endpoints and taps ignore them (the type assertion to
+// *tcpsim.Segment fails), exactly as a gateway's other flows are invisible
+// to one connection's state but very visible to its queues.
+type Background struct{}
+
+// CrossTraffic injects Poisson background load onto a path — the
+// uncontrolled "everything else" a real campus gateway carries, which the
+// clean simulation otherwise lacks. Packets are sent in both directions.
+type CrossTraffic struct {
+	sched *simtime.Scheduler
+	rng   *simtime.Rand
+	path  *Path
+
+	meanGap time.Duration // mean inter-packet gap per direction
+	size    int
+	stopped bool
+	sent    int
+}
+
+// NewCrossTraffic builds a generator producing roughly rateBps of load in
+// each direction using pktSize-byte packets (0 → 1200).
+func NewCrossTraffic(sched *simtime.Scheduler, rng *simtime.Rand, path *Path, rateBps float64, pktSize int) *CrossTraffic {
+	if pktSize <= 0 {
+		pktSize = 1200
+	}
+	ct := &CrossTraffic{sched: sched, rng: rng, path: path, size: pktSize}
+	if rateBps > 0 {
+		gap := time.Duration(float64(pktSize*8) / rateBps * float64(time.Second))
+		ct.meanGap = gap
+	}
+	return ct
+}
+
+// Start begins injecting until Stop (or forever within the simulation).
+func (ct *CrossTraffic) Start() {
+	if ct.meanGap <= 0 {
+		return
+	}
+	ct.tick(ClientToServer)
+	ct.tick(ServerToClient)
+}
+
+// Stop halts injection (pending scheduled packets still fire their timers
+// but send nothing).
+func (ct *CrossTraffic) Stop() { ct.stopped = true }
+
+// Sent reports how many background packets were injected.
+func (ct *CrossTraffic) Sent() int { return ct.sent }
+
+func (ct *CrossTraffic) tick(dir Direction) {
+	if ct.stopped {
+		return
+	}
+	ct.path.Send(dir, ct.size, Background{})
+	ct.sent++
+	ct.sched.After(ct.rng.Exponential(ct.meanGap), func() { ct.tick(dir) })
+}

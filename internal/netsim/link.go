@@ -1,0 +1,200 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"h2privacy/internal/simtime"
+)
+
+// LinkConfig describes one direction of the path.
+type LinkConfig struct {
+	// BandwidthBps is the link rate in bits per second. Must be > 0.
+	BandwidthBps float64
+	// PropDelay is the one-way propagation delay.
+	PropDelay time.Duration
+	// NaturalJitter is the maximum natural per-packet delay variation;
+	// an affected packet gets an extra uniform delay in [0, NaturalJitter].
+	NaturalJitter time.Duration
+	// ReorderProb is the fraction of packets the natural jitter affects
+	// (netem's reorder model). Zero means every packet (classic uniform
+	// jitter); real FIFO paths reorder only occasionally, so baselines
+	// use a small value like 0.02.
+	ReorderProb float64
+	// LossProb is the probability of random (non-adversarial) loss.
+	LossProb float64
+	// DuplicateProb is the probability a packet is delivered twice
+	// (netem's duplicate knob); the copy takes an independent jitter
+	// draw. Receivers and the monitor deduplicate by sequence number.
+	DuplicateProb float64
+	// QueueLimit is the maximum number of bytes waiting for
+	// serialization before tail drop. Zero means 256 KiB.
+	QueueLimit int
+}
+
+func (c *LinkConfig) validate() error {
+	if c.BandwidthBps <= 0 {
+		return fmt.Errorf("netsim: bandwidth must be positive, got %v", c.BandwidthBps)
+	}
+	if c.LossProb < 0 || c.LossProb >= 1 {
+		return fmt.Errorf("netsim: loss probability must be in [0,1), got %v", c.LossProb)
+	}
+	if c.ReorderProb < 0 || c.ReorderProb > 1 {
+		return fmt.Errorf("netsim: reorder probability must be in [0,1], got %v", c.ReorderProb)
+	}
+	if c.DuplicateProb < 0 || c.DuplicateProb >= 1 {
+		return fmt.Errorf("netsim: duplicate probability must be in [0,1), got %v", c.DuplicateProb)
+	}
+	if c.QueueLimit == 0 {
+		c.QueueLimit = 256 << 10
+	}
+	return nil
+}
+
+// LinkStats counts packet fates on one link.
+type LinkStats struct {
+	Sent           int // packets offered to the link
+	Delivered      int
+	Duplicated     int
+	DroppedLoss    int
+	DroppedPolicy  int
+	DroppedQueue   int
+	BytesDelivered int64
+}
+
+// Link is one unidirectional, rate-limited, lossy pipe with a middlebox in
+// front of it. Packets are serialized FIFO at the current bandwidth; the
+// per-packet extra delays (natural jitter plus adversary-injected delay)
+// are applied in flight, after serialization, so differential delay
+// reorders packets without head-of-line blocking — the same behaviour as
+// netem's variable-delay qdisc, which the paper's adversary used.
+type Link struct {
+	sched *simtime.Scheduler
+	rng   *simtime.Rand
+	dir   Direction
+	cfg   LinkConfig
+
+	deliver Handler
+	procs   []Processor
+	taps    []Tap
+
+	busyUntil   time.Duration
+	queuedBytes int
+	stats       LinkStats
+	nextID      *uint64 // shared across both links of a path
+}
+
+// NewLink builds a link for one direction. deliver may be set later with
+// SetDeliver but must be non-nil before the first Send.
+func NewLink(sched *simtime.Scheduler, rng *simtime.Rand, dir Direction, cfg LinkConfig, nextID *uint64) (*Link, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if nextID == nil {
+		nextID = new(uint64)
+	}
+	return &Link{sched: sched, rng: rng, dir: dir, cfg: cfg, nextID: nextID}, nil
+}
+
+// SetDeliver installs the receiving endpoint's handler.
+func (l *Link) SetDeliver(h Handler) { l.deliver = h }
+
+// AddProcessor appends a middlebox processor. Processors run in order.
+func (l *Link) AddProcessor(p Processor) { l.procs = append(l.procs, p) }
+
+// AddTap appends a passive observer.
+func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Bandwidth reports the current link rate in bits per second.
+func (l *Link) Bandwidth() float64 { return l.cfg.BandwidthBps }
+
+// SetBandwidth throttles or restores the link rate. Takes effect for
+// packets sent after the call (the adversary's bandwidth-limitation knob,
+// §IV-C).
+func (l *Link) SetBandwidth(bps float64) {
+	if bps > 0 {
+		l.cfg.BandwidthBps = bps
+	}
+}
+
+// Send offers a packet to the link. The packet's ID, Dir and SentAt fields
+// are filled in by the link.
+func (l *Link) Send(size int, payload any) {
+	if l.deliver == nil {
+		panic("netsim: Send on link with no deliver handler")
+	}
+	if size <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive packet size %d", size))
+	}
+	now := l.sched.Now()
+	pkt := &Packet{ID: *l.nextID, Dir: l.dir, Size: size, Payload: payload, SentAt: now}
+	*l.nextID++
+	l.stats.Sent++
+
+	// Middlebox: policy drops and injected delay.
+	var extra time.Duration
+	for _, p := range l.procs {
+		v := p.Process(now, pkt)
+		if v.Drop {
+			l.stats.DroppedPolicy++
+			l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedPolicy})
+			return
+		}
+		extra += v.ExtraDelay
+	}
+
+	// Random link loss.
+	if l.rng.Bool(l.cfg.LossProb) {
+		l.stats.DroppedLoss++
+		l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedLoss})
+		return
+	}
+
+	// Tail drop when the serialization queue is over its byte limit.
+	if l.queuedBytes+size > l.cfg.QueueLimit {
+		l.stats.DroppedQueue++
+		l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedQueue})
+		return
+	}
+
+	// FIFO serialization at the current rate.
+	txStart := now
+	if l.busyUntil > txStart {
+		txStart = l.busyUntil
+	}
+	txTime := time.Duration(float64(size*8) / l.cfg.BandwidthBps * float64(time.Second))
+	txEnd := txStart + txTime
+	l.busyUntil = txEnd
+	l.queuedBytes += size
+	l.sched.At(txEnd, func() { l.queuedBytes -= size })
+
+	var natural time.Duration
+	if l.cfg.NaturalJitter > 0 && (l.cfg.ReorderProb == 0 || l.rng.Bool(l.cfg.ReorderProb)) {
+		natural = l.rng.Uniform(0, l.cfg.NaturalJitter)
+	}
+	arrival := txEnd + l.cfg.PropDelay + natural + extra
+	l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionForwarded, Arrival: arrival})
+	l.sched.At(arrival, func() {
+		l.stats.Delivered++
+		l.stats.BytesDelivered += int64(size)
+		l.deliver(pkt)
+	})
+	// netem-style duplication: a second copy with its own jitter draw.
+	if l.rng.Bool(l.cfg.DuplicateProb) {
+		dupArrival := txEnd + l.cfg.PropDelay + l.rng.Uniform(0, l.cfg.NaturalJitter) + extra
+		l.stats.Duplicated++
+		l.sched.At(dupArrival, func() {
+			l.stats.Delivered++
+			l.deliver(pkt)
+		})
+	}
+}
+
+func (l *Link) observe(ev PacketEvent) {
+	for _, t := range l.taps {
+		t.Observe(ev)
+	}
+}

@@ -1,0 +1,312 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"h2privacy/internal/simtime"
+)
+
+func newTestLink(t *testing.T, cfg LinkConfig) (*simtime.Scheduler, *Link, *[]*Packet) {
+	t.Helper()
+	sched := simtime.NewScheduler()
+	l, err := NewLink(sched, simtime.NewRand(1), ClientToServer, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*Packet
+	l.SetDeliver(func(p *Packet) { got = append(got, p) })
+	return sched, l, &got
+}
+
+func TestLinkDeliversWithPropDelay(t *testing.T) {
+	sched, l, got := newTestLink(t, LinkConfig{
+		BandwidthBps: 8e9, // 1 GB/s: serialization negligible but nonzero
+		PropDelay:    5 * time.Millisecond,
+	})
+	l.Send(1000, "hello")
+	sched.Run()
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(*got))
+	}
+	p := (*got)[0]
+	if p.Payload != "hello" || p.Size != 1000 || p.Dir != ClientToServer {
+		t.Fatalf("bad packet: %+v", p)
+	}
+	// 1000 bytes at 8e9 bps = 1µs serialization + 5ms prop.
+	want := 5*time.Millisecond + time.Microsecond
+	if sched.Now() != want {
+		t.Fatalf("arrival at %v, want %v", sched.Now(), want)
+	}
+}
+
+func TestLinkSerializationFIFO(t *testing.T) {
+	// 8 Mbps: a 1000-byte packet takes 1ms to serialize. Three packets
+	// sent back-to-back must arrive 1ms apart, in order.
+	sched := simtime.NewScheduler()
+	l, err := NewLink(sched, simtime.NewRand(1), ClientToServer, LinkConfig{
+		BandwidthBps: 8e6,
+		PropDelay:    time.Millisecond,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals []time.Duration
+	var order []int
+	l.SetDeliver(func(p *Packet) {
+		arrivals = append(arrivals, sched.Now())
+		order = append(order, p.Payload.(int))
+	})
+	for i := 0; i < 3; i++ {
+		l.Send(1000, i)
+	}
+	sched.Run()
+	want := []time.Duration{2 * time.Millisecond, 3 * time.Millisecond, 4 * time.Millisecond}
+	for i := range want {
+		if arrivals[i] != want[i] {
+			t.Fatalf("arrivals = %v, want %v", arrivals, want)
+		}
+		if order[i] != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestLinkBandwidthChangeAffectsNewPackets(t *testing.T) {
+	sched := simtime.NewScheduler()
+	l, err := NewLink(sched, simtime.NewRand(1), ClientToServer, LinkConfig{
+		BandwidthBps: 8e6, PropDelay: 0,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals []time.Duration
+	l.SetDeliver(func(p *Packet) { arrivals = append(arrivals, sched.Now()) })
+	l.Send(1000, nil) // 1ms at 8Mbps
+	l.SetBandwidth(8e3)
+	l.Send(1000, nil) // 1s at 8kbps, queued behind the first
+	sched.Run()
+	if arrivals[0] != time.Millisecond {
+		t.Fatalf("first arrival %v, want 1ms", arrivals[0])
+	}
+	if arrivals[1] != time.Millisecond+time.Second {
+		t.Fatalf("second arrival %v, want 1.001s", arrivals[1])
+	}
+	l.SetBandwidth(0) // ignored
+	if l.Bandwidth() != 8e3 {
+		t.Fatal("SetBandwidth(0) must be ignored")
+	}
+}
+
+func TestLinkAdversaryDelayReorders(t *testing.T) {
+	sched := simtime.NewScheduler()
+	l, err := NewLink(sched, simtime.NewRand(1), ClientToServer, LinkConfig{
+		BandwidthBps: 8e9, PropDelay: time.Millisecond,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delay only packet 0 by 10ms: packet 1 must overtake it.
+	l.AddProcessor(ProcessorFunc(func(now time.Duration, pkt *Packet) Verdict {
+		if pkt.Payload.(int) == 0 {
+			return Verdict{ExtraDelay: 10 * time.Millisecond}
+		}
+		return Verdict{}
+	}))
+	var order []int
+	l.SetDeliver(func(p *Packet) { order = append(order, p.Payload.(int)) })
+	l.Send(100, 0)
+	l.Send(100, 1)
+	sched.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Fatalf("order = %v, want [1 0] (reordered)", order)
+	}
+}
+
+func TestLinkPolicyDropStopsChain(t *testing.T) {
+	sched, l, got := newTestLink(t, LinkConfig{BandwidthBps: 8e6})
+	var laterSaw int
+	l.AddProcessor(ProcessorFunc(func(now time.Duration, pkt *Packet) Verdict {
+		return Verdict{Drop: pkt.Payload.(int)%2 == 0}
+	}))
+	l.AddProcessor(ProcessorFunc(func(now time.Duration, pkt *Packet) Verdict {
+		laterSaw++
+		return Verdict{}
+	}))
+	for i := 0; i < 4; i++ {
+		l.Send(100, i)
+	}
+	sched.Run()
+	if len(*got) != 2 {
+		t.Fatalf("delivered %d, want 2", len(*got))
+	}
+	if laterSaw != 2 {
+		t.Fatalf("later processor saw %d packets, want 2 (drops short-circuit)", laterSaw)
+	}
+	st := l.Stats()
+	if st.Sent != 4 || st.DroppedPolicy != 2 || st.Delivered != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLinkRandomLoss(t *testing.T) {
+	sched, l, got := newTestLink(t, LinkConfig{BandwidthBps: 8e9, LossProb: 0.5})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		l.Send(100, i)
+	}
+	sched.Run()
+	frac := float64(len(*got)) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("delivered fraction %v with LossProb 0.5", frac)
+	}
+	st := l.Stats()
+	if st.DroppedLoss+st.Delivered != n {
+		t.Fatalf("loss+delivered = %d, want %d", st.DroppedLoss+st.Delivered, n)
+	}
+}
+
+func TestLinkQueueTailDrop(t *testing.T) {
+	sched := simtime.NewScheduler()
+	l, err := NewLink(sched, simtime.NewRand(1), ClientToServer, LinkConfig{
+		BandwidthBps: 8e3, // slow: 1000B takes 1s
+		QueueLimit:   2500,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	l.SetDeliver(func(p *Packet) { n++ })
+	for i := 0; i < 5; i++ {
+		l.Send(1000, i) // third..fifth exceed the 2500B queue
+	}
+	sched.Run()
+	if n != 2 {
+		t.Fatalf("delivered %d, want 2", n)
+	}
+	if l.Stats().DroppedQueue != 3 {
+		t.Fatalf("queue drops = %d, want 3", l.Stats().DroppedQueue)
+	}
+}
+
+func TestLinkTapSeesEverything(t *testing.T) {
+	sched, l, _ := newTestLink(t, LinkConfig{BandwidthBps: 8e6})
+	l.AddProcessor(ProcessorFunc(func(now time.Duration, pkt *Packet) Verdict {
+		return Verdict{Drop: pkt.Payload.(int) == 1}
+	}))
+	var evs []PacketEvent
+	l.AddTap(tapFunc(func(ev PacketEvent) { evs = append(evs, ev) }))
+	l.Send(100, 0)
+	l.Send(100, 1)
+	sched.Run()
+	if len(evs) != 2 {
+		t.Fatalf("tap saw %d events, want 2", len(evs))
+	}
+	if evs[0].Action != ActionForwarded || evs[0].Arrival == 0 {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+	if evs[1].Action != ActionDroppedPolicy || evs[1].Arrival != 0 {
+		t.Fatalf("second event = %+v", evs[1])
+	}
+}
+
+type tapFunc func(PacketEvent)
+
+func (f tapFunc) Observe(ev PacketEvent) { f(ev) }
+
+func TestLinkConfigValidation(t *testing.T) {
+	sched := simtime.NewScheduler()
+	if _, err := NewLink(sched, simtime.NewRand(1), ClientToServer, LinkConfig{}, nil); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if _, err := NewLink(sched, simtime.NewRand(1), ClientToServer, LinkConfig{BandwidthBps: 1, LossProb: 1.5}, nil); err == nil {
+		t.Fatal("loss prob 1.5 accepted")
+	}
+}
+
+func TestLinkSendPanics(t *testing.T) {
+	sched := simtime.NewScheduler()
+	l, err := NewLink(sched, simtime.NewRand(1), ClientToServer, LinkConfig{BandwidthBps: 1e6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Send with no deliver handler did not panic")
+			}
+		}()
+		l.Send(100, nil)
+	}()
+	l.SetDeliver(func(*Packet) {})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Send with size 0 did not panic")
+			}
+		}()
+		l.Send(0, nil)
+	}()
+}
+
+// Property: with no loss, no policy and ample queue, every packet is
+// delivered exactly once and per-link byte accounting balances.
+func TestLinkConservationProperty(t *testing.T) {
+	f := func(sizes []uint16, seed int64) bool {
+		sched := simtime.NewScheduler()
+		l, err := NewLink(sched, simtime.NewRand(seed), ClientToServer, LinkConfig{
+			BandwidthBps:  1e9,
+			PropDelay:     time.Millisecond,
+			NaturalJitter: 3 * time.Millisecond,
+			QueueLimit:    1 << 30,
+		}, nil)
+		if err != nil {
+			return false
+		}
+		var gotBytes int64
+		var gotCount int
+		l.SetDeliver(func(p *Packet) { gotBytes += int64(p.Size); gotCount++ })
+		var sentBytes int64
+		for _, s := range sizes {
+			size := int(s)%1500 + 1
+			sentBytes += int64(size)
+			l.Send(size, nil)
+		}
+		sched.Run()
+		st := l.Stats()
+		return gotCount == len(sizes) && gotBytes == sentBytes &&
+			st.Delivered == len(sizes) && st.BytesDelivered == sentBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkDuplication(t *testing.T) {
+	sched := simtime.NewScheduler()
+	l, err := NewLink(sched, simtime.NewRand(5), ClientToServer, LinkConfig{
+		BandwidthBps:  1e9,
+		DuplicateProb: 0.5,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	l.SetDeliver(func(*Packet) { n++ })
+	const sent = 1000
+	for i := 0; i < sent; i++ {
+		l.Send(100, i)
+	}
+	sched.Run()
+	st := l.Stats()
+	if st.Duplicated < sent/3 || st.Duplicated > 2*sent/3 {
+		t.Fatalf("duplicated %d of %d at p=0.5", st.Duplicated, sent)
+	}
+	if n != sent+st.Duplicated {
+		t.Fatalf("delivered %d, want %d", n, sent+st.Duplicated)
+	}
+	if _, err := NewLink(sched, simtime.NewRand(1), ClientToServer, LinkConfig{BandwidthBps: 1, DuplicateProb: 1.5}, nil); err == nil {
+		t.Fatal("bad duplicate prob accepted")
+	}
+}

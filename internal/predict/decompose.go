@@ -1,0 +1,122 @@
+package predict
+
+import "sort"
+
+// Decomposition is one way to explain a merged burst as a sum of catalog
+// objects.
+type Decomposition struct {
+	IDs []string
+	Err int // |estimate − Σ sizes|
+}
+
+// DecomposeBurst implements the paper's §VII extension: "infer the object
+// identity even when the object is partly multiplexed". A burst whose
+// size matches no single object may still be the concatenation of a small
+// set of objects that multiplexed together; subset-sum over the catalog
+// recovers the candidates. Returns every decomposition of 2..maxParts
+// distinct objects within the analyzer's tolerance, best first. Only an
+// unambiguous (single) decomposition is actionable for the attack.
+func (a *Analyzer) DecomposeBurst(est, maxParts int) []Decomposition {
+	if maxParts > 3 {
+		maxParts = 3 // beyond 3 parts, ambiguity explodes (§VII's caveat)
+	}
+	var out []Decomposition
+	n := len(a.sizes)
+	tol := a.cfg.Tolerance
+	// Pairs.
+	if maxParts >= 2 {
+		for i := 0; i < n; i++ {
+			si := a.sizes[i].size
+			if si >= est+tol {
+				break
+			}
+			// Binary search for the complement.
+			lo := sort.Search(n, func(k int) bool { return a.sizes[k].size >= est-si-tol })
+			for k := lo; k < n && a.sizes[k].size <= est-si+tol; k++ {
+				if k == i {
+					continue
+				}
+				if k < i {
+					continue // avoid duplicates: require k > i
+				}
+				diff := abs(est - si - a.sizes[k].size)
+				out = append(out, Decomposition{
+					IDs: []string{a.sizes[i].id, a.sizes[k].id},
+					Err: diff,
+				})
+			}
+		}
+	}
+	// Triples.
+	if maxParts >= 3 {
+		for i := 0; i < n; i++ {
+			si := a.sizes[i].size
+			if si >= est+tol {
+				break
+			}
+			for j := i + 1; j < n; j++ {
+				sj := a.sizes[j].size
+				if si+sj >= est+tol {
+					break
+				}
+				rem := est - si - sj
+				lo := sort.Search(n, func(k int) bool { return a.sizes[k].size >= rem-tol })
+				for k := lo; k < n && a.sizes[k].size <= rem+tol; k++ {
+					if k <= j {
+						continue
+					}
+					out = append(out, Decomposition{
+						IDs: []string{a.sizes[i].id, a.sizes[j].id, a.sizes[k].id},
+						Err: abs(rem - a.sizes[k].size),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		if len(out[x].IDs) != len(out[y].IDs) {
+			return len(out[x].IDs) < len(out[y].IDs)
+		}
+		return out[x].Err < out[y].Err
+	})
+	return out
+}
+
+// MatchedObjectsWithDecomposition extends MatchedObjects: bursts that
+// match no single object but decompose *unambiguously* into a small set
+// contribute those objects too.
+func (a *Analyzer) MatchedObjectsWithDecomposition(bursts []Burst, maxParts int) map[string]bool {
+	out := a.MatchedObjects(bursts)
+	for _, b := range bursts {
+		if b.MatchID != "" || b.EstSize == 0 {
+			continue
+		}
+		decs := a.DecomposeBurst(b.EstSize, maxParts)
+		if len(decs) == 0 {
+			continue
+		}
+		// Unambiguous: exactly one decomposition at the minimal part
+		// count explains the burst.
+		minParts := len(decs[0].IDs)
+		count := 0
+		for _, d := range decs {
+			if len(d.IDs) == minParts {
+				count++
+			}
+		}
+		if count != 1 {
+			continue
+		}
+		for _, id := range decs[0].IDs {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

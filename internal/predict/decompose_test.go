@@ -1,0 +1,94 @@
+package predict
+
+import (
+	"testing"
+
+	"h2privacy/internal/website"
+)
+
+func TestDecomposePair(t *testing.T) {
+	a := NewAnalyzer(map[int]string{
+		1000: "a", 2000: "b", 5000: "c",
+	}, Config{Tolerance: 10})
+	decs := a.DecomposeBurst(3000, 2)
+	if len(decs) != 1 {
+		t.Fatalf("decompositions = %+v", decs)
+	}
+	if decs[0].IDs[0] != "a" || decs[0].IDs[1] != "b" || decs[0].Err != 0 {
+		t.Fatalf("dec = %+v", decs[0])
+	}
+}
+
+func TestDecomposeTriple(t *testing.T) {
+	a := NewAnalyzer(map[int]string{
+		1000: "a", 2000: "b", 5000: "c", 50000: "x",
+	}, Config{Tolerance: 10})
+	decs := a.DecomposeBurst(8000, 3)
+	if len(decs) != 1 || len(decs[0].IDs) != 3 {
+		t.Fatalf("decompositions = %+v", decs)
+	}
+}
+
+func TestDecomposeAmbiguity(t *testing.T) {
+	a := NewAnalyzer(map[int]string{
+		1000: "a", 2000: "b", 1500: "c", 1501: "d",
+	}, Config{Tolerance: 5})
+	// 3001 ≈ a+b (3000) and c+d (3001): ambiguous at 2 parts.
+	decs := a.DecomposeBurst(3001, 2)
+	if len(decs) < 2 {
+		t.Fatalf("expected ambiguity, got %+v", decs)
+	}
+	// Best-first: exact match (c+d) before off-by-one (a+b).
+	if decs[0].Err > decs[1].Err {
+		t.Fatalf("not sorted by error: %+v", decs)
+	}
+}
+
+func TestMatchedObjectsWithDecomposition(t *testing.T) {
+	a := NewAnalyzer(map[int]string{
+		9500: "quiz", 4380: "fonts-css", 17254: "analytics",
+	}, Config{})
+	bursts := []Burst{
+		{EstSize: 9500, MatchID: "quiz"},            // direct match
+		{EstSize: 4380 + 17254, MatchID: ""},        // merged pair
+		{EstSize: 3333, MatchID: ""},                // junk: no decomposition
+		{EstSize: 9500 + 4380 + 17254, MatchID: ""}, // merged triple
+	}
+	got := a.MatchedObjectsWithDecomposition(bursts, 3)
+	for _, id := range []string{"quiz", "fonts-css", "analytics"} {
+		if !got[id] {
+			t.Fatalf("missing %s in %v", id, got)
+		}
+	}
+}
+
+func TestDecomposeRealCatalogUniqueness(t *testing.T) {
+	// On the real site catalog, a merged pair of the quiz and its
+	// neighbour decomposes unambiguously.
+	site := website.ISideWith()
+	a := NewAnalyzer(site.SizeToIdentity(), Config{})
+	quiz := site.Object(website.TargetID).Size
+	fonts := site.Object("fonts-css").Size
+	decs := a.DecomposeBurst(quiz+fonts, 2)
+	if len(decs) == 0 {
+		t.Fatal("no decomposition found")
+	}
+	exact := 0
+	for _, d := range decs {
+		if len(d.IDs) == 2 && d.Err == 0 {
+			exact++
+		}
+	}
+	if exact != 1 {
+		t.Fatalf("pair not unique on the catalog: %+v", decs)
+	}
+}
+
+func BenchmarkDecomposeTriple(b *testing.B) {
+	site := website.ISideWith()
+	a := NewAnalyzer(site.SizeToIdentity(), Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.DecomposeBurst(9500+4380+17254, 3)
+	}
+}

@@ -1,0 +1,174 @@
+// Package predict implements the adversary's object-prediction module
+// (the Python component of the paper's §V setup). It segments the
+// server→client record stream into transmission bursts, estimates each
+// burst's object size from record lengths (Fig. 1's delimiter+sum idea,
+// upgraded to TLS-record granularity), and matches sizes against the
+// pre-compiled size→identity catalog.
+package predict
+
+import (
+	"sort"
+	"time"
+
+	"h2privacy/internal/capture"
+	"h2privacy/internal/netsim"
+	"h2privacy/internal/tlsrec"
+)
+
+// frameHeaderLen is the HTTP/2 frame header inside each record; the
+// attacker knows the protocol and subtracts it per DATA record.
+const frameHeaderLen = 9
+
+// Config tunes the analyzer.
+type Config struct {
+	// BurstGap is the idle time that separates two bursts. Default 25 ms.
+	BurstGap time.Duration
+	// Tolerance is the allowed |estimate − catalog size| for a match.
+	// Default 64 bytes.
+	Tolerance int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BurstGap == 0 {
+		c.BurstGap = 25 * time.Millisecond
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 64
+	}
+	return c
+}
+
+// Burst is one contiguous server→client transmission.
+type Burst struct {
+	Start, End time.Duration
+	Records    int
+	// EstSize is the estimated object size: the DATA-record plaintext
+	// bytes (frame headers subtracted), excluding the leading response
+	// HEADERS record.
+	EstSize int
+	// MatchID is the catalog object whose size matches, or "".
+	MatchID string
+	// MatchErr is |estimate − matched size| (only when matched).
+	MatchErr int
+}
+
+// Analyzer matches observed bursts against a size catalog.
+type Analyzer struct {
+	cfg   Config
+	sizes []sizeEntry // sorted by size
+}
+
+type sizeEntry struct {
+	size int
+	id   string
+}
+
+// NewAnalyzer builds an analyzer from the pre-compiled size→identity map
+// (website.Site.SizeToIdentity provides the paper's catalog).
+func NewAnalyzer(catalog map[int]string, cfg Config) *Analyzer {
+	a := &Analyzer{cfg: cfg.withDefaults()}
+	for size, id := range catalog {
+		a.sizes = append(a.sizes, sizeEntry{size: size, id: id})
+	}
+	sort.Slice(a.sizes, func(i, j int) bool { return a.sizes[i].size < a.sizes[j].size })
+	return a
+}
+
+// Identify finds the catalog object closest to est within tolerance.
+func (a *Analyzer) Identify(est int) (string, int, bool) {
+	i := sort.Search(len(a.sizes), func(i int) bool { return a.sizes[i].size >= est })
+	bestID, bestErr := "", a.cfg.Tolerance+1
+	for _, j := range []int{i - 1, i} {
+		if j < 0 || j >= len(a.sizes) {
+			continue
+		}
+		diff := a.sizes[j].size - est
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestErr {
+			bestErr = diff
+			bestID = a.sizes[j].id
+		}
+	}
+	if bestID == "" {
+		return "", 0, false
+	}
+	return bestID, bestErr, true
+}
+
+// Bursts segments the monitor's record log into server→client bursts and
+// matches each against the catalog.
+func (a *Analyzer) Bursts(records []capture.RecordEvent) []Burst {
+	var out []Burst
+	var cur *Burst
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		if id, errBytes, ok := a.Identify(cur.EstSize); ok {
+			cur.MatchID = id
+			cur.MatchErr = errBytes
+		}
+		out = append(out, *cur)
+		cur = nil
+	}
+	for _, rec := range records {
+		if rec.Dir != netsim.ServerToClient || rec.Type != tlsrec.ContentApplicationData {
+			continue
+		}
+		// TCP-retransmitted bytes are replays of traffic already seen
+		// (tshark flags them); the analyzer ignores them entirely.
+		if rec.Tainted {
+			continue
+		}
+		if cur != nil && rec.Time-cur.End > a.cfg.BurstGap {
+			flush()
+		}
+		if cur == nil {
+			// The first record of a response burst is the HEADERS
+			// record; it contributes no body bytes.
+			cur = &Burst{Start: rec.Time, End: rec.Time, Records: 1}
+			continue
+		}
+		cur.Records++
+		cur.End = rec.Time
+		if body := rec.PlainLen - frameHeaderLen; body > 0 {
+			cur.EstSize += body
+		}
+	}
+	flush()
+	return out
+}
+
+// InferSequence extracts, in time order, the candidate objects identified
+// among the bursts — the adversary's reconstruction of the emblem display
+// order. Consecutive duplicates (retransmitted copies) collapse to one.
+func (a *Analyzer) InferSequence(bursts []Burst, candidates []string) []string {
+	want := make(map[string]bool, len(candidates))
+	for _, id := range candidates {
+		want[id] = true
+	}
+	var seq []string
+	for _, b := range bursts {
+		if b.MatchID == "" || !want[b.MatchID] {
+			continue
+		}
+		if len(seq) > 0 && seq[len(seq)-1] == b.MatchID {
+			continue
+		}
+		seq = append(seq, b.MatchID)
+	}
+	return seq
+}
+
+// MatchedObjects returns the set of object ids identified across bursts.
+func (a *Analyzer) MatchedObjects(bursts []Burst) map[string]bool {
+	out := make(map[string]bool)
+	for _, b := range bursts {
+		if b.MatchID != "" {
+			out[b.MatchID] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package predict
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"h2privacy/internal/capture"
+	"h2privacy/internal/netsim"
+	"h2privacy/internal/tlsrec"
+	"h2privacy/internal/website"
+)
+
+func testCatalog() map[int]string {
+	return map[int]string{
+		9500:  "quiz",
+		15872: "I-big",
+		5120:  "I-small",
+	}
+}
+
+// burstRecords synthesizes one serialized response burst: a HEADERS record
+// then DATA records carrying the object in chunks.
+func burstRecords(start time.Duration, size, chunk int) []capture.RecordEvent {
+	out := []capture.RecordEvent{{
+		Time: start, Dir: netsim.ServerToClient,
+		Type: tlsrec.ContentApplicationData, PlainLen: 38,
+	}}
+	at := start
+	for size > 0 {
+		n := chunk
+		if n > size {
+			n = size
+		}
+		at += time.Millisecond
+		out = append(out, capture.RecordEvent{
+			Time: at, Dir: netsim.ServerToClient,
+			Type: tlsrec.ContentApplicationData, PlainLen: n + frameHeaderLen,
+		})
+		size -= n
+	}
+	return out
+}
+
+func TestBurstsExactSizeRecovery(t *testing.T) {
+	a := NewAnalyzer(testCatalog(), Config{})
+	recs := burstRecords(0, 9500, 1200)
+	bursts := a.Bursts(recs)
+	if len(bursts) != 1 {
+		t.Fatalf("bursts = %d, want 1", len(bursts))
+	}
+	if bursts[0].EstSize != 9500 || bursts[0].MatchID != "quiz" || bursts[0].MatchErr != 0 {
+		t.Fatalf("burst = %+v", bursts[0])
+	}
+}
+
+func TestBurstsSplitOnGap(t *testing.T) {
+	a := NewAnalyzer(testCatalog(), Config{})
+	recs := append(burstRecords(0, 15872, 1200), burstRecords(200*time.Millisecond, 5120, 1200)...)
+	bursts := a.Bursts(recs)
+	if len(bursts) != 2 {
+		t.Fatalf("bursts = %d, want 2", len(bursts))
+	}
+	if bursts[0].MatchID != "I-big" || bursts[1].MatchID != "I-small" {
+		t.Fatalf("matches = %q, %q", bursts[0].MatchID, bursts[1].MatchID)
+	}
+}
+
+func TestBurstsMergedWithinGap(t *testing.T) {
+	a := NewAnalyzer(testCatalog(), Config{})
+	recs := append(burstRecords(0, 9500, 1200), burstRecords(15*time.Millisecond, 5120, 1200)...)
+	bursts := a.Bursts(recs)
+	if len(bursts) != 1 {
+		t.Fatalf("bursts = %d, want 1 (merged)", len(bursts))
+	}
+	if bursts[0].MatchID != "" {
+		t.Fatalf("merged burst matched %q", bursts[0].MatchID)
+	}
+}
+
+func TestBurstsIgnoreTaintedRecords(t *testing.T) {
+	a := NewAnalyzer(testCatalog(), Config{})
+	recs := burstRecords(0, 9500, 1200)
+	// Interleave retransmitted junk inside the burst window.
+	junk := burstRecords(2*time.Millisecond, 4000, 1200)
+	for i := range junk {
+		junk[i].Tainted = true
+	}
+	all := append(recs, junk...)
+	bursts := a.Bursts(all)
+	if len(bursts) != 1 || bursts[0].MatchID != "quiz" {
+		t.Fatalf("bursts = %+v", bursts)
+	}
+}
+
+func TestBurstsIgnoreClientRecords(t *testing.T) {
+	a := NewAnalyzer(testCatalog(), Config{})
+	recs := burstRecords(0, 9500, 1200)
+	recs = append(recs, capture.RecordEvent{
+		Time: time.Millisecond, Dir: netsim.ClientToServer,
+		Type: tlsrec.ContentApplicationData, PlainLen: 5000,
+	})
+	bursts := a.Bursts(recs)
+	if len(bursts) != 1 || bursts[0].MatchID != "quiz" {
+		t.Fatalf("client records polluted the burst: %+v", bursts)
+	}
+}
+
+func TestIdentifyTolerance(t *testing.T) {
+	a := NewAnalyzer(testCatalog(), Config{Tolerance: 64})
+	if id, errB, ok := a.Identify(9500); !ok || id != "quiz" || errB != 0 {
+		t.Fatalf("exact: %q %d %t", id, errB, ok)
+	}
+	if id, errB, ok := a.Identify(9530); !ok || id != "quiz" || errB != 30 {
+		t.Fatalf("near: %q %d %t", id, errB, ok)
+	}
+	if _, _, ok := a.Identify(9600); ok {
+		t.Fatal("match beyond tolerance")
+	}
+	if _, _, ok := a.Identify(100000); ok {
+		t.Fatal("match far off the catalog")
+	}
+}
+
+func TestInferSequence(t *testing.T) {
+	a := NewAnalyzer(testCatalog(), Config{})
+	bursts := []Burst{
+		{MatchID: "quiz"},
+		{MatchID: "I-big"},
+		{MatchID: "I-big"}, // retransmitted copy collapses
+		{MatchID: ""},
+		{MatchID: "I-small"},
+	}
+	seq := a.InferSequence(bursts, []string{"I-big", "I-small"})
+	if len(seq) != 2 || seq[0] != "I-big" || seq[1] != "I-small" {
+		t.Fatalf("seq = %v", seq)
+	}
+}
+
+func TestMatchedObjects(t *testing.T) {
+	a := NewAnalyzer(testCatalog(), Config{})
+	m := a.MatchedObjects([]Burst{{MatchID: "quiz"}, {MatchID: ""}, {MatchID: "quiz"}})
+	if len(m) != 1 || !m["quiz"] {
+		t.Fatalf("matched = %v", m)
+	}
+}
+
+// Property: any serialized burst of a catalog object with ≥1-byte chunks
+// recovers the exact size; matching the real site catalog never
+// misattributes when sizes are exact.
+func TestExactRecoveryProperty(t *testing.T) {
+	site := website.ISideWith()
+	a := NewAnalyzer(site.SizeToIdentity(), Config{})
+	objs := site.Objects
+	f := func(pick uint8, chunk uint16) bool {
+		obj := objs[int(pick)%len(objs)]
+		c := int(chunk)%1400 + 1
+		bursts := a.Bursts(burstRecords(0, obj.Size, c))
+		if len(bursts) != 1 {
+			return false
+		}
+		// Only uniquely-sized objects must identify; all must sum exactly.
+		if bursts[0].EstSize != obj.Size {
+			return false
+		}
+		if id, ok := site.SizeToIdentity()[obj.Size]; ok {
+			return bursts[0].MatchID == id
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package simtime provides a deterministic discrete-event scheduler with a
+// virtual clock. All simulated components (links, TCP endpoints, HTTP/2
+// applications, the adversary) run as callbacks on a single Scheduler, so an
+// entire trial is single-threaded and bit-reproducible for a given seed.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. Events fire in (time, sequence) order;
+// the sequence number makes simultaneous events deterministic (FIFO).
+type Event struct {
+	at   time.Duration
+	seq  uint64
+	fn   func()
+	idx  int // heap index; -1 once removed
+	dead bool
+}
+
+// Time reports the virtual time at which the event will fire.
+func (e *Event) Time() time.Duration { return e.at }
+
+// Scheduler is a discrete-event executor over a virtual clock.
+// The zero value is ready to use.
+type Scheduler struct {
+	now     time.Duration
+	nextSeq uint64
+	queue   eventQueue
+	running bool
+}
+
+// NewScheduler returns an empty scheduler with the clock at zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now reports the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Len reports the number of pending events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// (before Now) panics: it is always a simulation bug, never a recoverable
+// condition.
+func (s *Scheduler) At(at time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("simtime: At called with nil callback")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("simtime: event scheduled in the past: at=%v now=%v", at, s.now))
+	}
+	ev := &Event{at: at, seq: s.nextSeq, fn: fn}
+	s.nextSeq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time.
+// Negative d is clamped to zero.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling a fired or already-cancelled
+// event is a no-op, so callers can cancel unconditionally in cleanups.
+func (s *Scheduler) Cancel(ev *Event) {
+	if ev == nil || ev.dead {
+		return
+	}
+	ev.dead = true
+	if ev.idx >= 0 {
+		heap.Remove(&s.queue, ev.idx)
+	}
+}
+
+// Step runs the single earliest pending event, advancing the clock to its
+// time. It reports whether an event was run.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		ev.dead = true
+		s.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (s *Scheduler) Run() {
+	s.guardReentry()
+	defer func() { s.running = false }()
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline, then advances the clock to
+// the deadline (even if the queue still holds later events).
+func (s *Scheduler) RunUntil(deadline time.Duration) {
+	s.guardReentry()
+	defer func() { s.running = false }()
+	for {
+		ev := s.peek()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunWhile executes events until cond reports false or the queue drains.
+// cond is evaluated before each event.
+func (s *Scheduler) RunWhile(cond func() bool) {
+	s.guardReentry()
+	defer func() { s.running = false }()
+	for cond() && s.Step() {
+	}
+}
+
+func (s *Scheduler) guardReentry() {
+	if s.running {
+		panic("simtime: re-entrant Run on the same Scheduler")
+	}
+	s.running = true
+}
+
+func (s *Scheduler) peek() *Event {
+	for len(s.queue) > 0 {
+		if s.queue[0].dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0]
+	}
+	return nil
+}
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,264 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerOrdersByTime(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerTiesFIFO(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("simultaneous events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSchedulerAfterRelative(t *testing.T) {
+	s := NewScheduler()
+	var fired time.Duration
+	s.At(5*time.Millisecond, func() {
+		s.After(7*time.Millisecond, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 12*time.Millisecond {
+		t.Fatalf("After fired at %v, want 12ms", fired)
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	ev := s.At(time.Millisecond, func() { ran = true })
+	s.Cancel(ev)
+	s.Cancel(ev) // double cancel is a no-op
+	s.Cancel(nil)
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestSchedulerCancelDuringRun(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	var ev *Event
+	s.At(1*time.Millisecond, func() { s.Cancel(ev) })
+	ev = s.At(2*time.Millisecond, func() { ran = true })
+	s.Run()
+	if ran {
+		t.Fatal("event cancelled mid-run still ran")
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var count int
+	for i := 1; i <= 5; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	s.RunUntil(3 * time.Millisecond)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if s.Now() != 3*time.Millisecond {
+		t.Fatalf("Now = %v, want 3ms", s.Now())
+	}
+	if s.Len() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Len())
+	}
+	// RunUntil advances the clock even with no events in range.
+	s.RunUntil(10 * time.Millisecond)
+	if count != 5 || s.Now() != 10*time.Millisecond {
+		t.Fatalf("count=%d now=%v, want 5, 10ms", count, s.Now())
+	}
+}
+
+func TestSchedulerRunWhile(t *testing.T) {
+	s := NewScheduler()
+	var count int
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	s.RunWhile(func() bool { return count < 4 })
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(5*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(time.Millisecond, func() {})
+	})
+	s.Run()
+}
+
+func TestSchedulerNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback did not panic")
+		}
+	}()
+	NewScheduler().At(0, nil)
+}
+
+// Property: for any set of (time, id) pairs, execution order is sorted by
+// time with ties in insertion order.
+func TestSchedulerOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		s := NewScheduler()
+		type rec struct {
+			at  time.Duration
+			seq int
+		}
+		var got []rec
+		for i, d := range delays {
+			at := time.Duration(d) * time.Microsecond
+			i := i
+			s.At(at, func() { got = append(got, rec{at, i}) })
+		}
+		s.Run()
+		if len(got) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(1).Int63() == NewRand(2).Int63() {
+		t.Fatal("different seeds produced identical first draw")
+	}
+}
+
+func TestRandUniformBounds(t *testing.T) {
+	r := NewRand(7)
+	lo, hi := 10*time.Millisecond, 20*time.Millisecond
+	for i := 0; i < 1000; i++ {
+		d := r.Uniform(lo, hi)
+		if d < lo || d > hi {
+			t.Fatalf("Uniform out of range: %v", d)
+		}
+	}
+	if got := r.Uniform(hi, lo); got != hi {
+		t.Fatalf("inverted range: got %v, want lo %v", got, hi)
+	}
+}
+
+func TestRandBoolEdges(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestRandDistributionsNonNegative(t *testing.T) {
+	r := NewRand(11)
+	for i := 0; i < 1000; i++ {
+		if d := r.Exponential(time.Millisecond); d < 0 || d > 20*time.Millisecond {
+			t.Fatalf("Exponential out of bounds: %v", d)
+		}
+		if d := r.LogNormal(time.Millisecond, 0.5); d < 0 || d > 50*time.Millisecond {
+			t.Fatalf("LogNormal out of bounds: %v", d)
+		}
+	}
+	if r.Exponential(0) != 0 || r.LogNormal(0, 1) != 0 {
+		t.Fatal("zero-mean distributions must return 0")
+	}
+}
+
+func TestRandForkIndependence(t *testing.T) {
+	a := NewRand(5)
+	fork := a.Fork()
+	// Draws from the fork must not affect the parent's future sequence
+	// relative to a parent that forked but never used the fork.
+	b := NewRand(5)
+	b.Fork()
+	for i := 0; i < 10; i++ {
+		fork.Float64()
+	}
+	for i := 0; i < 50; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("fork draws perturbed parent sequence")
+		}
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(3)
+	p := r.Perm(8)
+	seen := make(map[int]bool, 8)
+	for _, v := range p {
+		if v < 0 || v >= 8 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}

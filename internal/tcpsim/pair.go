@@ -1,0 +1,57 @@
+package tcpsim
+
+import (
+	"fmt"
+
+	"h2privacy/internal/netsim"
+	"h2privacy/internal/simtime"
+)
+
+// Pair is a client/server connection wired across a netsim.Path: the
+// complete simulated transport under one browser↔webserver session.
+type Pair struct {
+	Client *Conn
+	Server *Conn
+}
+
+// NewPair creates both endpoints over the path, installs the path delivery
+// handlers, and returns them. The caller still invokes Server.Listen and
+// Client.Connect (in that order) to open the connection.
+func NewPair(sched *simtime.Scheduler, rng *simtime.Rand, path *netsim.Path, cfg Config) (*Pair, error) {
+	if path == nil {
+		return nil, fmt.Errorf("tcpsim: NewPair requires a path")
+	}
+	clientISS := uint64(rng.Intn(1 << 28))
+	serverISS := uint64(rng.Intn(1 << 28))
+	client, err := NewConn(sched, cfg, "client", clientISS, func(seg *Segment) {
+		path.Send(netsim.ClientToServer, seg.WireSize(), seg)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tcpsim: client endpoint: %w", err)
+	}
+	server, err := NewConn(sched, cfg, "server", serverISS, func(seg *Segment) {
+		path.Send(netsim.ServerToClient, seg.WireSize(), seg)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tcpsim: server endpoint: %w", err)
+	}
+	path.Connect(
+		func(pkt *netsim.Packet) { server.Deliver(segmentOf(pkt)) },
+		func(pkt *netsim.Packet) { client.Deliver(segmentOf(pkt)) },
+	)
+	return &Pair{Client: client, Server: server}, nil
+}
+
+// Open performs Listen+Connect, starting the three-way handshake.
+func (p *Pair) Open() {
+	p.Server.Listen()
+	p.Client.Connect()
+}
+
+// segmentOf extracts the TCP segment from a delivered packet. Non-segment
+// payloads (netsim cross-traffic) are ignored: they share the pipe, not
+// the connection. Deliver tolerates the resulting nil.
+func segmentOf(pkt *netsim.Packet) *Segment {
+	seg, _ := pkt.Payload.(*Segment)
+	return seg
+}

@@ -1,0 +1,95 @@
+package tcpsim
+
+// processData handles the payload and FIN of an incoming segment: in-order
+// delivery to the application, out-of-order buffering, duplicate detection,
+// and the immediate-ACK behaviour that produces the dup-ACK signal the
+// sender's fast retransmit (and hence the paper's §IV-B retransmission
+// storm) depends on.
+func (c *Conn) processData(seg *Segment) {
+	seq := seg.Seq
+	end := seq + uint64(len(seg.Payload))
+	if seg.Flags.Has(FlagFIN) {
+		c.hasPeerFin = true
+		c.peerFinSeq = end // FIN comes after any payload in the segment
+	}
+
+	switch {
+	case len(seg.Payload) == 0:
+		// FIN-only (or bare) segment; fall through to FIN handling.
+	case end <= c.rcvNxt:
+		// Entirely old data: a retransmission of something we already
+		// have. Re-ACK so the sender can advance.
+		c.stats.DuplicateSegs++
+		c.sendAck(true)
+		return
+	case seq <= c.rcvNxt:
+		// In-order (possibly overlapping the front). Deliver the new tail.
+		fresh := seg.Payload[c.rcvNxt-seq:]
+		c.deliverInOrder(fresh)
+		c.drainOutOfOrder()
+		c.sendAckMaybeDelayed()
+	default:
+		// Future data: buffer and emit a duplicate ACK for the hole.
+		c.stats.OutOfOrderSegs++
+		if c.oooBytes+len(seg.Payload) <= c.cfg.RecvWindow {
+			if _, ok := c.ooo[seq]; !ok {
+				buf := make([]byte, len(seg.Payload))
+				copy(buf, seg.Payload)
+				c.ooo[seq] = buf
+				c.oooBytes += len(buf)
+			}
+		}
+		c.sendAck(true)
+		return
+	}
+
+	// FIN processing: consume it only when all preceding data is in.
+	if c.hasPeerFin && !c.eofSent && c.rcvNxt == c.peerFinSeq {
+		c.rcvNxt++
+		c.eofSent = true
+		c.sendAck(false)
+		if c.onEOF != nil {
+			c.onEOF()
+		}
+		c.maybeFinishClose()
+	}
+}
+
+func (c *Conn) deliverInOrder(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	c.rcvNxt += uint64(len(p))
+	c.stats.BytesDelivered += int64(len(p))
+	if c.onData != nil {
+		c.onData(p)
+	}
+}
+
+// drainOutOfOrder delivers any buffered segments now contiguous with
+// rcvNxt. Segment boundaries can shift across go-back-N retransmissions,
+// so partial overlaps are trimmed rather than assumed away.
+func (c *Conn) drainOutOfOrder() {
+	for {
+		advanced := false
+		for seq, buf := range c.ooo {
+			end := seq + uint64(len(buf))
+			switch {
+			case end <= c.rcvNxt:
+				// Entirely superseded.
+				delete(c.ooo, seq)
+				c.oooBytes -= len(buf)
+				advanced = true
+			case seq <= c.rcvNxt:
+				// Contiguous (possibly overlapping): deliver the tail.
+				delete(c.ooo, seq)
+				c.oooBytes -= len(buf)
+				c.deliverInOrder(buf[c.rcvNxt-seq:])
+				advanced = true
+			}
+		}
+		if !advanced {
+			return
+		}
+	}
+}

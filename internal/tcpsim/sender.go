@@ -1,0 +1,409 @@
+package tcpsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// trySend pushes as much buffered data as the send window allows, then the
+// FIN if one is queued and all data is out.
+func (c *Conn) trySend() {
+	if c.state != StateEstablished && c.state != StateSynRcvd {
+		return
+	}
+	wnd := c.cwnd
+	if c.peerWnd < wnd {
+		wnd = c.peerWnd
+	}
+	for {
+		inFlight := int(c.sndNxt - c.sndUna)
+		if c.finSent {
+			inFlight-- // the FIN occupies one sequence number but no window
+		}
+		if inFlight >= wnd {
+			break
+		}
+		offset := int(c.sndNxt - c.sndUna)
+		if c.finSent {
+			break // nothing may follow a FIN
+		}
+		if offset >= len(c.sendBuf) {
+			break
+		}
+		n := len(c.sendBuf) - offset
+		if n > c.cfg.MSS {
+			n = c.cfg.MSS
+		}
+		if room := wnd - inFlight; n > room {
+			n = room
+		}
+		if n <= 0 {
+			break
+		}
+		payload := make([]byte, n)
+		copy(payload, c.sendBuf[offset:offset+n])
+		seg := &Segment{
+			Flags:   FlagACK,
+			Seq:     c.sndNxt,
+			Ack:     c.rcvNxt,
+			Window:  c.advertisedWindow(),
+			Payload: payload,
+		}
+		if seg.Seq < c.maxSndNxt {
+			seg.Retransmit = true
+			c.stats.TimeoutRetxSegs++
+		} else {
+			c.stats.BytesSent += int64(n)
+			// Start an RTT sample on the first eligible transmission.
+			if !c.rttPending {
+				c.rttPending = true
+				c.rttSeq = c.sndNxt + uint64(n)
+				c.rttSentAt = c.sched.Now()
+			}
+		}
+		c.sndNxt += uint64(n)
+		if c.sndNxt > c.maxSndNxt {
+			c.maxSndNxt = c.sndNxt
+		}
+		c.stats.SegmentsSent++
+		c.transmit(seg)
+		c.armRTO()
+	}
+	// Send the FIN once the buffer is fully transmitted.
+	if c.finQueued && !c.finSent && int(c.sndNxt-c.sndUna) == len(c.sendBuf) {
+		c.finSeq = c.sndNxt
+		c.finSent = true
+		c.sndNxt++
+		if c.sndNxt > c.maxSndNxt {
+			c.maxSndNxt = c.sndNxt
+		}
+		c.transmit(&Segment{Flags: FlagACK | FlagFIN, Seq: c.finSeq, Ack: c.rcvNxt, Window: c.advertisedWindow()})
+		c.armRTO()
+	}
+}
+
+// processAck handles the acknowledgement field of an incoming segment:
+// window advance, RTT sampling, congestion control, duplicate-ACK fast
+// retransmit (RFC 5681) with NewReno-style recovery.
+func (c *Conn) processAck(seg *Segment) {
+	if seg.Window > 0 {
+		c.peerWnd = seg.Window
+	}
+	ack := seg.Ack
+	switch {
+	case ack > c.sndUna && ack <= c.sndNxt:
+		acked := int(ack - c.sndUna)
+		dataAcked := acked
+		if c.finSent && ack > c.finSeq {
+			dataAcked--
+			c.finAcked = true
+		}
+		if dataAcked > len(c.sendBuf) {
+			dataAcked = len(c.sendBuf)
+		}
+		c.sendBuf = c.sendBuf[dataAcked:]
+		c.sndUna = ack
+		c.retries = 0
+		c.dupAcks = 0
+
+		if c.rttPending && ack >= c.rttSeq {
+			c.sampleRTT(c.sched.Now() - c.rttSentAt)
+			c.rttPending = false
+		} else if c.srtt > 0 {
+			// Forward progress collapses any exponential backoff back to
+			// the estimator-based timeout (Linux recovers RTO via
+			// timestamps even across retransmissions; a stack that keeps
+			// an 8 s RTO after the loss episode ends would stall for
+			// seconds on the next hole).
+			c.refreshRTO()
+		}
+
+		if c.inRecovery {
+			if ack >= c.recoverPt {
+				// Full recovery: deflate to ssthresh.
+				c.inRecovery = false
+				c.cwnd = c.ssthresh
+			} else {
+				// Partial ACK: the next hole is lost too; retransmit it
+				// immediately without leaving recovery (NewReno).
+				c.retransmitFirstUnacked()
+			}
+		} else {
+			if c.cwnd < c.ssthresh {
+				// Slow start with byte counting.
+				inc := acked
+				if inc > c.cfg.MSS {
+					inc = c.cfg.MSS
+				}
+				c.cwnd += inc
+			} else {
+				// Congestion avoidance: ~one MSS per RTT.
+				inc := c.cfg.MSS * c.cfg.MSS / c.cwnd
+				if inc < 1 {
+					inc = 1
+				}
+				c.cwnd += inc
+			}
+		}
+
+		if c.sndUna == c.sndNxt {
+			c.disarmRTO()
+			c.disarmPTO()
+		} else {
+			c.armRTOReset()
+			c.armPTO()
+		}
+		c.maybeFinishClose()
+		c.trySend()
+		if dataAcked > 0 && c.onDrain != nil {
+			c.onDrain()
+		}
+
+	case ack == c.sndUna:
+		// RFC 5681 duplicate ACK: no data, no SYN/FIN, with outstanding
+		// data. (We deliberately skip the "window unchanged" clause: our
+		// receiver shrinks its advertised window as out-of-order bytes
+		// accumulate, which would otherwise mask genuine dup-ACKs.)
+		if len(seg.Payload) == 0 && !seg.Flags.Has(FlagSYN) && !seg.Flags.Has(FlagFIN) && c.sndNxt > c.sndUna {
+			c.dupAcks++
+			c.stats.DupAcksReceived++
+			switch {
+			case c.dupAcks == c.cfg.DupAckThreshold:
+				c.armFastRetransmit()
+			case c.dupAcks > c.cfg.DupAckThreshold && c.inRecovery:
+				// Inflate during recovery: each further dup-ACK signals a
+				// departed segment.
+				c.cwnd += c.cfg.MSS
+				c.trySend()
+			}
+		}
+	default:
+		// Stale ACK (below sndUna) or acking unsent data: ignore.
+	}
+}
+
+// armFastRetransmit fires fast retransmit either immediately or — with
+// the RACK-style reordering window — after srtt/4, cancelled if the
+// cumulative ACK advances in the meantime (the "hole" was reordering, not
+// loss).
+func (c *Conn) armFastRetransmit() {
+	if c.cfg.DisableRACKWindow || c.srtt == 0 {
+		c.fastRetransmit()
+		return
+	}
+	if c.rackTimer != nil {
+		return // already armed
+	}
+	window := c.srtt / 4
+	if window < time.Millisecond {
+		window = time.Millisecond
+	}
+	if window > 20*time.Millisecond {
+		window = 20 * time.Millisecond
+	}
+	holeSeq := c.sndUna
+	c.rackTimer = c.sched.After(window, func() {
+		c.rackTimer = nil
+		if c.state != StateEstablished || c.sndUna != holeSeq || c.dupAcks < c.cfg.DupAckThreshold {
+			return // the hole filled itself: reordering, not loss
+		}
+		c.fastRetransmit()
+	})
+}
+
+// fastRetransmit resends the first unacknowledged segment and enters fast
+// recovery.
+func (c *Conn) fastRetransmit() {
+	if int(c.sndNxt-c.sndUna) == 0 {
+		return
+	}
+	flight := int(c.sndNxt - c.sndUna)
+	c.ssthresh = flight / 2
+	if min := 2 * c.cfg.MSS; c.ssthresh < min {
+		c.ssthresh = min
+	}
+	c.stats.FastRetransmits++
+	c.rttPending = false // Karn: retransmission poisons the sample
+	c.retransmitFirstUnacked()
+	c.cwnd = c.ssthresh + c.cfg.DupAckThreshold*c.cfg.MSS
+	c.inRecovery = true
+	c.recoverPt = c.sndNxt
+}
+
+// retransmitFirstUnacked re-sends one MSS (or the FIN) starting at sndUna.
+func (c *Conn) retransmitFirstUnacked() {
+	if c.finSent && c.sndUna == c.finSeq {
+		c.transmit(&Segment{Flags: FlagACK | FlagFIN, Seq: c.finSeq, Ack: c.rcvNxt, Window: c.advertisedWindow(), Retransmit: true})
+		c.armRTOReset()
+		return
+	}
+	n := len(c.sendBuf)
+	if n == 0 {
+		return
+	}
+	if n > c.cfg.MSS {
+		n = c.cfg.MSS
+	}
+	payload := make([]byte, n)
+	copy(payload, c.sendBuf[:n])
+	c.stats.SegmentsSent++
+	c.transmit(&Segment{
+		Flags:      FlagACK,
+		Seq:        c.sndUna,
+		Ack:        c.rcvNxt,
+		Window:     c.advertisedWindow(),
+		Payload:    payload,
+		Retransmit: true,
+	})
+	c.armRTOReset()
+}
+
+// onRTO fires when the retransmission timer expires: exponential backoff,
+// collapse cwnd, and go-back-N from sndUna. After MaxRetries consecutive
+// expiries the connection is declared broken — the paper's "broken
+// connection" outcome at 1 Mbps (§IV-C) and under excessive jitter (§V).
+func (c *Conn) onRTO() {
+	c.rtoTimer = nil
+	c.disarmPTO()
+	if c.rackTimer != nil {
+		c.sched.Cancel(c.rackTimer)
+		c.rackTimer = nil
+	}
+	c.stats.RTOExpiries++
+	c.retries++
+	if c.retries > c.cfg.MaxRetries {
+		c.fail(fmt.Errorf("tcpsim: %s: %d consecutive retransmission timeouts", c.name, c.retries))
+		return
+	}
+	c.rto *= 2
+	if c.rto > c.cfg.MaxRTO {
+		c.rto = c.cfg.MaxRTO
+	}
+	c.rttPending = false
+	c.dupAcks = 0
+	c.inRecovery = false
+
+	switch c.state {
+	case StateSynSent:
+		c.stats.SegmentsSent++
+		c.transmit(&Segment{Flags: FlagSYN, Seq: c.iss, Window: c.advertisedWindow(), Retransmit: true})
+		c.armRTO()
+	case StateSynRcvd:
+		c.stats.SegmentsSent++
+		c.transmit(&Segment{Flags: FlagSYN | FlagACK, Seq: c.iss, Ack: c.rcvNxt, Window: c.advertisedWindow(), Retransmit: true})
+		c.armRTO()
+	case StateEstablished:
+		flight := int(c.sndNxt - c.sndUna)
+		c.ssthresh = flight / 2
+		if min := 2 * c.cfg.MSS; c.ssthresh < min {
+			c.ssthresh = min
+		}
+		c.cwnd = c.cfg.MSS
+		// Go-back-N: rewind and let trySend re-emit (marked Retransmit).
+		c.sndNxt = c.sndUna
+		if c.finSent && c.finSeq >= c.sndUna {
+			c.finSent = false
+		}
+		c.trySend()
+		c.armRTO() // even if nothing was sent (zero peer window)
+	default:
+	}
+}
+
+func (c *Conn) sampleRTT(sample time.Duration) {
+	if sample <= 0 {
+		sample = time.Microsecond
+	}
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+	} else {
+		diff := c.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		c.rttvar = (3*c.rttvar + diff) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	c.refreshRTO()
+}
+
+// refreshRTO derives the timeout from the current estimator state.
+func (c *Conn) refreshRTO() {
+	rto := c.srtt + 4*c.rttvar
+	if rto < c.cfg.MinRTO {
+		rto = c.cfg.MinRTO
+	}
+	if rto > c.cfg.MaxRTO {
+		rto = c.cfg.MaxRTO
+	}
+	c.rto = rto
+}
+
+// armRTO starts the retransmission timer if it is not already running.
+func (c *Conn) armRTO() {
+	if c.rtoTimer != nil {
+		return
+	}
+	c.rtoTimer = c.sched.After(c.rto, c.onRTO)
+	c.armPTO()
+}
+
+// armPTO (re)starts the tail-loss probe: if no acknowledgement arrives for
+// ~2×SRTT while data is outstanding, one segment is probed without waiting
+// out a backed-off RTO (RFC 8985 §7.2). The probe is what lets a sender
+// recover promptly the instant a loss episode — like the adversary's §IV-D
+// drop window — ends, instead of idling into a seconds-long RTO.
+func (c *Conn) armPTO() {
+	if c.cfg.DisableRACKWindow || c.srtt == 0 {
+		return
+	}
+	c.disarmPTO()
+	pto := 2 * c.srtt
+	if min := 10 * time.Millisecond; pto < min {
+		pto = min
+	}
+	if pto >= c.rto {
+		return // the RTO fires first anyway
+	}
+	c.ptoTimer = c.sched.After(pto, func() {
+		c.ptoTimer = nil
+		if c.state != StateEstablished || c.sndNxt == c.sndUna {
+			return
+		}
+		c.stats.TLPProbes++
+		c.rttPending = false // Karn: the probe poisons pending samples
+		c.retransmitFirstUnacked()
+		// No backoff, no cwnd collapse: the RTO remains armed as the
+		// backstop; the next ACK re-arms the probe.
+	})
+}
+
+func (c *Conn) disarmPTO() {
+	if c.ptoTimer != nil {
+		c.sched.Cancel(c.ptoTimer)
+		c.ptoTimer = nil
+	}
+}
+
+// armRTOReset restarts the timer (used when the window advances).
+func (c *Conn) armRTOReset() {
+	c.disarmRTO()
+	c.rtoTimer = c.sched.After(c.rto, c.onRTO)
+}
+
+func (c *Conn) disarmRTO() {
+	if c.rtoTimer != nil {
+		c.sched.Cancel(c.rtoTimer)
+		c.rtoTimer = nil
+	}
+}
+
+// maybeFinishClose transitions to Closed once both sides' FINs are done:
+// ours acknowledged and the peer's received.
+func (c *Conn) maybeFinishClose() {
+	if c.finAcked && c.eofSent {
+		c.disarmRTO()
+		c.setState(StateClosed)
+	}
+}

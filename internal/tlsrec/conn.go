@@ -1,0 +1,215 @@
+package tlsrec
+
+import "fmt"
+
+// Handshake message types.
+const (
+	msgClientHello = 1
+	msgServerHello = 2
+)
+
+// Conn is one endpoint of the record layer, sans-IO: bytes from the
+// transport are pushed in with Feed, bytes for the transport come out
+// through the output callback, and decrypted records surface through
+// OnRecord. The same Conn type backs both the event-driven simulation and
+// the goroutine-based h2sync transport.
+type Conn struct {
+	isClient    bool
+	established bool
+	failed      error
+
+	localRandom [32]byte
+	peerRandom  [32]byte
+	key         [32]byte
+	sendSeq     uint64
+	recvSeq     uint64
+
+	buf    []byte // unparsed transport bytes
+	output func([]byte)
+
+	onRecord      func(ContentType, []byte)
+	onEstablished func()
+}
+
+// NewConn creates an endpoint. random seeds the handshake (pass distinct
+// deterministic values per endpoint); output transmits wire bytes and must
+// be non-nil.
+func NewConn(isClient bool, random [32]byte, output func([]byte)) *Conn {
+	if output == nil {
+		panic("tlsrec: NewConn requires an output function")
+	}
+	return &Conn{isClient: isClient, localRandom: random, output: output}
+}
+
+// OnRecord registers the callback for decrypted application/alert records.
+func (c *Conn) OnRecord(fn func(ContentType, []byte)) { c.onRecord = fn }
+
+// OnEstablished registers a callback fired once the handshake completes.
+func (c *Conn) OnEstablished(fn func()) { c.onEstablished = fn }
+
+// Established reports whether application data may flow.
+func (c *Conn) Established() bool { return c.established }
+
+// Err returns the first fatal record-layer error, or nil.
+func (c *Conn) Err() error { return c.failed }
+
+// Start begins the handshake. Only the client sends proactively.
+func (c *Conn) Start() {
+	if c.isClient && !c.established && c.failed == nil {
+		c.sendHandshake(msgClientHello)
+	}
+}
+
+// Send seals plaintext into one or more records (splitting at
+// MaxPlaintext) and emits the wire bytes. It fails before the handshake
+// completes; the HTTP layers queue writes until OnEstablished.
+func (c *Conn) Send(ct ContentType, plaintext []byte) error {
+	if c.failed != nil {
+		return c.failed
+	}
+	if !c.established {
+		return ErrNotEstablished
+	}
+	for len(plaintext) > 0 {
+		n := len(plaintext)
+		if n > MaxPlaintext {
+			n = MaxPlaintext
+		}
+		c.seal(ct, plaintext[:n])
+		plaintext = plaintext[n:]
+	}
+	return nil
+}
+
+// seal encrypts one record and emits it.
+func (c *Conn) seal(ct ContentType, plaintext []byte) {
+	seq := c.sendSeq
+	c.sendSeq++
+	body := make([]byte, HeaderSize+8+len(plaintext)+TagSize)
+	putHeader(body, ct, 8+len(plaintext)+TagSize)
+	putUint64(body[HeaderSize:], seq)
+	ciphertext := body[HeaderSize+8 : HeaderSize+8+len(plaintext)]
+	copy(ciphertext, plaintext)
+	xorInto(ciphertext, keystream(c.key, seq, len(plaintext)))
+	tag := mac(c.key, seq, ct, ciphertext)
+	copy(body[HeaderSize+8+len(plaintext):], tag[:])
+	c.output(body)
+}
+
+// Feed consumes bytes from the transport, parsing as many complete records
+// as are available. The first fatal error poisons the connection.
+func (c *Conn) Feed(b []byte) error {
+	if c.failed != nil {
+		return c.failed
+	}
+	c.buf = append(c.buf, b...)
+	for {
+		hdr, ok := ParseHeader(c.buf)
+		if !ok {
+			return nil
+		}
+		if HeaderSize+hdr.Length > maxRecordWire {
+			return c.fail(fmt.Errorf("%w: wire length %d", ErrRecordTooLarge, hdr.Length))
+		}
+		if len(c.buf) < HeaderSize+hdr.Length {
+			return nil // incomplete record
+		}
+		body := c.buf[HeaderSize : HeaderSize+hdr.Length]
+		c.buf = c.buf[HeaderSize+hdr.Length:]
+		if err := c.processRecord(hdr.Type, body); err != nil {
+			return c.fail(err)
+		}
+	}
+}
+
+func (c *Conn) fail(err error) error {
+	if c.failed == nil {
+		c.failed = err
+	}
+	return c.failed
+}
+
+func (c *Conn) processRecord(ct ContentType, body []byte) error {
+	if ct == ContentHandshake {
+		return c.processHandshake(body)
+	}
+	if !c.established {
+		return ErrNotEstablished
+	}
+	if len(body) < 8+TagSize {
+		return fmt.Errorf("tlsrec: sealed record too short (%d bytes)", len(body))
+	}
+	seq := getUint64(body)
+	ciphertext := body[8 : len(body)-TagSize]
+	wantTag := mac(c.key, seq, ct, ciphertext)
+	gotTag := body[len(body)-TagSize:]
+	for i := range wantTag {
+		if wantTag[i] != gotTag[i] {
+			return ErrBadMAC
+		}
+	}
+	if seq != c.recvSeq {
+		return fmt.Errorf("tlsrec: record sequence %d, want %d (transport reordered or lost data)", seq, c.recvSeq)
+	}
+	c.recvSeq++
+	plaintext := make([]byte, len(ciphertext))
+	copy(plaintext, ciphertext)
+	xorInto(plaintext, keystream(c.key, seq, len(plaintext)))
+	if c.onRecord != nil {
+		c.onRecord(ct, plaintext)
+	}
+	return nil
+}
+
+func (c *Conn) processHandshake(body []byte) error {
+	if len(body) != 1+32 {
+		return ErrBadHandshake
+	}
+	msg := body[0]
+	copy(c.peerRandom[:], body[1:])
+	switch {
+	case msg == msgClientHello && !c.isClient:
+		c.sendHandshake(msgServerHello)
+		c.establish()
+	case msg == msgServerHello && c.isClient:
+		c.establish()
+	default:
+		return fmt.Errorf("%w: unexpected message %d", ErrBadHandshake, msg)
+	}
+	return nil
+}
+
+func (c *Conn) establish() {
+	if c.isClient {
+		c.key = deriveKey(c.localRandom, c.peerRandom)
+	} else {
+		c.key = deriveKey(c.peerRandom, c.localRandom)
+	}
+	c.established = true
+	if c.onEstablished != nil {
+		c.onEstablished()
+	}
+}
+
+func (c *Conn) sendHandshake(msg byte) {
+	body := make([]byte, HeaderSize+1+32)
+	putHeader(body, ContentHandshake, 1+32)
+	body[HeaderSize] = msg
+	copy(body[HeaderSize+1:], c.localRandom[:])
+	c.output(body)
+}
+
+func putUint64(dst []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		dst[i] = byte(v)
+		v >>= 8
+	}
+}
+
+func getUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

@@ -1,0 +1,57 @@
+package tlsrec
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// keystream generates the toy XOR pad for one record from the session key
+// and the record's sequence number: block i is SHA-256(key ‖ seq ‖ i).
+// Deterministic, self-consistent, size-preserving — and worthless as real
+// cryptography, which is fine: the threat model here is an adversary who
+// never decrypts.
+func keystream(key [32]byte, seq uint64, n int) []byte {
+	out := make([]byte, 0, n+sha256.Size)
+	var block [8 + 8 + 32]byte
+	copy(block[16:], key[:])
+	binary.BigEndian.PutUint64(block[:8], seq)
+	for i := uint64(0); len(out) < n; i++ {
+		binary.BigEndian.PutUint64(block[8:16], i)
+		sum := sha256.Sum256(block[:])
+		out = append(out, sum[:]...)
+	}
+	return out[:n]
+}
+
+// xorInto XORs pad into dst in place.
+func xorInto(dst, pad []byte) {
+	for i := range dst {
+		dst[i] ^= pad[i]
+	}
+}
+
+// mac computes the truncated record MAC over (key, seq, content type,
+// ciphertext).
+func mac(key [32]byte, seq uint64, ct ContentType, ciphertext []byte) [TagSize]byte {
+	h := sha256.New()
+	h.Write(key[:])
+	var hdr [9]byte
+	binary.BigEndian.PutUint64(hdr[:8], seq)
+	hdr[8] = byte(ct)
+	h.Write(hdr[:])
+	h.Write(ciphertext)
+	var tag [TagSize]byte
+	copy(tag[:], h.Sum(nil))
+	return tag
+}
+
+// deriveKey combines the two hello randoms into the session key.
+func deriveKey(clientRandom, serverRandom [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("h2privacy toy key derivation"))
+	h.Write(clientRandom[:])
+	h.Write(serverRandom[:])
+	var key [32]byte
+	copy(key[:], h.Sum(nil))
+	return key
+}

@@ -1,0 +1,246 @@
+package website
+
+import (
+	"testing"
+	"testing/quick"
+
+	"h2privacy/internal/simtime"
+)
+
+func TestCatalogShape(t *testing.T) {
+	s := ISideWith()
+	if s.EmbeddedCount() != 47 {
+		t.Fatalf("embedded objects = %d, want 47 (paper §V)", s.EmbeddedCount())
+	}
+	target := s.Object(TargetID)
+	if target == nil || target.Size != 9500 {
+		t.Fatalf("quiz HTML = %+v, want 9500 bytes", target)
+	}
+	// The quiz HTML is the 6th object in download order.
+	if s.Objects[5].ID != TargetID {
+		t.Fatalf("6th object is %q, want %q", s.Objects[5].ID, TargetID)
+	}
+	emblems := 0
+	for _, o := range s.Objects {
+		if o.Type == TypeEmblem {
+			emblems++
+			if o.Size < 5*1024 || o.Size > 16*1024 {
+				t.Fatalf("emblem %s size %d outside 5–16KB", o.ID, o.Size)
+			}
+		}
+	}
+	if emblems != PartyCount {
+		t.Fatalf("emblems = %d", emblems)
+	}
+}
+
+func TestUniqueSizesForObjectsOfInterest(t *testing.T) {
+	s := ISideWith()
+	counts := map[int]int{}
+	for _, o := range s.Objects {
+		counts[o.Size]++
+	}
+	check := []string{TargetID}
+	for p := 0; p < PartyCount; p++ {
+		check = append(check, EmblemID(p))
+	}
+	for _, id := range check {
+		o := s.Object(id)
+		if counts[o.Size] != 1 {
+			t.Fatalf("object %s size %d is not unique (%d collisions) — the §II identifiability condition fails", id, o.Size, counts[o.Size])
+		}
+	}
+}
+
+func TestSizeToIdentityMapsObjectsOfInterest(t *testing.T) {
+	s := ISideWith()
+	m := s.SizeToIdentity()
+	if m[9500] != TargetID {
+		t.Fatalf("9500 → %q", m[9500])
+	}
+	for p := 0; p < PartyCount; p++ {
+		o := s.Object(EmblemID(p))
+		if m[o.Size] != o.ID {
+			t.Fatalf("size %d → %q, want %q", o.Size, m[o.Size], o.ID)
+		}
+	}
+}
+
+func TestLookupAndBody(t *testing.T) {
+	s := ISideWith()
+	o := s.Lookup("/polls/2020-presidential/results")
+	if o == nil || o.ID != TargetID {
+		t.Fatalf("lookup = %+v", o)
+	}
+	if s.Lookup("/nope") != nil {
+		t.Fatal("bogus path resolved")
+	}
+	body := s.Body(o)
+	if len(body) != o.Size {
+		t.Fatalf("body length %d, want %d", len(body), o.Size)
+	}
+	if b2 := s.Body(o); string(b2) != string(body) {
+		t.Fatal("body not deterministic")
+	}
+}
+
+func TestPlanCoversAllObjectsOnce(t *testing.T) {
+	s := ISideWith()
+	perm := []int{3, 1, 4, 0, 7, 6, 2, 5}
+	plan, err := s.PlanFor(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, st := range plan.Steps {
+		if s.Object(st.ObjectID) == nil {
+			t.Fatalf("step references unknown object %q", st.ObjectID)
+		}
+		if seen[st.ObjectID] {
+			t.Fatalf("object %q requested twice", st.ObjectID)
+		}
+		seen[st.ObjectID] = true
+	}
+	if len(seen) != len(s.Objects) {
+		t.Fatalf("plan covers %d/%d objects", len(seen), len(s.Objects))
+	}
+}
+
+func TestPlanEmblemOrderFollowsPerm(t *testing.T) {
+	s := ISideWith()
+	perm := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	plan, err := s.PlanFor(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := plan.EmblemRequestOrder()
+	for i, want := range perm {
+		if order[i] != EmblemID(want) {
+			t.Fatalf("rank %d: %q, want %q", i, order[i], EmblemID(want))
+		}
+	}
+	// First emblem must wait for the results script.
+	var first *Step
+	for i := range plan.Steps {
+		if plan.Steps[i].ObjectID == EmblemID(perm[0]) {
+			first = &plan.Steps[i]
+		}
+	}
+	if first == nil || first.TriggerDone != ResultsJSID {
+		t.Fatalf("first emblem step = %+v", first)
+	}
+}
+
+func TestPlanRejectsBadPerms(t *testing.T) {
+	s := ISideWith()
+	bad := [][]int{
+		{0, 1, 2},
+		{0, 0, 1, 2, 3, 4, 5, 6},
+		{0, 1, 2, 3, 4, 5, 6, 99},
+		nil,
+	}
+	for _, perm := range bad {
+		if _, err := s.PlanFor(perm); err == nil {
+			t.Fatalf("accepted %v", perm)
+		}
+	}
+}
+
+// Property: every random permutation yields a valid plan whose emblem
+// order round-trips.
+func TestPlanPermProperty(t *testing.T) {
+	s := ISideWith()
+	f := func(seed int64) bool {
+		rng := simtime.NewRand(seed)
+		perm := RandomPerm(rng)
+		plan, err := s.PlanFor(perm)
+		if err != nil {
+			return false
+		}
+		order := plan.EmblemRequestOrder()
+		for i, p := range perm {
+			if order[i] != EmblemID(p) {
+				return false
+			}
+		}
+		return len(plan.Steps) == len(s.Objects)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartyName(t *testing.T) {
+	if PartyName(0) != "democratic" || PartyName(7) != "independence" {
+		t.Fatal("party names broken")
+	}
+}
+
+func TestPlanForShuffledDecouplesOrders(t *testing.T) {
+	s := ISideWith()
+	perm := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	rng := simtime.NewRand(99)
+	plan, err := s.PlanForShuffled(perm, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	display := plan.EmblemDisplayOrder()
+	request := plan.EmblemRequestOrder()
+	if len(display) != PartyCount || len(request) != PartyCount {
+		t.Fatalf("orders: %v / %v", display, request)
+	}
+	// Same multiset of emblems...
+	seen := map[string]bool{}
+	for _, id := range request {
+		seen[id] = true
+	}
+	for _, id := range display {
+		if !seen[id] {
+			t.Fatalf("request order missing %s", id)
+		}
+	}
+	// ...but (for this seed) a different sequence.
+	same := true
+	for i := range display {
+		if display[i] != request[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("shuffle produced the identity order (fix the seed)")
+	}
+	// The plan's emblem steps follow the request order.
+	var stepOrder []string
+	for _, st := range plan.Steps {
+		if s.Object(st.ObjectID).Type == TypeEmblem {
+			stepOrder = append(stepOrder, st.ObjectID)
+		}
+	}
+	for i := range request {
+		if stepOrder[i] != request[i] {
+			t.Fatalf("plan step order %v != request order %v", stepOrder, request)
+		}
+	}
+}
+
+func TestPlanForShuffledPreservesNonEmblems(t *testing.T) {
+	s := ISideWith()
+	perm := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	rng := simtime.NewRand(5)
+	base, _ := s.PlanFor(perm)
+	shuf, err := s.PlanForShuffled(perm, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Steps) != len(shuf.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(base.Steps), len(shuf.Steps))
+	}
+	for i := range base.Steps {
+		if s.Object(base.Steps[i].ObjectID).Type == TypeEmblem {
+			continue
+		}
+		if base.Steps[i] != shuf.Steps[i] {
+			t.Fatalf("non-emblem step %d changed: %+v vs %+v", i, base.Steps[i], shuf.Steps[i])
+		}
+	}
+}
