@@ -14,6 +14,7 @@ import (
 	"h2privacy/internal/metrics"
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/tlsrec"
+	"h2privacy/internal/trace"
 	"h2privacy/internal/website"
 )
 
@@ -184,5 +185,74 @@ func BenchmarkSitePlan(b *testing.B) {
 		if _, err := site.PlanFor(website.RandomPerm(rng)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- trace subsystem ---
+
+// BenchmarkTraceOverhead compares the emit hot path disabled (nil tracer,
+// the default for every benchmark above) and enabled, plus a full traced
+// attack trial against BenchmarkTrialFullAttack's untraced baseline.
+func BenchmarkTraceOverhead(b *testing.B) {
+	b.Run("emit-disabled", func(b *testing.B) {
+		var tr *trace.Tracer
+		ct := tr.Counter(trace.LayerNetsim, "enqueue")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ct.Inc()
+			if tr.Enabled() {
+				tr.Emit(trace.LayerNetsim, "enqueue",
+					trace.Num("id", int64(i)), trace.Num("size", 1500))
+			}
+		}
+	})
+	b.Run("emit-enabled", func(b *testing.B) {
+		tr := trace.New(nil, trace.Config{})
+		ct := tr.Counter(trace.LayerNetsim, "enqueue")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ct.Inc()
+			if tr.Enabled() {
+				tr.Emit(trace.LayerNetsim, "enqueue",
+					trace.Num("id", int64(i)), trace.Num("size", 1500))
+			}
+		}
+	})
+	b.Run("trial-traced", func(b *testing.B) {
+		plan := adversary.DefaultPlan()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := trace.New(nil, trace.Config{})
+			if _, err := core.RunTrial(core.TrialConfig{Seed: int64(i), Attack: &plan, Trace: tr}); err != nil {
+				b.Fatal(err)
+			}
+			if tr.Len() == 0 {
+				b.Fatal("traced trial emitted nothing")
+			}
+		}
+	})
+}
+
+// TestDisabledTraceZeroAllocs pins the design contract: with tracing off
+// (nil tracer), the guarded emit pattern every component uses — nil-safe
+// counter/histogram calls plus an Enabled()-guarded Emit — allocates
+// nothing, so a trace-capable build benchmarks identically to one without
+// the subsystem.
+func TestDisabledTraceZeroAllocs(t *testing.T) {
+	var tr *trace.Tracer
+	ct := tr.Counter(trace.LayerTCP, "rto")
+	h := tr.Histo(trace.LayerTCP, "srtt_ms")
+	allocs := testing.AllocsPerRun(1000, func() {
+		ct.Inc()
+		h.Observe(12.5)
+		h.ObserveDuration(3 * time.Millisecond)
+		if tr.Enabled() {
+			tr.Emit(trace.LayerTCP, "rto",
+				trace.Str("conn", "client"), trace.Num("retries", 1),
+				trace.Dur("rto", time.Second), trace.Num("flight", 14600))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled trace path allocates %.1f bytes-producing allocs per op, want 0", allocs)
 	}
 }

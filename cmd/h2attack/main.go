@@ -3,6 +3,7 @@
 // observed and inferred.
 //
 //	h2attack [-seed N] [-jitter1 50ms] [-jitter3 80ms] [-drop 0.8] [-bw 800]
+//	         [-trace out.json] [-trace-format chrome|jsonl|summary] [-timeline]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"h2privacy/internal/adversary"
 	"h2privacy/internal/capture"
 	"h2privacy/internal/core"
+	"h2privacy/internal/trace"
 	"h2privacy/internal/website"
 )
 
@@ -26,6 +28,9 @@ func main() {
 	bw := flag.Float64("bw", 800, "throttle bandwidth in Mbps")
 	pcapPath := flag.String("pcap", "", "export the gateway's capture to this pcap file")
 	timeline := flag.Bool("timeline", false, "print the merged event timeline")
+	tracePath := flag.String("trace", "", "export the trial's cross-layer trace to this file")
+	traceFormat := flag.String("trace-format", trace.FormatChrome,
+		"trace export format: "+strings.Join(trace.Formats(), ", "))
 	flag.Parse()
 
 	plan := adversary.DefaultPlan()
@@ -34,7 +39,14 @@ func main() {
 	plan.DropRate = *drop
 	plan.ThrottleBps = *bw * 1e6
 
-	tb, err := core.NewTestbed(core.TrialConfig{Seed: *seed, Attack: &plan})
+	// -timeline also arms the tracer: the trace-derived timeline carries
+	// the TCP events (RTO fires, recovery) the legacy logs never had.
+	var tracer *trace.Tracer
+	if *tracePath != "" || *timeline {
+		tracer = trace.New(nil, trace.Config{})
+	}
+
+	tb, err := core.NewTestbed(core.TrialConfig{Seed: *seed, Attack: &plan, Trace: tracer})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "h2attack:", err)
 		os.Exit(1)
@@ -49,6 +61,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %d observed packets to %s\n\n", len(tb.Monitor.Packets()), *pcapPath)
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, *traceFormat, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "h2attack:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace events (%s) to %s\n\n", tracer.Len(), *traceFormat, *tracePath)
 	}
 
 	fmt.Println("== attack phases ==")
@@ -93,6 +112,18 @@ func writePcap(path string, tb *core.Testbed) error {
 	}
 	defer f.Close()
 	return capture.WritePcap(f, tb.Monitor.Packets())
+}
+
+func writeTrace(path, format string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteFormat(f, format); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func seqString(ids []string) string {

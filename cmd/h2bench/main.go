@@ -5,6 +5,7 @@
 //
 //	h2bench [-trials N] [-seed S] all
 //	h2bench [-trials N] [-seed S] table1 fig5 table2 …
+//	h2bench [-trace out.json] [-trace-format chrome|jsonl|summary] table2
 //	h2bench -list
 package main
 
@@ -15,6 +16,7 @@ import (
 	"strings"
 
 	"h2privacy/internal/experiment"
+	"h2privacy/internal/trace"
 )
 
 func main() {
@@ -26,6 +28,9 @@ func run() int {
 	seed := flag.Int64("seed", 1, "base seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	tracePath := flag.String("trace", "", "export the first trial's cross-layer trace to this file")
+	traceFormat := flag.String("trace-format", trace.FormatChrome,
+		"trace export format: "+strings.Join(trace.Formats(), ", "))
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: h2bench [flags] all|<experiment-id>...\nexperiments: %s\n", strings.Join(experiment.IDs(), " "))
 		flag.PrintDefaults()
@@ -41,6 +46,9 @@ func run() int {
 		return 2
 	}
 	opts := experiment.Options{Trials: *trials, BaseSeed: *seed}
+	if *tracePath != "" {
+		opts.Trace = trace.New(nil, trace.Config{})
+	}
 	if len(args) == 1 && args[0] == "all" {
 		args = experiment.IDs()
 	}
@@ -65,6 +73,21 @@ func run() int {
 		} else {
 			rep.Render(os.Stdout)
 		}
+	}
+	if opts.Trace != nil {
+		f, err := os.Create(*tracePath)
+		if err == nil {
+			err = opts.Trace.WriteFormat(f, *traceFormat)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "h2bench:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "h2bench: wrote %d trace events (%s) to %s\n",
+			opts.Trace.Len(), *traceFormat, *tracePath)
 	}
 	return 0
 }

@@ -2,7 +2,7 @@
 // repository's HTTP/2 stack (tlsrec + h2 + goroutine-per-stream server).
 // Poke it with examples/realtcp's client or any same-stack client.
 //
-//	h2serve [-addr 127.0.0.1:8443]
+//	h2serve [-addr 127.0.0.1:8443] [-trace out.json] [-trace-format chrome|jsonl|summary]
 package main
 
 import (
@@ -10,32 +10,61 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"h2privacy/internal/h2"
 	"h2privacy/internal/h2/h2sync"
+	"h2privacy/internal/trace"
 	"h2privacy/internal/website"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8443", "listen address")
+	tracePath := flag.String("trace", "", "export the server's h2-layer trace to this file on SIGINT")
+	traceFormat := flag.String("trace-format", trace.FormatChrome,
+		"trace export format: "+strings.Join(trace.Formats(), ", "))
 	flag.Parse()
-	if err := run(*addr); err != nil {
+	if err := run(*addr, *tracePath, *traceFormat); err != nil {
 		fmt.Fprintln(os.Stderr, "h2serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string) error {
+func run(addr, tracePath, traceFormat string) error {
 	site := website.ISideWith()
-	srv := &h2sync.Server{Handler: func(w *h2sync.ResponseWriter, r *h2sync.Request) {
-		obj := site.Lookup(r.Path)
-		if obj == nil {
-			_ = w.WriteHeader(404)
-			return
-		}
-		_ = w.WriteHeader(200, h2.HeaderField{Name: "content-type", Value: obj.Type})
-		_, _ = w.Write(site.Body(obj))
-	}}
+	// Real-TCP serving has no virtual clock and one goroutine per stream,
+	// so the tracer stamps wall time and takes the mutex path. The trace
+	// is best-effort diagnostics here, not a determinism artifact.
+	var tracer *trace.Tracer
+	if tracePath != "" {
+		tracer = trace.New(trace.WallClock(), trace.Config{Concurrent: true})
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if err := writeTrace(tracePath, traceFormat, tracer); err != nil {
+				fmt.Fprintln(os.Stderr, "h2serve:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "h2serve: wrote %d trace events (%s) to %s\n",
+				tracer.Len(), traceFormat, tracePath)
+			os.Exit(0)
+		}()
+	}
+	srv := &h2sync.Server{
+		Config: h2.Config{Tracer: tracer, TraceName: "server"},
+		Handler: func(w *h2sync.ResponseWriter, r *h2sync.Request) {
+			obj := site.Lookup(r.Path)
+			if obj == nil {
+				_ = w.WriteHeader(404)
+				return
+			}
+			_ = w.WriteHeader(200, h2.HeaderField{Name: "content-type", Value: obj.Type})
+			_, _ = w.Write(site.Body(obj))
+		},
+	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -46,4 +75,16 @@ func run(addr string) error {
 		fmt.Printf("  %-40s %7d bytes\n", o.Path, o.Size)
 	}
 	return srv.ListenAndServe(l)
+}
+
+func writeTrace(path, format string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteFormat(f, format); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

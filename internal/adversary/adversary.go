@@ -12,6 +12,7 @@ import (
 	"h2privacy/internal/netsim"
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/tcpsim"
+	"h2privacy/internal/trace"
 )
 
 // Controller owns the middlebox knobs. Install its Processor on both
@@ -46,6 +47,11 @@ type Controller struct {
 	dropUntil          time.Duration
 
 	stats ControllerStats
+
+	tr         *trace.Tracer
+	ctDrops    *trace.Counter
+	ctDelayed  *trace.Counter
+	ctJittered *trace.Counter
 }
 
 // ControllerStats counts the controller's interventions.
@@ -74,6 +80,19 @@ var _ netsim.Processor = (*Controller)(nil)
 // Stats returns a copy of the intervention counters.
 func (c *Controller) Stats() ControllerStats { return c.stats }
 
+// SetTracer arms adversary-layer tracing: knob changes, per-GET delays and
+// drop decisions are emitted as events.
+func (c *Controller) SetTracer(tr *trace.Tracer) {
+	c.tr = tr
+	c.ctDrops = tr.Counter(trace.LayerAdversary, "dropped")
+	c.ctDelayed = tr.Counter(trace.LayerAdversary, "delayed-gets")
+	c.ctJittered = tr.Counter(trace.LayerAdversary, "jittered")
+}
+
+// Tracer returns the armed tracer (nil when tracing is off); the attack
+// driver emits its phase transitions through it.
+func (c *Controller) Tracer() *trace.Tracer { return c.tr }
+
 // SetRequestSpacing sets the targeted jitter d (§IV-B). Setting it resets
 // the request counter (the attack driver restarts the schedule per phase);
 // zero disables.
@@ -92,6 +111,9 @@ func (c *Controller) SetRandomJitter(dir netsim.Direction, max time.Duration) {
 // Throttle limits both directions' bandwidth (§IV-C).
 func (c *Controller) Throttle(bps float64) {
 	c.stats.ThrottleEvents++
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.LayerAdversary, "throttle", trace.Num("bps", int64(bps)))
+	}
 	c.path.SetBandwidth(bps)
 }
 
@@ -102,6 +124,11 @@ func (c *Controller) DropServerData(rate, retransmitRate float64, duration time.
 	c.dropRate = rate
 	c.dropRetransmitRate = retransmitRate
 	c.dropUntil = c.sched.Now() + duration
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.LayerAdversary, "drop-window",
+			trace.Num("rate_pct", int64(rate*100)), trace.Num("rtx_rate_pct", int64(retransmitRate*100)),
+			trace.Dur("duration", duration))
+	}
 }
 
 // Process implements netsim.Processor.
@@ -127,7 +154,12 @@ func (c *Controller) Process(now time.Duration, pkt *netsim.Packet) netsim.Verdi
 				c.lastGETExtra = extra
 				v.ExtraDelay += extra
 				c.stats.DelayedGETs++
+				c.ctDelayed.Inc()
 				c.stats.TotalGETDelay += extra
+				if c.tr.Enabled() {
+					c.tr.Emit(trace.LayerAdversary, "delay-get",
+						trace.Num("get", int64(c.getIndex)), trace.Dur("extra", extra))
+				}
 			}
 		}
 	case netsim.ServerToClient:
@@ -138,6 +170,16 @@ func (c *Controller) Process(now time.Duration, pkt *netsim.Packet) netsim.Verdi
 			}
 			if c.rng.Bool(rate) {
 				c.stats.DroppedPkts++
+				c.ctDrops.Inc()
+				if c.tr.Enabled() {
+					rtx := int64(0)
+					if seg.Retransmit {
+						rtx = 1
+					}
+					c.tr.Emit(trace.LayerAdversary, "drop",
+						trace.Num("id", int64(pkt.ID)), trace.Num("len", int64(len(seg.Payload))),
+						trace.Num("rtx", rtx))
+				}
 				return netsim.Verdict{Drop: true}
 			}
 		}
@@ -145,6 +187,7 @@ func (c *Controller) Process(now time.Duration, pkt *netsim.Packet) netsim.Verdi
 	if max := c.randJitter[pkt.Dir]; max > 0 {
 		v.ExtraDelay += c.rng.Uniform(0, max)
 		c.stats.JitteredPkts++
+		c.ctJittered.Inc()
 	}
 	return v
 }

@@ -6,6 +6,7 @@ import (
 	"h2privacy/internal/capture"
 	"h2privacy/internal/netsim"
 	"h2privacy/internal/simtime"
+	"h2privacy/internal/trace"
 )
 
 // AttackPlan parameterizes the §V staged attack. DefaultPlan returns the
@@ -128,6 +129,9 @@ func (d *Driver) Phase() Phase { return d.phase }
 func (d *Driver) transition(p Phase) {
 	d.phase = p
 	d.PhaseLog = append(d.PhaseLog, PhaseChange{Time: d.sched.Now(), Phase: p})
+	if tr := d.controller.Tracer(); tr.Enabled() {
+		tr.Emit(trace.LayerAdversary, "phase", trace.Str("to", p.String()))
+	}
 }
 
 // onTrigger fires when the monitor has counted the trigger GET: throttle

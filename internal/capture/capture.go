@@ -14,6 +14,7 @@ import (
 	"h2privacy/internal/netsim"
 	"h2privacy/internal/tcpsim"
 	"h2privacy/internal/tlsrec"
+	"h2privacy/internal/trace"
 )
 
 // GET classification gate: client→server application records whose
@@ -116,6 +117,9 @@ type Monitor struct {
 	onGET       func(count int, ev RecordEvent)
 	logPackets  bool
 	packets     []PacketRecord
+
+	tr    *trace.Tracer
+	ctGET *trace.Counter
 }
 
 var _ netsim.Tap = (*Monitor)(nil)
@@ -137,6 +141,13 @@ func NewMonitor() *Monitor {
 // OnGET registers a callback fired for each newly counted GET (the attack
 // driver's phase trigger).
 func (m *Monitor) OnGET(fn func(count int, ev RecordEvent)) { m.onGET = fn }
+
+// SetTracer arms monitor-layer tracing: each GET-classified record becomes
+// a trace event.
+func (m *Monitor) SetTracer(tr *trace.Tracer) {
+	m.tr = tr
+	m.ctGET = tr.Counter(trace.LayerMonitor, "gets")
+}
 
 // Records returns all parsed record events in observation order.
 func (m *Monitor) Records() []RecordEvent { return m.records }
@@ -191,8 +202,15 @@ func (m *Monitor) Observe(ev netsim.PacketEvent) {
 			}
 		}
 		m.records = append(m.records, rec)
-		if rec.IsGET && m.onGET != nil {
-			m.onGET(m.getCount, rec)
+		if rec.IsGET {
+			m.ctGET.Inc()
+			if m.tr.Enabled() {
+				m.tr.Emit(trace.LayerMonitor, "get",
+					trace.Num("count", int64(m.getCount)), trace.Num("wire_len", int64(rec.WireLen)))
+			}
+			if m.onGET != nil {
+				m.onGET(m.getCount, rec)
+			}
 		}
 	}
 }

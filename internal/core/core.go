@@ -18,6 +18,7 @@ import (
 	"h2privacy/internal/predict"
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/tcpsim"
+	"h2privacy/internal/trace"
 	"h2privacy/internal/website"
 )
 
@@ -71,6 +72,11 @@ type TrialConfig struct {
 	Predict predict.Config
 	// Duration bounds the simulated time. Default 120 s.
 	Duration time.Duration
+	// Trace, when non-nil, is threaded through every layer of the testbed:
+	// netsim links, both TCP endpoints, both HTTP/2 connections, the
+	// browser, the server, the monitor and the adversary all emit events,
+	// counters and histograms into it. Nil disables tracing at zero cost.
+	Trace *trace.Tracer
 }
 
 // Testbed is an assembled, un-run trial. Most callers use RunTrial; the
@@ -86,6 +92,7 @@ type Testbed struct {
 	Monitor    *capture.Monitor
 	Controller *adversary.Controller
 	Driver     *adversary.Driver
+	Tracer     *trace.Tracer
 	cfg        TrialConfig
 }
 
@@ -99,10 +106,22 @@ func NewTestbed(cfg TrialConfig) (*Testbed, error) {
 	}
 	sched := simtime.NewScheduler()
 	rng := simtime.NewRand(cfg.Seed)
-	tb := &Testbed{Sched: sched, Site: website.ISideWith(), cfg: cfg}
+	tb := &Testbed{Sched: sched, Site: website.ISideWith(), Tracer: cfg.Trace, cfg: cfg}
+	if cfg.Trace.Enabled() {
+		// The tracer was built before the trial's clock existed; stamp its
+		// events from this trial's virtual time.
+		cfg.Trace.SetClock(sched)
+		// Fan the tracer out to every config-carried layer; components
+		// that predate the config fields get it via SetTracer below.
+		cfg.TCP.Tracer = cfg.Trace
+		cfg.Server.Tracer = cfg.Trace
+		cfg.Server.H2.Tracer = cfg.Trace
+		cfg.Browser.Tracer = cfg.Trace
+		cfg.Browser.H2.Tracer = cfg.Trace
+	}
 
 	var err error
-	tb.Path, err = netsim.NewPath(sched, rng.Fork(), netsim.PathConfig{Link: cfg.Link})
+	tb.Path, err = netsim.NewPath(sched, rng.Fork(), netsim.PathConfig{Link: cfg.Link, Tracer: cfg.Trace})
 	if err != nil {
 		return nil, fmt.Errorf("core: path: %w", err)
 	}
@@ -112,6 +131,10 @@ func NewTestbed(cfg TrialConfig) (*Testbed, error) {
 	tb.Monitor = capture.NewMonitor()
 	tb.Path.AddTap(tb.Monitor)
 	tb.Controller = adversary.NewController(sched, rng.Fork(), tb.Path)
+	if cfg.Trace.Enabled() {
+		tb.Monitor.SetTracer(cfg.Trace)
+		tb.Controller.SetTracer(cfg.Trace)
+	}
 	if cfg.CrossTrafficBps > 0 {
 		ct := netsim.NewCrossTraffic(sched, rng.Fork(), tb.Path, cfg.CrossTrafficBps, 0)
 		sched.At(0, ct.Start)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"h2privacy/internal/adversary"
+	"h2privacy/internal/trace"
 	"h2privacy/internal/website"
 )
 
@@ -205,4 +206,58 @@ func TestTimeline(t *testing.T) {
 		t.Fatal("render missing phase lines")
 	}
 	RenderTimeline(&buf, nil)
+}
+
+func TestTimelineFromTrace(t *testing.T) {
+	plan := adversary.DefaultPlan()
+	tb, err := NewTestbed(TrialConfig{
+		Seed:   3,
+		Attack: &plan,
+		Trace:  trace.New(nil, trace.Config{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tb.Run()
+	evs := tb.Timeline(res)
+	if len(evs) == 0 {
+		t.Fatal("empty timeline")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("timeline not sorted at %d: %v after %v", i, evs[i].At, evs[i-1].At)
+		}
+	}
+	// Every phase transition the driver logged must appear, with its time.
+	if len(tb.Driver.PhaseLog) == 0 {
+		t.Fatal("driver logged no phases")
+	}
+	for _, pc := range tb.Driver.PhaseLog {
+		want := "phase → " + pc.Phase.String()
+		found := false
+		for _, e := range evs {
+			if e.Actor == "adversary" && e.What == want && e.At == pc.Time {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("timeline missing %q at %v", want, pc.Time)
+		}
+	}
+	var sawTCP, sawGET bool
+	for _, e := range evs {
+		switch e.Actor {
+		case "tcp":
+			sawTCP = true
+		case "browser":
+			sawGET = true
+		}
+	}
+	if !sawGET {
+		t.Fatal("timeline has no browser requests")
+	}
+	if !sawTCP {
+		t.Fatal("timeline has no trace-derived TCP events (RTO/recovery)")
+	}
 }

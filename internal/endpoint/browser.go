@@ -2,11 +2,13 @@ package endpoint
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"h2privacy/internal/h2"
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/tcpsim"
+	"h2privacy/internal/trace"
 	"h2privacy/internal/website"
 )
 
@@ -47,6 +49,9 @@ type BrowserConfig struct {
 	// H2 tunes the client HTTP/2 endpoint. InitialWindowSize defaults to
 	// 1 MiB here (browser-like), not the RFC 65535.
 	H2 h2.Config
+	// Tracer, when non-nil, arms browser-layer tracing (requests, resets,
+	// completions).
+	Tracer *trace.Tracer
 }
 
 func (c BrowserConfig) withDefaults() BrowserConfig {
@@ -167,6 +172,8 @@ type Browser struct {
 	retryWait    time.Duration
 	stallEv      *simtime.Event
 	finished     bool
+
+	tr *trace.Tracer
 }
 
 // NewBrowser builds the browser endpoint over its TCP connection.
@@ -186,6 +193,7 @@ func NewBrowser(sched *simtime.Scheduler, rng *simtime.Rand, tcp *tcpsim.Conn, s
 	}
 	b.resetWait = b.cfg.ResetTimeout
 	b.retryWait = b.cfg.RetryTimeout
+	b.tr = b.cfg.Tracer
 	st, err := newStack(tcp, true, rng, b.cfg.H2, func(err error) { b.break_(err.Error()) })
 	if err != nil {
 		return nil, err
@@ -250,6 +258,9 @@ func (b *Browser) break_(reason string) {
 	}
 	b.result.Broken = true
 	b.result.BrokenReason = reason
+	if b.tr.Enabled() {
+		b.tr.Emit(trace.LayerBrowser, "broken", trace.Str("reason", reason))
+	}
 	b.cancelTimers()
 }
 
@@ -338,6 +349,11 @@ func (b *Browser) request(f *fetch, kind RequestKind) {
 		StreamID: s.ID(),
 		Kind:     kind,
 	})
+	if b.tr.Enabled() {
+		b.tr.Emit(trace.LayerBrowser, "request",
+			trace.Str("object", f.obj.ID), trace.Num("stream", int64(s.ID())),
+			trace.Str("kind", kind.String()))
+	}
 	b.armRetry(f)
 }
 
@@ -408,8 +424,14 @@ func (b *Browser) onResponseEvent(s *h2.Stream, n int, endStream bool) {
 		f.done = true
 		f.doneAt = b.sched.Now()
 		b.result.Completed[f.obj.ID] = f.doneAt
-		// Cancel sibling duplicate streams; the object is in.
-		for id := range f.streams {
+		if b.tr.Enabled() {
+			b.tr.Emit(trace.LayerBrowser, "object-done",
+				trace.Str("object", f.obj.ID), trace.Num("stream", int64(s.ID())))
+		}
+		// Cancel sibling duplicate streams; the object is in. Sorted
+		// order keeps the RST sequence (and so the whole wire trace)
+		// reproducible — map order would reshuffle it per run.
+		for _, id := range sortedStreamIDs(f.streams) {
 			if id == s.ID() {
 				continue
 			}
@@ -456,6 +478,17 @@ func (b *Browser) armStallCheck() {
 	})
 }
 
+// sortedStreamIDs returns a fetch's stream ids in ascending order, so
+// every loop that resets or inspects them acts deterministically.
+func sortedStreamIDs(m map[uint32]int) []uint32 {
+	ids := make([]uint32, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // openIncomplete returns fetches that were issued but have not completed.
 func (b *Browser) openIncomplete() []*fetch {
 	var out []*fetch
@@ -477,13 +510,18 @@ func (b *Browser) doReset(open []*fetch) {
 		return
 	}
 	b.result.Resets++
+	if b.tr.Enabled() {
+		b.tr.Emit(trace.LayerBrowser, "reset-cycle",
+			trace.Num("cycle", int64(b.result.Resets)), trace.Num("open", int64(len(open))),
+			trace.Dur("patience", b.resetWait))
+	}
 	// Back off all patience after a reset: the client has learned the
 	// path is lossy (§IV-D: "the client's TCP also waits for a longer
 	// time before attempting to send fast-retransmission requests").
 	b.resetWait *= 2
 	b.retryWait *= 2
 	for _, f := range open {
-		for id := range f.streams {
+		for _, id := range sortedStreamIDs(f.streams) {
 			if s := b.stack.h2c.Stream(id); s != nil {
 				s.Reset(h2.ErrCodeCancel)
 			}

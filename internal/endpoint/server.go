@@ -9,6 +9,7 @@ import (
 	"h2privacy/internal/metrics"
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/tcpsim"
+	"h2privacy/internal/trace"
 	"h2privacy/internal/website"
 )
 
@@ -52,6 +53,8 @@ type ServerConfig struct {
 	SendBufLimit int
 	// H2 tunes the server's HTTP/2 endpoint.
 	H2 h2.Config
+	// Tracer, when non-nil, arms server-layer tracing (task lifecycle).
+	Tracer *trace.Tracer
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -114,6 +117,8 @@ type Server struct {
 	fatalErr    error
 	activePeak  int
 	tasksServed int
+
+	tr *trace.Tracer
 }
 
 // NewServer builds the server endpoint over its TCP connection.
@@ -131,6 +136,7 @@ func NewServer(sched *simtime.Scheduler, rng *simtime.Rand, tcp *tcpsim.Conn, si
 		instances: make(map[string]int),
 		rendered:  make(map[string]bool),
 	}
+	srv.tr = srv.cfg.Tracer
 	st, err := newStack(tcp, false, rng, srv.cfg.H2, func(err error) {
 		if srv.fatalErr == nil {
 			srv.fatalErr = err
@@ -223,6 +229,11 @@ func (s *Server) spawn(stream *h2.Stream, obj *website.Object) {
 	s.tasksServed++
 	t := &task{stream: stream, obj: obj, instance: inst, body: s.site.Body(obj)}
 	s.tasks[stream.ID()] = t
+	if s.tr.Enabled() {
+		s.tr.Emit(trace.LayerServer, "task-spawn",
+			trace.Str("instance", inst), trace.Num("stream", int64(stream.ID())),
+			trace.Num("size", int64(len(t.body))))
+	}
 	_ = s.prio.Add(stream.ID(), stream.Priority())
 	if n := len(s.tasks); n > s.activePeak {
 		s.activePeak = n
@@ -325,6 +336,11 @@ func (s *Server) finish(t *task) {
 	if t.ev != nil {
 		s.sched.Cancel(t.ev)
 		t.ev = nil
+	}
+	if s.tr.Enabled() {
+		s.tr.Emit(trace.LayerServer, "task-finish",
+			trace.Str("instance", t.instance), trace.Num("stream", int64(t.stream.ID())),
+			trace.Num("sent", int64(t.sent)), trace.Num("size", int64(len(t.body))))
 	}
 	delete(s.tasks, t.stream.ID())
 	s.prio.Remove(t.stream.ID())

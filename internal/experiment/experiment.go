@@ -10,6 +10,9 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"h2privacy/internal/core"
+	"h2privacy/internal/trace"
 )
 
 // Options tunes a harness run.
@@ -19,6 +22,21 @@ type Options struct {
 	Trials int
 	// BaseSeed offsets the per-trial seeds, for independent repetitions.
 	BaseSeed int64
+	// Trace, when non-nil, is armed for the first trial executed through
+	// these options — a sweep of 100 trials into one ring buffer would
+	// just interleave and overwrite itself, so the harness traces one
+	// representative trial and runs the rest dark.
+	Trace *trace.Tracer
+}
+
+// runTrial is how every experiment runs a trial: it arms opts.Trace on the
+// first trial (detected by the tracer still being empty) and leaves later
+// trials untraced.
+func (o Options) runTrial(cfg core.TrialConfig) (*core.TrialResult, error) {
+	if o.Trace.Enabled() && o.Trace.Len() == 0 && o.Trace.Dropped() == 0 {
+		cfg.Trace = o.Trace
+	}
+	return core.RunTrial(cfg)
 }
 
 func (o Options) withDefaults() Options {

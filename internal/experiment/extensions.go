@@ -25,7 +25,7 @@ func Partial(opts Options) (*Report, error) {
 	var plainAll, decompAll metrics.Counter
 	catalog := site.SizeToIdentity()
 	for t := 0; t < opts.Trials; t++ {
-		res, err := core.RunTrial(core.TrialConfig{
+		res, err := opts.runTrial(core.TrialConfig{
 			Seed:           opts.BaseSeed + int64(t),
 			RequestSpacing: 50 * time.Millisecond,
 			RandomJitter:   800 * time.Microsecond,
@@ -77,7 +77,7 @@ func CrossTraffic(opts Options) (*Report, error) {
 	for i, load := range loads {
 		var html, ranks, broken metrics.Counter
 		for t := 0; t < opts.Trials; t++ {
-			res, err := core.RunTrial(core.TrialConfig{
+			res, err := opts.runTrial(core.TrialConfig{
 				Seed:            opts.BaseSeed + int64(i*opts.Trials+t),
 				Attack:          &plan,
 				CrossTrafficBps: load,
@@ -125,7 +125,7 @@ func Sensitivity(opts Options) (*Report, error) {
 			plan.DropDuration = w
 			var html, ranks, broken metrics.Counter
 			for t := 0; t < trials; t++ {
-				res, err := core.RunTrial(core.TrialConfig{
+				res, err := opts.runTrial(core.TrialConfig{
 					Seed:   opts.BaseSeed + int64(cfgIdx*trials+t),
 					Attack: &plan,
 				})
@@ -174,7 +174,7 @@ func TCPAblation(opts Options) (*Report, error) {
 	for i, st := range stacks {
 		var html, ranks, broken metrics.Counter
 		for t := 0; t < opts.Trials; t++ {
-			res, err := core.RunTrial(core.TrialConfig{
+			res, err := opts.runTrial(core.TrialConfig{
 				Seed:   opts.BaseSeed + int64(i*opts.Trials+t),
 				Attack: &plan,
 				TCP:    st.cfg,

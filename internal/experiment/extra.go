@@ -48,7 +48,7 @@ func Ablation(opts Options) (*Report, error) {
 	for i, st := range stages {
 		var nonMux, success, broken metrics.Counter
 		for t := 0; t < opts.Trials; t++ {
-			res, err := core.RunTrial(st.cfg(opts.BaseSeed + int64(i*opts.Trials+t)))
+			res, err := opts.runTrial(st.cfg(opts.BaseSeed + int64(i*opts.Trials+t)))
 			if err != nil {
 				return nil, err
 			}
@@ -71,7 +71,7 @@ func Defense(opts Options) (*Report, error) {
 	run := func(shuffled bool, seedOff int64) (rankAcc, objAcc float64, err error) {
 		var rank, obj metrics.Counter
 		for t := 0; t < opts.Trials; t++ {
-			res, err := core.RunTrial(core.TrialConfig{
+			res, err := opts.runTrial(core.TrialConfig{
 				Seed:                opts.BaseSeed + seedOff + int64(t),
 				Attack:              &plan,
 				ShuffledEmblemOrder: shuffled,
@@ -125,7 +125,7 @@ func Padding(opts Options) (*Report, error) {
 				rng := simtime.NewRand(cfg.Seed * 7)
 				cfg.Server.H2.PadData = func(n int) int { return rng.Intn(256) }
 			}
-			res, err := core.RunTrial(cfg)
+			res, err := opts.runTrial(cfg)
 			if err != nil {
 				return 0, err
 			}
@@ -167,7 +167,7 @@ func PushDefense(opts Options) (*Report, error) {
 	run := func(push bool, seedOff int64) (rankAcc, identAcc, domAcc float64, err error) {
 		var rank, ident, nonMux metrics.Counter
 		for t := 0; t < opts.Trials; t++ {
-			res, err := core.RunTrial(core.TrialConfig{
+			res, err := opts.runTrial(core.TrialConfig{
 				Seed:       opts.BaseSeed + seedOff + int64(t),
 				Attack:     &plan,
 				ServerPush: push,

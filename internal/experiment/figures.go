@@ -21,7 +21,7 @@ func Fig1(opts Options) (*Report, error) {
 	for t := 0; t < opts.Trials; t++ {
 		// Run with request spacing so the trace contains both serialized
 		// and multiplexed transmissions in quantity.
-		res, err := core.RunTrial(core.TrialConfig{
+		res, err := opts.runTrial(core.TrialConfig{
 			Seed:           opts.BaseSeed + int64(t),
 			RequestSpacing: 80 * time.Millisecond,
 		})
@@ -64,11 +64,11 @@ func Fig2(opts Options) (*Report, error) {
 	var baseNon, spacedNon metrics.Counter
 	for t := 0; t < opts.Trials; t++ {
 		seed := opts.BaseSeed + int64(t)
-		base, err := core.RunTrial(core.TrialConfig{Seed: seed})
+		base, err := opts.runTrial(core.TrialConfig{Seed: seed})
 		if err != nil {
 			return nil, err
 		}
-		spaced, err := core.RunTrial(core.TrialConfig{
+		spaced, err := opts.runTrial(core.TrialConfig{
 			Seed:           seed,
 			RequestSpacing: 80 * time.Millisecond,
 		})
@@ -99,7 +99,7 @@ func Fig3(opts Options) (*Report, error) {
 	var quizDom, emblemDom metrics.Sample
 	var quizMux metrics.Counter
 	for t := 0; t < opts.Trials; t++ {
-		res, err := core.RunTrial(core.TrialConfig{Seed: opts.BaseSeed + int64(t)})
+		res, err := opts.runTrial(core.TrialConfig{Seed: opts.BaseSeed + int64(t)})
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +141,7 @@ func Fig4(opts Options) (*Report, error) {
 	nObjects := len(website.ISideWith().Objects)
 	for i, d := range jitters {
 		for t := 0; t < opts.Trials; t++ {
-			res, err := core.RunTrial(core.TrialConfig{
+			res, err := opts.runTrial(core.TrialConfig{
 				Seed:           opts.BaseSeed + int64(i*opts.Trials+t),
 				RequestSpacing: d,
 				RandomJitter:   800 * time.Microsecond,
@@ -192,7 +192,7 @@ func Fig5(opts Options) (*Report, error) {
 	points := make([]point, len(fig5Bandwidths))
 	for i, bw := range fig5Bandwidths {
 		for t := 0; t < opts.Trials; t++ {
-			res, err := core.RunTrial(core.TrialConfig{
+			res, err := opts.runTrial(core.TrialConfig{
 				Seed:           opts.BaseSeed + int64(i*opts.Trials+t),
 				RequestSpacing: 50 * time.Millisecond,
 				RandomJitter:   25 * time.Millisecond, // netem's 50ms jitter discipline
@@ -239,7 +239,7 @@ func Fig6(opts Options) (*Report, error) {
 	for t := 0; t < opts.Trials; t++ {
 		seed := opts.BaseSeed + int64(t)
 		plan := adversary.DefaultPlan()
-		res, err := core.RunTrial(core.TrialConfig{Seed: seed, Attack: &plan})
+		res, err := opts.runTrial(core.TrialConfig{Seed: seed, Attack: &plan})
 		if err != nil {
 			return nil, err
 		}
@@ -249,7 +249,7 @@ func Fig6(opts Options) (*Report, error) {
 
 		noDrop := plan
 		noDrop.DropRate = 0
-		res2, err := core.RunTrial(core.TrialConfig{Seed: seed, Attack: &noDrop})
+		res2, err := opts.runTrial(core.TrialConfig{Seed: seed, Attack: &noDrop})
 		if err != nil {
 			return nil, err
 		}

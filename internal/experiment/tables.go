@@ -30,7 +30,7 @@ func Table1(opts Options) (*Report, error) {
 	points := make([]table1Point, len(table1Jitters))
 	for i, d := range table1Jitters {
 		for t := 0; t < opts.Trials; t++ {
-			res, err := core.RunTrial(core.TrialConfig{
+			res, err := opts.runTrial(core.TrialConfig{
 				Seed:           opts.BaseSeed + int64(i*opts.Trials+t),
 				RequestSpacing: d,
 				RandomJitter:   800 * time.Microsecond,
@@ -81,7 +81,7 @@ func Table2(opts Options) (*Report, error) {
 	all := make([]metrics.Counter, len(labels))
 	var broken metrics.Counter
 	for t := 0; t < opts.Trials; t++ {
-		res, err := core.RunTrial(core.TrialConfig{
+		res, err := opts.runTrial(core.TrialConfig{
 			Seed:   opts.BaseSeed + int64(t),
 			Attack: &plan,
 		})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"h2privacy/internal/hpack"
+	"h2privacy/internal/trace"
 )
 
 // HeaderField aliases hpack.HeaderField; the h2 API speaks header lists.
@@ -33,6 +34,12 @@ type Config struct {
 	PadData func(n int) int
 	// HuffmanHeaders Huffman-codes outgoing HPACK string literals.
 	HuffmanHeaders bool
+	// Tracer, when non-nil, arms per-frame tracing (send/recv with type,
+	// stream and length; flow-control stalls).
+	Tracer *trace.Tracer
+	// TraceName tags this endpoint's trace events. Defaults to "client" or
+	// "server" by role.
+	TraceName string
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +148,10 @@ type Conn struct {
 	contPromised  *Stream
 
 	stats ConnStats
+
+	tr        *trace.Tracer
+	traceName string
+	ctStall   *trace.Counter
 }
 
 // NewConn builds an endpoint. out transmits wire bytes (one call per
@@ -182,6 +193,18 @@ func NewConn(isClient bool, cfg Config, out func([]byte)) (*Conn, error) {
 	} else {
 		c.nextStreamID = 2
 		c.prefacePending = []byte(ClientPreface)
+	}
+	if cfg.Tracer.Enabled() {
+		c.tr = cfg.Tracer
+		c.traceName = cfg.TraceName
+		if c.traceName == "" {
+			if isClient {
+				c.traceName = "client"
+			} else {
+				c.traceName = "server"
+			}
+		}
+		c.ctStall = c.tr.Counter(trace.LayerH2, c.traceName+".fc-stall")
 	}
 	return c, nil
 }
@@ -233,7 +256,7 @@ func (c *Conn) Start() {
 		Setting{SettingInitialWindowSize, c.cfg.InitialWindowSize},
 		Setting{SettingMaxFrameSize, c.cfg.MaxFrameSize},
 	)
-	c.emitFrame(FrameSettings, func(dst []byte) []byte {
+	c.emitFrame(FrameSettings, 0, func(dst []byte) []byte {
 		return AppendSettings(dst, settings)
 	})
 }
@@ -279,7 +302,7 @@ func (c *Conn) Push(parent *Stream, fields []HeaderField) (*Stream, error) {
 	promised := c.newStream(id)
 	promised.state = StreamReservedLocal
 	block := c.henc.Encode(nil, fields)
-	c.emitFrame(FramePushPromise, func(dst []byte) []byte {
+	c.emitFrame(FramePushPromise, parent.id, func(dst []byte) []byte {
 		return AppendPushPromise(dst, parent.id, id, block, true)
 	})
 	return promised, nil
@@ -294,14 +317,14 @@ func (c *Conn) RaiseConnWindow(n uint32) {
 		return
 	}
 	c.recvWindow += int64(n)
-	c.emitFrame(FrameWindowUpdate, func(dst []byte) []byte {
+	c.emitFrame(FrameWindowUpdate, 0, func(dst []byte) []byte {
 		return AppendWindowUpdate(dst, 0, n)
 	})
 }
 
 // Ping sends a PING with the given opaque data.
 func (c *Conn) Ping(data [8]byte) {
-	c.emitFrame(FramePing, func(dst []byte) []byte {
+	c.emitFrame(FramePing, 0, func(dst []byte) []byte {
 		return AppendPing(dst, false, data)
 	})
 }
@@ -312,7 +335,7 @@ func (c *Conn) GoAway(code ErrCode, debug []byte) {
 		return
 	}
 	c.goAwaySent = true
-	c.emitFrame(FrameGoAway, func(dst []byte) []byte {
+	c.emitFrame(FrameGoAway, 0, func(dst []byte) []byte {
 		return AppendGoAway(dst, c.lastPeerStreamID, code, debug)
 	})
 }
@@ -372,7 +395,7 @@ func (c *Conn) sendHeaderBlock(streamID uint32, fields []HeaderField, endStream 
 		first, rest = block[:max], block[max:]
 	}
 	endHeaders := len(rest) == 0
-	c.emitFrame(FrameHeaders, func(dst []byte) []byte {
+	c.emitFrame(FrameHeaders, streamID, func(dst []byte) []byte {
 		return AppendHeaders(dst, streamID, first, endStream, endHeaders, prio)
 	})
 	for len(rest) > 0 {
@@ -382,7 +405,7 @@ func (c *Conn) sendHeaderBlock(streamID uint32, fields []HeaderField, endStream 
 		}
 		rest = rest[len(chunk):]
 		last := len(rest) == 0
-		c.emitFrame(FrameContinuation, func(dst []byte) []byte {
+		c.emitFrame(FrameContinuation, streamID, func(dst []byte) []byte {
 			return AppendContinuation(dst, streamID, chunk, last)
 		})
 	}
@@ -403,8 +426,16 @@ func (c *Conn) padFor(n int) int {
 	return pad
 }
 
-// emitFrame serializes one frame through build and transmits it.
-func (c *Conn) emitFrame(t FrameType, build func([]byte) []byte) {
+// emitFrame serializes one frame through build and transmits it. streamID
+// is the stream the frame belongs to (0 for connection-level frames); it
+// only feeds the trace.
+func (c *Conn) emitFrame(t FrameType, streamID uint32, build func([]byte) []byte) {
 	c.stats.FramesSent[t]++
-	c.out(build(nil))
+	b := build(nil)
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.LayerH2, "send",
+			trace.Str("ep", c.traceName), trace.Str("type", t.String()),
+			trace.Num("stream", int64(streamID)), trace.Num("len", int64(len(b)-FrameHeaderSize)))
+	}
+	c.out(b)
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+
+	"h2privacy/internal/trace"
 )
 
 // Feed consumes transport bytes and dispatches complete frames to the
@@ -72,7 +74,7 @@ func (c *Conn) resetStreamByID(id uint32, code ErrCode) {
 		s.Reset(code)
 		return
 	}
-	c.emitFrame(FrameRSTStream, func(dst []byte) []byte {
+	c.emitFrame(FrameRSTStream, id, func(dst []byte) []byte {
 		return AppendRSTStream(dst, id, code)
 	})
 }
@@ -80,6 +82,11 @@ func (c *Conn) resetStreamByID(id uint32, code ErrCode) {
 func (c *Conn) processFrame(f *Frame) error {
 	t := f.Header.Type
 	c.stats.FramesReceived[t]++
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.LayerH2, "recv",
+			trace.Str("ep", c.traceName), trace.Str("type", t.String()),
+			trace.Num("stream", int64(f.Header.StreamID)), trace.Num("len", int64(f.Header.Length)))
+	}
 
 	// While a header block is being continued, only CONTINUATION on the
 	// same stream is legal (§6.10).
@@ -107,7 +114,7 @@ func (c *Conn) processFrame(f *Frame) error {
 		return c.processWindowUpdate(f)
 	case FramePing:
 		if !f.Header.Flags.Has(FlagAck) {
-			c.emitFrame(FramePing, func(dst []byte) []byte {
+			c.emitFrame(FramePing, 0, func(dst []byte) []byte {
 				return AppendPing(dst, true, f.PingData)
 			})
 		}
@@ -164,7 +171,7 @@ func (c *Conn) processSettings(f *Frame) error {
 			// Advisory.
 		}
 	}
-	c.emitFrame(FrameSettings, AppendSettingsAck)
+	c.emitFrame(FrameSettings, 0, AppendSettingsAck)
 	if c.handlers.OnSettings != nil {
 		c.handlers.OnSettings(f.Settings)
 	}
@@ -182,7 +189,7 @@ func (c *Conn) processData(f *Frame) error {
 	// Replenish the connection window immediately (fast reader).
 	if consumed > 0 {
 		c.recvWindow += consumed
-		c.emitFrame(FrameWindowUpdate, func(dst []byte) []byte {
+		c.emitFrame(FrameWindowUpdate, 0, func(dst []byte) []byte {
 			return AppendWindowUpdate(dst, 0, uint32(consumed))
 		})
 	}
@@ -205,7 +212,7 @@ func (c *Conn) processData(f *Frame) error {
 	}
 	if consumed > 0 {
 		s.recvWindow += consumed
-		c.emitFrame(FrameWindowUpdate, func(dst []byte) []byte {
+		c.emitFrame(FrameWindowUpdate, id, func(dst []byte) []byte {
 			return AppendWindowUpdate(dst, id, uint32(consumed))
 		})
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"h2privacy/internal/h2"
+	"h2privacy/internal/trace"
 )
 
 // startPair wires a Server and Client over the given pair of conns and
@@ -390,5 +391,75 @@ func TestWriteHeaderTwiceFails(t *testing.T) {
 	}
 	if err := <-done; err == nil {
 		t.Fatal("second WriteHeader succeeded")
+	}
+}
+
+// TestConcurrentTracer runs a traced server under the goroutine-per-stream
+// stack: the wall-clock tracer with Config.Concurrent must survive parallel
+// streams (the race detector checks the mutex path) and record frames from
+// every connection into one stream.
+func TestConcurrentTracer(t *testing.T) {
+	tr := trace.New(trace.WallClock(), trace.Config{Concurrent: true})
+	sc, cc := net.Pipe()
+	srv := &Server{
+		Config:  h2.Config{Tracer: tr, TraceName: "server"},
+		Handler: echoHandler,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(sc)
+	}()
+	var random [32]byte
+	random[2] = 3
+	cli, err := NewClient(cc, h2.Config{}, random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := cli.Get("example.test", fmt.Sprintf("/obj-%d", i))
+			if err != nil {
+				t.Errorf("get %d: %v", i, err)
+				return
+			}
+			if resp.Status != 200 {
+				t.Errorf("get %d: status %d", i, resp.Status)
+			}
+		}()
+	}
+	wg.Wait()
+	cli.Close()
+	_ = sc.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server goroutine leaked")
+	}
+	if tr.Len() == 0 {
+		t.Fatal("traced server recorded no events")
+	}
+	var sends, recvs int
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case "send":
+			sends++
+		case "recv":
+			recvs++
+		}
+	}
+	if sends == 0 || recvs == 0 {
+		t.Fatalf("send/recv events = %d/%d, want both > 0", sends, recvs)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteFormat(&buf, trace.FormatSummary); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "h2") {
+		t.Fatal("summary missing h2 layer")
 	}
 }

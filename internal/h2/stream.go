@@ -1,6 +1,10 @@
 package h2
 
-import "fmt"
+import (
+	"fmt"
+
+	"h2privacy/internal/trace"
+)
 
 // StreamState is the RFC 7540 §5.1 stream lifecycle state.
 type StreamState int
@@ -111,7 +115,7 @@ func (s *Stream) SendData(p []byte, endStream bool) (int, error) {
 		return 0, fmt.Errorf("h2: SendData on %v stream %d", s.state, s.id)
 	}
 	if len(p) == 0 && endStream {
-		s.conn.emitFrame(FrameData, func(dst []byte) []byte {
+		s.conn.emitFrame(FrameData, s.id, func(dst []byte) []byte {
 			return AppendData(dst, s.id, nil, true, s.conn.padFor(0))
 		})
 		s.localClose()
@@ -137,11 +141,19 @@ func (s *Stream) SendData(p []byte, endStream bool) (int, error) {
 			chunk = w
 		}
 		if chunk <= 0 {
+			// Flow control has pinched off the stream: the sender has data
+			// but neither window admits another byte.
+			s.conn.ctStall.Inc()
+			if c := s.conn; c.tr.Enabled() {
+				c.tr.Emit(trace.LayerH2, "fc-stall",
+					trace.Str("ep", c.traceName), trace.Num("stream", int64(s.id)),
+					trace.Num("stream_wnd", s.sendWindow), trace.Num("conn_wnd", c.sendWindow))
+			}
 			break
 		}
 		es := endStream && sent+chunk == len(p)
 		data := p[sent : sent+chunk]
-		s.conn.emitFrame(FrameData, func(dst []byte) []byte {
+		s.conn.emitFrame(FrameData, s.id, func(dst []byte) []byte {
 			return AppendData(dst, s.id, data, es, pad)
 		})
 		consumed := int64(chunk + overhead)
@@ -162,7 +174,7 @@ func (s *Stream) Reset(code ErrCode) {
 	if s.state == StreamClosed || s.state == StreamIdle {
 		return
 	}
-	s.conn.emitFrame(FrameRSTStream, func(dst []byte) []byte {
+	s.conn.emitFrame(FrameRSTStream, s.id, func(dst []byte) []byte {
 		return AppendRSTStream(dst, s.id, code)
 	})
 	s.conn.closeStream(s, code, false)
@@ -172,7 +184,7 @@ func (s *Stream) Reset(code ErrCode) {
 // §VII randomized-priority defense uses it).
 func (s *Stream) SendPriority(prio PriorityParam) {
 	s.prio = prio
-	s.conn.emitFrame(FramePriority, func(dst []byte) []byte {
+	s.conn.emitFrame(FramePriority, s.id, func(dst []byte) []byte {
 		return AppendPriority(dst, s.id, prio)
 	})
 }

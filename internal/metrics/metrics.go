@@ -216,13 +216,70 @@ func (s *Sample) StdDev() float64 {
 	return math.Sqrt(ss / float64(n-1))
 }
 
-// Percentile returns the p-th percentile (0–100) by nearest-rank.
-func (s *Sample) Percentile(p float64) float64 {
+// Min reports the smallest observation (0 for an empty sample).
+func (s *Sample) Min() float64 {
 	if len(s.values) == 0 {
 		return 0
 	}
+	min := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max reports the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	max := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Summary is the compact five-number description of a sample that the
+// experiment tables and the trace text exporter share.
+type Summary struct {
+	N                        int
+	Min, P50, P90, Max, Mean float64
+}
+
+// Summary computes the five-number summary in one pass over a single
+// sorted copy (cheaper than five separate Percentile calls).
+func (s *Sample) Summary() Summary {
+	n := len(s.values)
+	if n == 0 {
+		return Summary{}
+	}
 	sorted := append([]float64(nil), s.values...)
 	sort.Float64s(sorted)
+	return Summary{
+		N:    n,
+		Min:  sorted[0],
+		P50:  nearestRank(sorted, 50),
+		P90:  nearestRank(sorted, 90),
+		Max:  sorted[n-1],
+		Mean: s.Mean(),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g p50=%.3g p90=%.3g max=%.3g mean=%.3g",
+		s.N, s.Min, s.P50, s.P90, s.Max, s.Mean)
+}
+
+// nearestRank returns the p-th percentile of an already-sorted slice by
+// the nearest-rank method: the smallest value whose rank is at least
+// ⌈p/100·n⌉. p ≤ 0 yields the minimum, p ≥ 100 the maximum.
+func nearestRank(sorted []float64, p float64) float64 {
 	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
 	if rank < 0 {
 		rank = 0
@@ -231,6 +288,16 @@ func (s *Sample) Percentile(p float64) float64 {
 		rank = len(sorted) - 1
 	}
 	return sorted[rank]
+}
+
+// Percentile returns the p-th percentile (0–100) by nearest-rank.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	return nearestRank(sorted, p)
 }
 
 // Counter tallies boolean outcomes across trials.

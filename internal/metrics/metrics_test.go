@@ -229,3 +229,80 @@ func TestBestCompleteDoMRequiresFullServing(t *testing.T) {
 		t.Fatalf("complete serialized serving not recognized: %v", dom)
 	}
 }
+
+func TestSummaryFiveNumbers(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{9, 1, 5, 3, 7} {
+		s.Add(v)
+	}
+	sum := s.Summary()
+	if sum.N != 5 || sum.Min != 1 || sum.Max != 9 || sum.Mean != 5 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.P50 != 5 {
+		t.Fatalf("p50 = %v, want 5", sum.P50)
+	}
+	if sum.P90 != 9 { // ⌈0.9·5⌉ = rank 5 → last element
+		t.Fatalf("p90 = %v, want 9", sum.P90)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Sample
+	if sum := s.Summary(); sum != (Summary{}) {
+		t.Fatalf("empty summary = %+v", sum)
+	}
+}
+
+func TestNearestRankSingleObservation(t *testing.T) {
+	var s Sample
+	s.Add(42)
+	// With n=1, every percentile is that one observation.
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := s.Percentile(p); got != 42 {
+			t.Fatalf("n=1 P%v = %v, want 42", p, got)
+		}
+	}
+	sum := s.Summary()
+	if sum.Min != 42 || sum.P50 != 42 || sum.P90 != 42 || sum.Max != 42 || sum.Mean != 42 {
+		t.Fatalf("n=1 summary = %+v", sum)
+	}
+}
+
+func TestNearestRankExtremes(t *testing.T) {
+	var s Sample
+	for v := 10.0; v <= 100; v += 10 {
+		s.Add(v)
+	}
+	// p=0 must clamp to the minimum (⌈0⌉−1 = −1 → rank 0), p=100 to the
+	// maximum, and out-of-range p must not panic.
+	if got := s.Percentile(0); got != 10 {
+		t.Fatalf("P0 = %v, want 10", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("P100 = %v, want 100", got)
+	}
+	if got := s.Percentile(-5); got != 10 {
+		t.Fatalf("P-5 = %v, want 10", got)
+	}
+	if got := s.Percentile(250); got != 100 {
+		t.Fatalf("P250 = %v, want 100", got)
+	}
+	// Nearest-rank on n=10: P50 is the 5th value, P90 the 9th.
+	if got := s.Percentile(50); got != 50 {
+		t.Fatalf("P50 = %v, want 50", got)
+	}
+	if got := s.Percentile(90); got != 90 {
+		t.Fatalf("P90 = %v, want 90", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Sample
+	s.Add(2)
+	got := s.Summary().String()
+	want := "n=1 min=2 p50=2 p90=2 max=2 mean=2"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"h2privacy/internal/simtime"
+	"h2privacy/internal/trace"
 )
 
 // LinkConfig describes one direction of the path.
@@ -82,6 +83,13 @@ type Link struct {
 	queuedBytes int
 	stats       LinkStats
 	nextID      *uint64 // shared across both links of a path
+
+	tr           *trace.Tracer
+	maxDelivered uint64 // highest packet ID delivered, for reorder detection
+	ctEnqueue    *trace.Counter
+	ctDequeue    *trace.Counter
+	ctDrop       *trace.Counter
+	ctReorder    *trace.Counter
 }
 
 // NewLink builds a link for one direction. deliver may be set later with
@@ -104,6 +112,17 @@ func (l *Link) AddProcessor(p Processor) { l.procs = append(l.procs, p) }
 
 // AddTap appends a passive observer.
 func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
+
+// SetTracer arms per-packet tracing on the link. Counters are registered
+// here, once, so the Send path only touches pre-resolved instruments.
+func (l *Link) SetTracer(tr *trace.Tracer) {
+	l.tr = tr
+	prefix := l.dir.String() + "."
+	l.ctEnqueue = tr.Counter(trace.LayerNetsim, prefix+"enqueue")
+	l.ctDequeue = tr.Counter(trace.LayerNetsim, prefix+"dequeue")
+	l.ctDrop = tr.Counter(trace.LayerNetsim, prefix+"drop")
+	l.ctReorder = tr.Counter(trace.LayerNetsim, prefix+"reorder")
+}
 
 // Stats returns a copy of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
@@ -133,6 +152,11 @@ func (l *Link) Send(size int, payload any) {
 	pkt := &Packet{ID: *l.nextID, Dir: l.dir, Size: size, Payload: payload, SentAt: now}
 	*l.nextID++
 	l.stats.Sent++
+	l.ctEnqueue.Inc()
+	if l.tr.Enabled() {
+		l.tr.Emit(trace.LayerNetsim, "enqueue",
+			trace.Str("dir", l.dir.String()), trace.Num("id", int64(pkt.ID)), trace.Num("size", int64(size)))
+	}
 
 	// Middlebox: policy drops and injected delay.
 	var extra time.Duration
@@ -140,6 +164,7 @@ func (l *Link) Send(size int, payload any) {
 		v := p.Process(now, pkt)
 		if v.Drop {
 			l.stats.DroppedPolicy++
+			l.traceDrop(pkt, "policy")
 			l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedPolicy})
 			return
 		}
@@ -149,6 +174,7 @@ func (l *Link) Send(size int, payload any) {
 	// Random link loss.
 	if l.rng.Bool(l.cfg.LossProb) {
 		l.stats.DroppedLoss++
+		l.traceDrop(pkt, "loss")
 		l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedLoss})
 		return
 	}
@@ -156,6 +182,7 @@ func (l *Link) Send(size int, payload any) {
 	// Tail drop when the serialization queue is over its byte limit.
 	if l.queuedBytes+size > l.cfg.QueueLimit {
 		l.stats.DroppedQueue++
+		l.traceDrop(pkt, "queue")
 		l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedQueue})
 		return
 	}
@@ -180,6 +207,7 @@ func (l *Link) Send(size int, payload any) {
 	l.sched.At(arrival, func() {
 		l.stats.Delivered++
 		l.stats.BytesDelivered += int64(size)
+		l.traceDequeue(pkt)
 		l.deliver(pkt)
 	})
 	// netem-style duplication: a second copy with its own jitter draw.
@@ -188,8 +216,39 @@ func (l *Link) Send(size int, payload any) {
 		l.stats.Duplicated++
 		l.sched.At(dupArrival, func() {
 			l.stats.Delivered++
+			l.traceDequeue(pkt)
 			l.deliver(pkt)
 		})
+	}
+}
+
+func (l *Link) traceDrop(pkt *Packet, reason string) {
+	l.ctDrop.Inc()
+	if l.tr.Enabled() {
+		l.tr.Emit(trace.LayerNetsim, "drop",
+			trace.Str("dir", l.dir.String()), trace.Num("id", int64(pkt.ID)),
+			trace.Num("size", int64(pkt.Size)), trace.Str("reason", reason))
+	}
+}
+
+// traceDequeue records a delivery and flags packets overtaken in flight: a
+// delivered ID below the link's high-water mark means differential delay
+// reordered the stream (the adversary's jitter knob doing its job).
+func (l *Link) traceDequeue(pkt *Packet) {
+	l.ctDequeue.Inc()
+	reordered := pkt.ID < l.maxDelivered
+	if reordered {
+		l.ctReorder.Inc()
+	} else {
+		l.maxDelivered = pkt.ID
+	}
+	if l.tr.Enabled() {
+		l.tr.Emit(trace.LayerNetsim, "dequeue",
+			trace.Str("dir", l.dir.String()), trace.Num("id", int64(pkt.ID)), trace.Num("size", int64(pkt.Size)))
+		if reordered {
+			l.tr.Emit(trace.LayerNetsim, "reorder",
+				trace.Str("dir", l.dir.String()), trace.Num("id", int64(pkt.ID)), trace.Num("behind", int64(l.maxDelivered-pkt.ID)))
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"h2privacy/internal/simtime"
+	"h2privacy/internal/trace"
 )
 
 // PathConfig describes the full client↔server path. The same physical
@@ -14,6 +15,8 @@ type PathConfig struct {
 	// Asymmetric, when non-nil, configures the server→client link
 	// separately (e.g. an asymmetric access link).
 	Asymmetric *LinkConfig
+	// Tracer, when non-nil, arms per-packet tracing on both links.
+	Tracer *trace.Tracer
 }
 
 // Path is the bidirectional client↔server connection through the
@@ -44,6 +47,10 @@ func NewPath(sched *simtime.Scheduler, rng *simtime.Rand, cfg PathConfig) (*Path
 	s2c, err := NewLink(sched, rng.Fork(), ServerToClient, retCfg, nextID)
 	if err != nil {
 		return nil, fmt.Errorf("netsim: server→client link: %w", err)
+	}
+	if cfg.Tracer.Enabled() {
+		c2s.SetTracer(cfg.Tracer)
+		s2c.SetTracer(cfg.Tracer)
 	}
 	return &Path{c2s: c2s, s2c: s2c}, nil
 }

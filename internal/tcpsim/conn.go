@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"h2privacy/internal/simtime"
+	"h2privacy/internal/trace"
 )
 
 // Conn is one endpoint of a simulated TCP connection. It is event-driven:
@@ -66,6 +67,12 @@ type Conn struct {
 	eofSent     bool
 
 	stats Stats
+
+	tr        *trace.Tracer
+	ctRTO     *trace.Counter
+	ctFastRtx *trace.Counter
+	ctTLP     *trace.Counter
+	hSRTT     *trace.Histo
 }
 
 // NewConn builds an endpoint. name tags errors and traces ("client",
@@ -79,7 +86,7 @@ func NewConn(sched *simtime.Scheduler, cfg Config, name string, iss uint64, out 
 	if sched == nil || out == nil {
 		return nil, fmt.Errorf("tcpsim: NewConn requires scheduler and transmit function")
 	}
-	return &Conn{
+	c := &Conn{
 		sched:    sched,
 		cfg:      cfg,
 		name:     name,
@@ -91,7 +98,15 @@ func NewConn(sched *simtime.Scheduler, cfg Config, name string, iss uint64, out 
 		peerWnd:  cfg.RecvWindow,
 		rto:      time.Second, // conservative pre-handshake RTO (RFC 6298 §2)
 		ooo:      make(map[uint64][]byte),
-	}, nil
+	}
+	if cfg.Tracer.Enabled() {
+		c.tr = cfg.Tracer
+		c.ctRTO = c.tr.Counter(trace.LayerTCP, name+".rto")
+		c.ctFastRtx = c.tr.Counter(trace.LayerTCP, name+".fast-retransmit")
+		c.ctTLP = c.tr.Counter(trace.LayerTCP, name+".tlp")
+		c.hSRTT = c.tr.Histo(trace.LayerTCP, name+".srtt_ms")
+	}
+	return c, nil
 }
 
 // State reports the current connection state.
@@ -269,6 +284,9 @@ func (c *Conn) setState(s State) {
 
 func (c *Conn) fail(err error) {
 	c.failure = err
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.LayerTCP, "broken", trace.Str("conn", c.name), trace.Str("err", err.Error()))
+	}
 	c.disarmRTO()
 	c.disarmPTO()
 	c.cancelDelAck()

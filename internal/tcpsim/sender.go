@@ -3,7 +3,18 @@ package tcpsim
 import (
 	"fmt"
 	"time"
+
+	"h2privacy/internal/trace"
 )
+
+// traceCwnd records a congestion-window change with its cause.
+func (c *Conn) traceCwnd(why string) {
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.LayerTCP, "cwnd",
+			trace.Str("conn", c.name), trace.Num("cwnd", int64(c.cwnd)),
+			trace.Num("ssthresh", int64(c.ssthresh)), trace.Str("why", why))
+	}
+}
 
 // trySend pushes as much buffered data as the send window allows, then the
 // FIN if one is queued and all data is out.
@@ -123,6 +134,11 @@ func (c *Conn) processAck(seg *Segment) {
 				// Full recovery: deflate to ssthresh.
 				c.inRecovery = false
 				c.cwnd = c.ssthresh
+				if c.tr.Enabled() {
+					c.tr.Emit(trace.LayerTCP, "recovery-exit",
+						trace.Str("conn", c.name), trace.Num("cwnd", int64(c.cwnd)))
+				}
+				c.traceCwnd("recovery-exit")
 			} else {
 				// Partial ACK: the next hole is lost too; retransmit it
 				// immediately without leaving recovery (NewReno).
@@ -136,6 +152,7 @@ func (c *Conn) processAck(seg *Segment) {
 					inc = c.cfg.MSS
 				}
 				c.cwnd += inc
+				c.traceCwnd("slow-start")
 			} else {
 				// Congestion avoidance: ~one MSS per RTT.
 				inc := c.cfg.MSS * c.cfg.MSS / c.cwnd
@@ -143,6 +160,7 @@ func (c *Conn) processAck(seg *Segment) {
 					inc = 1
 				}
 				c.cwnd += inc
+				c.traceCwnd("cong-avoid")
 			}
 		}
 
@@ -174,6 +192,7 @@ func (c *Conn) processAck(seg *Segment) {
 				// Inflate during recovery: each further dup-ACK signals a
 				// departed segment.
 				c.cwnd += c.cfg.MSS
+				c.traceCwnd("dupack-inflate")
 				c.trySend()
 			}
 		}
@@ -223,11 +242,18 @@ func (c *Conn) fastRetransmit() {
 		c.ssthresh = min
 	}
 	c.stats.FastRetransmits++
+	c.ctFastRtx.Inc()
 	c.rttPending = false // Karn: retransmission poisons the sample
 	c.retransmitFirstUnacked()
 	c.cwnd = c.ssthresh + c.cfg.DupAckThreshold*c.cfg.MSS
 	c.inRecovery = true
 	c.recoverPt = c.sndNxt
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.LayerTCP, "recovery-enter",
+			trace.Str("conn", c.name), trace.Num("cwnd", int64(c.cwnd)),
+			trace.Num("ssthresh", int64(c.ssthresh)), trace.Num("flight", int64(flight)))
+	}
+	c.traceCwnd("fast-retransmit")
 }
 
 // retransmitFirstUnacked re-sends one MSS (or the FIN) starting at sndUna.
@@ -270,7 +296,13 @@ func (c *Conn) onRTO() {
 		c.rackTimer = nil
 	}
 	c.stats.RTOExpiries++
+	c.ctRTO.Inc()
 	c.retries++
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.LayerTCP, "rto",
+			trace.Str("conn", c.name), trace.Num("retries", int64(c.retries)),
+			trace.Dur("rto", c.rto), trace.Num("flight", int64(c.sndNxt-c.sndUna)))
+	}
 	if c.retries > c.cfg.MaxRetries {
 		c.fail(fmt.Errorf("tcpsim: %s: %d consecutive retransmission timeouts", c.name, c.retries))
 		return
@@ -299,6 +331,7 @@ func (c *Conn) onRTO() {
 			c.ssthresh = min
 		}
 		c.cwnd = c.cfg.MSS
+		c.traceCwnd("rto")
 		// Go-back-N: rewind and let trySend re-emit (marked Retransmit).
 		c.sndNxt = c.sndUna
 		if c.finSent && c.finSeq >= c.sndUna {
@@ -313,6 +346,11 @@ func (c *Conn) onRTO() {
 func (c *Conn) sampleRTT(sample time.Duration) {
 	if sample <= 0 {
 		sample = time.Microsecond
+	}
+	if c.tr.Enabled() {
+		c.hSRTT.ObserveDuration(sample)
+		c.tr.Emit(trace.LayerTCP, "srtt",
+			trace.Str("conn", c.name), trace.Dur("sample", sample), trace.Dur("srtt", c.srtt))
 	}
 	if c.srtt == 0 {
 		c.srtt = sample
@@ -372,6 +410,11 @@ func (c *Conn) armPTO() {
 			return
 		}
 		c.stats.TLPProbes++
+		c.ctTLP.Inc()
+		if c.tr.Enabled() {
+			c.tr.Emit(trace.LayerTCP, "tlp",
+				trace.Str("conn", c.name), trace.Num("flight", int64(c.sndNxt-c.sndUna)))
+		}
 		c.rttPending = false // Karn: the probe poisons pending samples
 		c.retransmitFirstUnacked()
 		// No backoff, no cwnd collapse: the RTO remains armed as the

@@ -14,6 +14,8 @@ package tcpsim
 import (
 	"fmt"
 	"time"
+
+	"h2privacy/internal/trace"
 )
 
 // HeaderOverhead is the per-segment IP+TCP header cost in bytes, used to
@@ -159,6 +161,9 @@ type Config struct {
 	// still outlasts the window and triggers the storm the paper
 	// documents.
 	DisableRACKWindow bool
+	// Tracer, when non-nil, arms per-connection transport tracing (cwnd
+	// changes, RTO fires, recovery entry/exit, SRTT samples).
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
