@@ -12,6 +12,7 @@ import (
 	"h2privacy/internal/h2"
 	"h2privacy/internal/hpack"
 	"h2privacy/internal/metrics"
+	"h2privacy/internal/obs"
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/tlsrec"
 	"h2privacy/internal/trace"
@@ -229,6 +230,48 @@ func BenchmarkTraceOverhead(b *testing.B) {
 			if tr.Len() == 0 {
 				b.Fatal("traced trial emitted nothing")
 			}
+		}
+	})
+}
+
+// --- obs subsystem ---
+
+// BenchmarkObsOverhead measures the metrics registry through a whole
+// trial, mirroring BenchmarkTraceOverhead: the unarmed path (nil registry,
+// every instrument a nil no-op — the default for everything above), the
+// armed instrument hot paths, and a fully metered attack trial against
+// BenchmarkTrialFullAttack's unmetered baseline. The per-instrument
+// numbers live in internal/obs/bench_test.go; this pins the end-to-end
+// cost: an unmetered trial must not regress when the instrumentation is
+// compiled in, and a metered trial's overhead stays in the noise because
+// the per-trial publish happens once at collect() time, not per packet.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("inc-unarmed", func(b *testing.B) {
+		var reg *obs.Registry
+		c := reg.Counter("x_total", "")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("inc-armed", func(b *testing.B) {
+		c := obs.NewRegistry().Counter("x_total", "")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("trial-metered", func(b *testing.B) {
+		plan := adversary.DefaultPlan()
+		reg := obs.NewRegistry()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunTrial(core.TrialConfig{Seed: int64(i), Attack: &plan, Metrics: reg}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if reg.Snapshot().Families == nil {
+			b.Fatal("metered trial published nothing")
 		}
 	})
 }

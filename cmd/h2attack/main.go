@@ -4,6 +4,7 @@
 //
 //	h2attack [-seed N] [-jitter1 50ms] [-jitter3 80ms] [-drop 0.8] [-bw 800]
 //	         [-trace out.json] [-trace-format chrome|jsonl|summary] [-timeline]
+//	         [-debug-addr :9090] [-hold 30s]
 package main
 
 import (
@@ -15,7 +16,9 @@ import (
 
 	"h2privacy/internal/adversary"
 	"h2privacy/internal/capture"
+	"h2privacy/internal/cliutil"
 	"h2privacy/internal/core"
+	"h2privacy/internal/obs"
 	"h2privacy/internal/trace"
 	"h2privacy/internal/website"
 )
@@ -28,9 +31,11 @@ func main() {
 	bw := flag.Float64("bw", 800, "throttle bandwidth in Mbps")
 	pcapPath := flag.String("pcap", "", "export the gateway's capture to this pcap file")
 	timeline := flag.Bool("timeline", false, "print the merged event timeline")
-	tracePath := flag.String("trace", "", "export the trial's cross-layer trace to this file")
-	traceFormat := flag.String("trace-format", trace.FormatChrome,
-		"trace export format: "+strings.Join(trace.Formats(), ", "))
+	hold := flag.Duration("hold", 0, "keep the process (and -debug-addr endpoints) alive this long after the trial")
+	var tf cliutil.TraceFlags
+	tf.RegisterTrace(flag.CommandLine, "the trial's cross-layer trace")
+	var df cliutil.DebugFlags
+	df.RegisterDebug(flag.CommandLine)
 	flag.Parse()
 
 	plan := adversary.DefaultPlan()
@@ -39,17 +44,33 @@ func main() {
 	plan.DropRate = *drop
 	plan.ThrottleBps = *bw * 1e6
 
-	// -timeline also arms the tracer: the trace-derived timeline carries
-	// the TCP events (RTO fires, recovery) the legacy logs never had.
-	var tracer *trace.Tracer
-	if *tracePath != "" || *timeline {
-		tracer = trace.New(nil, trace.Config{})
+	// -timeline and -debug-addr also arm the tracer: the trace-derived
+	// timeline carries the TCP events the legacy logs never had, and the
+	// debug server's /debug/trace endpoint serves the ring live. With a
+	// debug server attached, HTTP scrapes race the simulation goroutine,
+	// so the tracer takes its mutex path.
+	tracer, err := tf.NewTracer(trace.Config{Concurrent: df.Armed()}, *timeline || df.Armed())
+	if err != nil {
+		fatal(err)
 	}
 
-	tb, err := core.NewTestbed(core.TrialConfig{Seed: *seed, Attack: &plan, Trace: tracer})
+	// -debug-addr arms the metrics registry: the trial's counters and
+	// histograms (adversary interventions, phases, retransmits, page-load
+	// time) accumulate there and /metrics serves them, mirrored trace
+	// counters included.
+	var reg *obs.Registry
+	if df.Armed() {
+		reg = obs.NewRegistry()
+		obs.PublishTrace(reg, tracer)
+	}
+	ds, err := df.Serve(reg, tracer, os.Stderr, "h2attack")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "h2attack:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+
+	tb, err := core.NewTestbed(core.TrialConfig{Seed: *seed, Attack: &plan, Trace: tracer, Metrics: reg})
+	if err != nil {
+		fatal(err)
 	}
 	if *pcapPath != "" {
 		tb.Monitor.EnablePacketLog()
@@ -57,17 +78,12 @@ func main() {
 	res := tb.Run()
 	if *pcapPath != "" {
 		if err := writePcap(*pcapPath, tb); err != nil {
-			fmt.Fprintln(os.Stderr, "h2attack:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("wrote %d observed packets to %s\n\n", len(tb.Monitor.Packets()), *pcapPath)
 	}
-	if *tracePath != "" {
-		if err := writeTrace(*tracePath, *traceFormat, tracer); err != nil {
-			fmt.Fprintln(os.Stderr, "h2attack:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %d trace events (%s) to %s\n\n", tracer.Len(), *traceFormat, *tracePath)
+	if err := tf.Export(tracer, os.Stdout, "h2attack"); err != nil {
+		fatal(err)
 	}
 
 	fmt.Println("== attack phases ==")
@@ -103,6 +119,19 @@ func main() {
 	if res.Broken {
 		fmt.Printf("  page load broke: %s\n", res.BrokenReason)
 	}
+
+	if ds != nil {
+		if *hold > 0 {
+			fmt.Fprintf(os.Stderr, "h2attack: holding %v for debug scrapes\n", *hold)
+			time.Sleep(*hold)
+		}
+		_ = ds.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "h2attack:", err)
+	os.Exit(1)
 }
 
 func writePcap(path string, tb *core.Testbed) error {
@@ -112,18 +141,6 @@ func writePcap(path string, tb *core.Testbed) error {
 	}
 	defer f.Close()
 	return capture.WritePcap(f, tb.Monitor.Packets())
-}
-
-func writeTrace(path, format string, tr *trace.Tracer) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := tr.WriteFormat(f, format); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func seqString(ids []string) string {

@@ -6,6 +6,7 @@
 //	h2bench [-trials N] [-seed S] all
 //	h2bench [-trials N] [-seed S] table1 fig5 table2 …
 //	h2bench [-trace out.json] [-trace-format chrome|jsonl|summary] table2
+//	h2bench [-manifest run.json] [-debug-addr :9090] [-quiet] all
 //	h2bench -list
 package main
 
@@ -15,7 +16,9 @@ import (
 	"os"
 	"strings"
 
+	"h2privacy/internal/cliutil"
 	"h2privacy/internal/experiment"
+	"h2privacy/internal/obs"
 	"h2privacy/internal/trace"
 )
 
@@ -28,9 +31,12 @@ func run() int {
 	seed := flag.Int64("seed", 1, "base seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	tracePath := flag.String("trace", "", "export the first trial's cross-layer trace to this file")
-	traceFormat := flag.String("trace-format", trace.FormatChrome,
-		"trace export format: "+strings.Join(trace.Formats(), ", "))
+	manifestPath := flag.String("manifest", "", "write a run manifest (options, per-experiment wall time, metrics snapshot) to this JSON file")
+	quiet := flag.Bool("quiet", false, "suppress the stderr progress reporter")
+	var tf cliutil.TraceFlags
+	tf.RegisterTrace(flag.CommandLine, "the first trial's cross-layer trace")
+	var df cliutil.DebugFlags
+	df.RegisterDebug(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: h2bench [flags] all|<experiment-id>...\nexperiments: %s\n", strings.Join(experiment.IDs(), " "))
 		flag.PrintDefaults()
@@ -46,8 +52,36 @@ func run() int {
 		return 2
 	}
 	opts := experiment.Options{Trials: *trials, BaseSeed: *seed}
-	if *tracePath != "" {
-		opts.Trace = trace.New(nil, trace.Config{})
+	tracer, err := tf.NewTracer(trace.Config{Concurrent: df.Armed()}, df.Armed())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "h2bench:", err)
+		return 2
+	}
+	opts.Trace = tracer
+	// A manifest or a debug endpoint arms the sweep-wide metrics registry:
+	// every trial accumulates into it, /metrics serves it live, and the
+	// manifest records its final snapshot.
+	if *manifestPath != "" || df.Armed() {
+		opts.Metrics = obs.NewRegistry()
+		obs.PublishTrace(opts.Metrics, tracer)
+	}
+	ds, err := df.Serve(opts.Metrics, tracer, os.Stderr, "h2bench")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "h2bench:", err)
+		return 1
+	}
+	if ds != nil {
+		defer ds.Close()
+	}
+	if !*quiet {
+		opts.Progress = experiment.NewProgress(os.Stderr)
+	} else if *manifestPath != "" {
+		// The manifest still needs trial counts; count without rendering.
+		opts.Progress = experiment.NewProgress(nil)
+	}
+	var manifest *experiment.Manifest
+	if *manifestPath != "" {
+		manifest = experiment.NewManifest("h2bench", opts)
 	}
 	if len(args) == 1 && args[0] == "all" {
 		args = experiment.IDs()
@@ -58,11 +92,14 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "h2bench: unknown experiment %q (try -list)\n", id)
 			return 2
 		}
+		opts.Progress.Start(id, experiment.PlannedTrials(id, opts))
 		rep, err := runner(opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "h2bench:", err)
 			return 1
 		}
+		nTrials, wall := opts.Progress.Done()
+		manifest.Record(id, rep.Title, nTrials, len(rep.Rows), wall)
 		if *csvOut {
 			fmt.Printf("# %s\n", rep.ID)
 			if err := rep.RenderCSV(os.Stdout); err != nil {
@@ -74,20 +111,18 @@ func run() int {
 			rep.Render(os.Stdout)
 		}
 	}
-	if opts.Trace != nil {
-		f, err := os.Create(*tracePath)
-		if err == nil {
-			err = opts.Trace.WriteFormat(f, *traceFormat)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
+	if err := tf.Export(opts.Trace, os.Stderr, "h2bench"); err != nil {
+		fmt.Fprintln(os.Stderr, "h2bench:", err)
+		return 1
+	}
+	if manifest != nil {
+		manifest.Finish(opts.Metrics)
+		if err := manifest.WriteFile(*manifestPath); err != nil {
 			fmt.Fprintln(os.Stderr, "h2bench:", err)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "h2bench: wrote %d trace events (%s) to %s\n",
-			opts.Trace.Len(), *traceFormat, *tracePath)
+		fmt.Fprintf(os.Stderr, "h2bench: wrote run manifest (%d experiments) to %s\n",
+			len(manifest.Runs), *manifestPath)
 	}
 	return 0
 }

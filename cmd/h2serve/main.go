@@ -3,6 +3,7 @@
 // Poke it with examples/realtcp's client or any same-stack client.
 //
 //	h2serve [-addr 127.0.0.1:8443] [-trace out.json] [-trace-format chrome|jsonl|summary]
+//	        [-debug-addr :9090]
 package main
 
 import (
@@ -11,56 +12,75 @@ import (
 	"net"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 
+	"h2privacy/internal/cliutil"
 	"h2privacy/internal/h2"
 	"h2privacy/internal/h2/h2sync"
-	"h2privacy/internal/trace"
+	"h2privacy/internal/obs"
 	"h2privacy/internal/website"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8443", "listen address")
-	tracePath := flag.String("trace", "", "export the server's h2-layer trace to this file on SIGINT")
-	traceFormat := flag.String("trace-format", trace.FormatChrome,
-		"trace export format: "+strings.Join(trace.Formats(), ", "))
+	var tf cliutil.TraceFlags
+	tf.RegisterTrace(flag.CommandLine, "the server's h2-layer trace (written on SIGINT)")
+	var df cliutil.DebugFlags
+	df.RegisterDebug(flag.CommandLine)
 	flag.Parse()
-	if err := run(*addr, *tracePath, *traceFormat); err != nil {
+	if err := run(*addr, tf, df); err != nil {
 		fmt.Fprintln(os.Stderr, "h2serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, tracePath, traceFormat string) error {
+func run(addr string, tf cliutil.TraceFlags, df cliutil.DebugFlags) error {
 	site := website.ISideWith()
 	// Real-TCP serving has no virtual clock and one goroutine per stream,
 	// so the tracer stamps wall time and takes the mutex path. The trace
 	// is best-effort diagnostics here, not a determinism artifact.
-	var tracer *trace.Tracer
-	if tracePath != "" {
-		tracer = trace.New(trace.WallClock(), trace.Config{Concurrent: true})
+	// -debug-addr also arms it, so /debug/trace has a ring to serve.
+	tracer, err := tf.NewWallTracer(df.Armed())
+	if err != nil {
+		return err
+	}
+	if tf.Armed() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			<-sig
-			if err := writeTrace(tracePath, traceFormat, tracer); err != nil {
+			if err := tf.Export(tracer, os.Stderr, "h2serve"); err != nil {
 				fmt.Fprintln(os.Stderr, "h2serve:", err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "h2serve: wrote %d trace events (%s) to %s\n",
-				tracer.Len(), traceFormat, tracePath)
 			os.Exit(0)
 		}()
+	}
+	var reg *obs.Registry
+	var mRequests *obs.CounterVec
+	if df.Armed() {
+		reg = obs.NewRegistry()
+		obs.PublishTrace(reg, tracer)
+		mRequests = reg.CounterVec("h2privacy_server_requests_total",
+			"Requests served, by response status.", "status")
+	}
+	ds, err := df.Serve(reg, tracer, os.Stderr, "h2serve")
+	if err != nil {
+		return err
+	}
+	if ds != nil {
+		defer ds.Close()
 	}
 	srv := &h2sync.Server{
 		Config: h2.Config{Tracer: tracer, TraceName: "server"},
 		Handler: func(w *h2sync.ResponseWriter, r *h2sync.Request) {
 			obj := site.Lookup(r.Path)
 			if obj == nil {
+				mRequests.With("404").Inc()
 				_ = w.WriteHeader(404)
 				return
 			}
+			mRequests.With("200").Inc()
 			_ = w.WriteHeader(200, h2.HeaderField{Name: "content-type", Value: obj.Type})
 			_, _ = w.Write(site.Body(obj))
 		},
@@ -75,16 +95,4 @@ func run(addr, tracePath, traceFormat string) error {
 		fmt.Printf("  %-40s %7d bytes\n", o.Path, o.Size)
 	}
 	return srv.ListenAndServe(l)
-}
-
-func writeTrace(path, format string, tr *trace.Tracer) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := tr.WriteFormat(f, format); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

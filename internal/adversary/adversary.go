@@ -10,6 +10,7 @@ import (
 
 	"h2privacy/internal/capture"
 	"h2privacy/internal/netsim"
+	"h2privacy/internal/obs"
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/tcpsim"
 	"h2privacy/internal/trace"
@@ -52,6 +53,13 @@ type Controller struct {
 	ctDrops    *trace.Counter
 	ctDelayed  *trace.Counter
 	ctJittered *trace.Counter
+
+	// First-class metrics (nil when no registry is armed; every method on
+	// a nil instrument is a free no-op).
+	mDrops    *obs.Counter
+	mDelayed  *obs.Counter
+	mJittered *obs.Counter
+	mThrottle *obs.Counter
 }
 
 // ControllerStats counts the controller's interventions.
@@ -93,6 +101,22 @@ func (c *Controller) SetTracer(tr *trace.Tracer) {
 // driver emits its phase transitions through it.
 func (c *Controller) Tracer() *trace.Tracer { return c.tr }
 
+// SetMetrics arms first-class adversary metrics: every intervention the
+// controller makes (drops, delayed GETs, jittered packets, throttle
+// changes) increments a registry counter as it happens, so a live
+// /metrics scrape shows the attack's footprint mid-trial. A nil registry
+// leaves the nil no-op instruments in place.
+func (c *Controller) SetMetrics(reg *obs.Registry) {
+	c.mDrops = reg.Counter("h2privacy_adversary_drops_total",
+		"Packets dropped by the adversary's targeted-drop window.")
+	c.mDelayed = reg.Counter("h2privacy_adversary_delayed_gets_total",
+		"GET requests delayed by the per-request jitter schedule.")
+	c.mJittered = reg.Counter("h2privacy_adversary_jittered_packets_total",
+		"Packets given netem-style random jitter.")
+	c.mThrottle = reg.Counter("h2privacy_adversary_throttle_events_total",
+		"Bandwidth-limit changes applied to the path.")
+}
+
 // SetRequestSpacing sets the targeted jitter d (§IV-B). Setting it resets
 // the request counter (the attack driver restarts the schedule per phase);
 // zero disables.
@@ -111,6 +135,7 @@ func (c *Controller) SetRandomJitter(dir netsim.Direction, max time.Duration) {
 // Throttle limits both directions' bandwidth (§IV-C).
 func (c *Controller) Throttle(bps float64) {
 	c.stats.ThrottleEvents++
+	c.mThrottle.Inc()
 	if c.tr.Enabled() {
 		c.tr.Emit(trace.LayerAdversary, "throttle", trace.Num("bps", int64(bps)))
 	}
@@ -155,6 +180,7 @@ func (c *Controller) Process(now time.Duration, pkt *netsim.Packet) netsim.Verdi
 				v.ExtraDelay += extra
 				c.stats.DelayedGETs++
 				c.ctDelayed.Inc()
+				c.mDelayed.Inc()
 				c.stats.TotalGETDelay += extra
 				if c.tr.Enabled() {
 					c.tr.Emit(trace.LayerAdversary, "delay-get",
@@ -171,6 +197,7 @@ func (c *Controller) Process(now time.Duration, pkt *netsim.Packet) netsim.Verdi
 			if c.rng.Bool(rate) {
 				c.stats.DroppedPkts++
 				c.ctDrops.Inc()
+				c.mDrops.Inc()
 				if c.tr.Enabled() {
 					rtx := int64(0)
 					if seg.Retransmit {
@@ -188,6 +215,7 @@ func (c *Controller) Process(now time.Duration, pkt *netsim.Packet) netsim.Verdi
 		v.ExtraDelay += c.rng.Uniform(0, max)
 		c.stats.JitteredPkts++
 		c.ctJittered.Inc()
+		c.mJittered.Inc()
 	}
 	return v
 }

@@ -5,6 +5,7 @@ import (
 
 	"h2privacy/internal/capture"
 	"h2privacy/internal/netsim"
+	"h2privacy/internal/obs"
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/trace"
 )
@@ -97,6 +98,10 @@ type Driver struct {
 	phase      Phase
 	// PhaseLog records (time, phase) transitions for the experiment logs.
 	PhaseLog []PhaseChange
+
+	// Live phase metrics (nil instruments when no registry is armed).
+	mPhase       *obs.Gauge
+	mTransitions *obs.CounterVec
 }
 
 // PhaseChange is one driver transition.
@@ -126,9 +131,53 @@ func NewDriver(sched *simtime.Scheduler, controller *Controller, monitor *captur
 // Phase reports the current phase.
 func (d *Driver) Phase() Phase { return d.phase }
 
+// SetMetrics arms live phase metrics: a gauge holding the current phase
+// number and a per-phase transition counter, updated at every transition.
+// The driver transitions into PhaseIdle during construction, before a
+// registry can be attached, so arming also stamps the current state.
+func (d *Driver) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	d.mPhase = reg.Gauge("h2privacy_adversary_phase",
+		"Current attack phase (1 jitter+count, 2 throttle+drop, 3 space-images).")
+	d.mTransitions = reg.CounterVec("h2privacy_adversary_phase_transitions_total",
+		"Attack phase transitions.", "phase")
+	d.mPhase.Set(float64(d.phase))
+	for _, pc := range d.PhaseLog {
+		d.mTransitions.With(pc.Phase.String()).Inc()
+	}
+}
+
+// PhaseSpan is one completed attack phase with its virtual-time duration.
+type PhaseSpan struct {
+	Phase    Phase
+	Duration time.Duration
+}
+
+// PhaseSpans converts the transition log into per-phase durations; the
+// final phase is closed at end (the trial's quiescence time). This feeds
+// the per-trial phase-duration histograms.
+func (d *Driver) PhaseSpans(end time.Duration) []PhaseSpan {
+	spans := make([]PhaseSpan, 0, len(d.PhaseLog))
+	for i, pc := range d.PhaseLog {
+		until := end
+		if i+1 < len(d.PhaseLog) {
+			until = d.PhaseLog[i+1].Time
+		}
+		if until < pc.Time {
+			until = pc.Time
+		}
+		spans = append(spans, PhaseSpan{Phase: pc.Phase, Duration: until - pc.Time})
+	}
+	return spans
+}
+
 func (d *Driver) transition(p Phase) {
 	d.phase = p
 	d.PhaseLog = append(d.PhaseLog, PhaseChange{Time: d.sched.Now(), Phase: p})
+	d.mPhase.Set(float64(p))
+	d.mTransitions.With(p.String()).Inc()
 	if tr := d.controller.Tracer(); tr.Enabled() {
 		tr.Emit(trace.LayerAdversary, "phase", trace.Str("to", p.String()))
 	}

@@ -1,0 +1,132 @@
+// Package cliutil factors the flag plumbing the repository's commands
+// share: the -trace/-trace-format pair with its export-on-exit receipt,
+// and the -debug-addr observability endpoint (metrics + pprof + live
+// trace download). Commands register the flags on their FlagSet, then ask
+// for a tracer / debug server after flag.Parse; everything stays inert
+// when the flags are unset.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"h2privacy/internal/obs"
+	"h2privacy/internal/trace"
+)
+
+// TraceFlags holds the -trace / -trace-format pair.
+type TraceFlags struct {
+	Path   string
+	Format string
+}
+
+// RegisterTrace adds -trace and -trace-format to fs. what describes the
+// trace in the -trace flag's help text ("the trial's cross-layer trace").
+func (tf *TraceFlags) RegisterTrace(fs *flag.FlagSet, what string) {
+	fs.StringVar(&tf.Path, "trace", "", "export "+what+" to this file")
+	fs.StringVar(&tf.Format, "trace-format", trace.FormatChrome,
+		"trace export format: "+strings.Join(trace.Formats(), ", "))
+}
+
+// Armed reports whether -trace was given.
+func (tf *TraceFlags) Armed() bool { return tf.Path != "" }
+
+// NewTracer validates the format up front (so a typo fails before a long
+// run, not at export time) and returns a tracer when -trace was given or
+// force is set — commands force one when another consumer (a timeline, a
+// debug endpoint) needs events regardless of export. Returns nil, nil
+// when no tracer is wanted.
+func (tf *TraceFlags) NewTracer(cfg trace.Config, force bool) (*trace.Tracer, error) {
+	if !tf.Armed() && !force {
+		return nil, nil
+	}
+	if !validFormat(tf.Format) {
+		return nil, fmt.Errorf("unknown trace format %q (want %s)",
+			tf.Format, strings.Join(trace.Formats(), ", "))
+	}
+	return trace.New(nil, cfg), nil
+}
+
+// NewWallTracer is NewTracer for wall-clock, goroutine-per-stream
+// commands (h2serve): the tracer stamps real time and takes the mutex
+// path.
+func (tf *TraceFlags) NewWallTracer(force bool) (*trace.Tracer, error) {
+	if !tf.Armed() && !force {
+		return nil, nil
+	}
+	if !validFormat(tf.Format) {
+		return nil, fmt.Errorf("unknown trace format %q (want %s)",
+			tf.Format, strings.Join(trace.Formats(), ", "))
+	}
+	return trace.New(trace.WallClock(), trace.Config{Concurrent: true}), nil
+}
+
+// Export writes the trace to -trace's path in -trace-format and prints a
+// receipt to logw ("tool: wrote N trace events ..."). A no-op when -trace
+// was not given or the tracer is nil.
+func (tf *TraceFlags) Export(tr *trace.Tracer, logw io.Writer, tool string) error {
+	if !tf.Armed() || tr == nil {
+		return nil
+	}
+	f, err := os.Create(tf.Path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteFormat(f, tf.Format); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if logw != nil {
+		fmt.Fprintf(logw, "%s: wrote %d trace events (%s) to %s\n",
+			tool, tr.Len(), tf.Format, tf.Path)
+	}
+	return nil
+}
+
+func validFormat(format string) bool {
+	for _, f := range trace.Formats() {
+		if f == format {
+			return true
+		}
+	}
+	return false
+}
+
+// DebugFlags holds -debug-addr.
+type DebugFlags struct {
+	Addr string
+}
+
+// RegisterDebug adds -debug-addr to fs.
+func (df *DebugFlags) RegisterDebug(fs *flag.FlagSet) {
+	fs.StringVar(&df.Addr, "debug-addr", "",
+		"serve /metrics, /healthz, /debug/pprof and /debug/trace on this address (e.g. :9090; empty disables)")
+}
+
+// Armed reports whether -debug-addr was given.
+func (df *DebugFlags) Armed() bool { return df.Addr != "" }
+
+// Serve starts the debug HTTP server on -debug-addr with the given
+// registry and tracer, printing the resolved endpoint to logw. Returns
+// nil, nil when the flag is unset; the caller Closes the server on exit.
+func (df *DebugFlags) Serve(reg *obs.Registry, tr *trace.Tracer, logw io.Writer, tool string) (*obs.DebugServer, error) {
+	if !df.Armed() {
+		return nil, nil
+	}
+	ds := &obs.DebugServer{Registry: reg, Tracer: tr}
+	addr, err := ds.Start(df.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if logw != nil {
+		fmt.Fprintf(logw, "%s: debug endpoints on http://%s/ (/metrics /healthz /debug/pprof /debug/trace)\n",
+			tool, addr)
+	}
+	return ds, nil
+}

@@ -1,0 +1,126 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"h2privacy/internal/obs"
+	"h2privacy/internal/trace"
+)
+
+func TestTraceFlagsLifecycle(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var tf TraceFlags
+	tf.RegisterTrace(fs, "the test trace")
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := fs.Parse([]string{"-trace", path, "-trace-format", "summary"}); err != nil {
+		t.Fatal(err)
+	}
+	if !tf.Armed() {
+		t.Fatal("not armed after -trace")
+	}
+	tr, err := tf.NewTracer(trace.Config{}, false)
+	if err != nil || tr == nil {
+		t.Fatalf("NewTracer: %v %v", tr, err)
+	}
+	tr.Emit(trace.LayerH2, "frame", trace.Num("len", 9))
+	var log strings.Builder
+	if err := tf.Export(tr, &log, "testtool"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "events retained") {
+		t.Fatalf("summary export wrong: %q", data)
+	}
+	if !strings.Contains(log.String(), "testtool: wrote 1 trace events (summary)") {
+		t.Fatalf("receipt wrong: %q", log.String())
+	}
+}
+
+func TestTraceFlagsDisarmed(t *testing.T) {
+	var tf TraceFlags
+	tf.Format = trace.FormatChrome
+	tr, err := tf.NewTracer(trace.Config{}, false)
+	if err != nil || tr != nil {
+		t.Fatalf("disarmed NewTracer = %v %v", tr, err)
+	}
+	// force builds a tracer even without -trace; Export stays a no-op.
+	tr, err = tf.NewTracer(trace.Config{}, true)
+	if err != nil || tr == nil {
+		t.Fatalf("forced NewTracer = %v %v", tr, err)
+	}
+	if err := tf.Export(tr, io.Discard, "t"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceFlagsBadFormat(t *testing.T) {
+	tf := TraceFlags{Path: "x.json", Format: "nope"}
+	if _, err := tf.NewTracer(trace.Config{}, false); err == nil {
+		t.Fatal("bad format accepted by NewTracer")
+	}
+	if _, err := tf.NewWallTracer(false); err == nil {
+		t.Fatal("bad format accepted by NewWallTracer")
+	}
+}
+
+func TestWallTracer(t *testing.T) {
+	var tf TraceFlags
+	tf.Format = trace.FormatChrome
+	tr, err := tf.NewWallTracer(true)
+	if err != nil || tr == nil {
+		t.Fatalf("NewWallTracer = %v %v", tr, err)
+	}
+	tr.Emit(trace.LayerH2, "x")
+	if tr.Len() != 1 {
+		t.Fatal("wall tracer dropped the event")
+	}
+}
+
+func TestDebugFlagsServe(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var df DebugFlags
+	df.RegisterDebug(fs)
+	if err := fs.Parse([]string{"-debug-addr", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	reg.Counter("x_total", "").Inc()
+	var log strings.Builder
+	ds, err := df.Serve(reg, nil, &log, "testtool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	receipt := log.String()
+	if !strings.Contains(receipt, "testtool: debug endpoints on http://127.0.0.1:") {
+		t.Fatalf("receipt wrong: %q", receipt)
+	}
+	addr := strings.TrimPrefix(receipt[strings.Index(receipt, "http://"):], "http://")
+	addr = addr[:strings.Index(addr, "/")]
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "x_total 1") {
+		t.Fatalf("/metrics = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestDebugFlagsDisarmed(t *testing.T) {
+	var df DebugFlags
+	ds, err := df.Serve(obs.NewRegistry(), nil, io.Discard, "t")
+	if err != nil || ds != nil {
+		t.Fatalf("disarmed Serve = %v %v", ds, err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"h2privacy/internal/endpoint"
 	"h2privacy/internal/metrics"
 	"h2privacy/internal/netsim"
+	"h2privacy/internal/obs"
 	"h2privacy/internal/predict"
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/tcpsim"
@@ -77,6 +78,14 @@ type TrialConfig struct {
 	// browser, the server, the monitor and the adversary all emit events,
 	// counters and histograms into it. Nil disables tracing at zero cost.
 	Trace *trace.Tracer
+	// Metrics, when non-nil, receives the trial's aggregate metrics: the
+	// adversary's live intervention counters and phase state, and the
+	// per-trial outcome counters/histograms published at collection (GETs,
+	// retransmissions, drops, resets, clean-slate success, phase and page
+	// load durations). Sweeps point many trials at one registry; a debug
+	// server scraping it sees the sweep advance live. Nil disables at zero
+	// cost — the unarmed instruments are nil no-ops.
+	Metrics *obs.Registry
 }
 
 // Testbed is an assembled, un-run trial. Most callers use RunTrial; the
@@ -135,6 +144,9 @@ func NewTestbed(cfg TrialConfig) (*Testbed, error) {
 		tb.Monitor.SetTracer(cfg.Trace)
 		tb.Controller.SetTracer(cfg.Trace)
 	}
+	if cfg.Metrics != nil {
+		tb.Controller.SetMetrics(cfg.Metrics)
+	}
 	if cfg.CrossTrafficBps > 0 {
 		ct := netsim.NewCrossTraffic(sched, rng.Fork(), tb.Path, cfg.CrossTrafficBps, 0)
 		sched.At(0, ct.Start)
@@ -175,6 +187,9 @@ func NewTestbed(cfg TrialConfig) (*Testbed, error) {
 
 	if cfg.Attack != nil {
 		tb.Driver = adversary.NewDriver(sched, tb.Controller, tb.Monitor, *cfg.Attack)
+		if cfg.Metrics != nil {
+			tb.Driver.SetMetrics(cfg.Metrics)
+		}
 	} else {
 		// Single-knob studies.
 		if cfg.RequestSpacing > 0 {
@@ -281,7 +296,66 @@ func (tb *Testbed) collect() *TrialResult {
 	res.Bursts = analyzer.Bursts(tb.Monitor.Records())
 	res.Identified = analyzer.MatchedObjects(res.Bursts)
 	res.InferredSeq = analyzer.InferSequence(res.Bursts, res.TrueSeq)
+	tb.publishMetrics(res)
 	return res
+}
+
+// publishMetrics records the trial's outcome into the armed registry —
+// the aggregate signals the paper's evaluation is built from, one update
+// per trial. Every value is derived from virtual time or event counts, so
+// same-seed sweeps produce identical registry snapshots (the manifest's
+// byte-identity contract); nothing here reads the wall clock.
+func (tb *Testbed) publishMetrics(res *TrialResult) {
+	reg := tb.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("h2privacy_trials_total", "Page-load trials completed.").Inc()
+	if res.Broken {
+		reg.Counter("h2privacy_trials_broken_total", "Trials whose page load broke.").Inc()
+	}
+	reg.Counter("h2privacy_monitor_gets_total", "GET requests classified at the gateway monitor.").
+		Add(int64(res.GETs))
+	retrans := reg.CounterVec("h2privacy_tcp_retransmits_observed_total",
+		"Retransmitted TCP segments observed at the gateway, by direction.", "dir")
+	retrans.With("c2s").Add(int64(res.RetransC2S))
+	retrans.With("s2c").Add(int64(res.RetransS2C))
+	reg.Counter("h2privacy_browser_resets_total", "Browser stall-triggered stream-reset cycles.").
+		Add(int64(res.Resets))
+	reg.Counter("h2privacy_browser_duplicate_gets_total", "Browser duplicate (retried) GET requests.").
+		Add(int64(res.AppRetries))
+	reg.Counter("h2privacy_server_tasks_total", "Stream-serving tasks executed by the server (duplicates included).").
+		Add(int64(res.ServerTasks))
+
+	// Page-load completion time: the last object's virtual completion.
+	var last time.Duration
+	for _, at := range res.Completed {
+		if at > last {
+			last = at
+		}
+	}
+	if last > 0 {
+		reg.Histogram("h2privacy_page_load_seconds",
+			"Virtual time from trial start to the last completed object.",
+			obs.DurationBuckets).Observe(last.Seconds())
+	}
+
+	if tb.Driver == nil {
+		return
+	}
+	// Staged-attack trials additionally record the clean-slate outcome —
+	// did the reset cycle leave the quiz HTML serialized and identified —
+	// and how long each phase of the attack ran in virtual time.
+	reg.Counter("h2privacy_attack_trials_total", "Trials run with the full staged adversary.").Inc()
+	if res.ObjectSuccess(website.TargetID) {
+		reg.Counter("h2privacy_attack_clean_slate_success_total",
+			"Attack trials where the target transmitted serialized after the reset and was identified.").Inc()
+	}
+	phases := reg.HistogramVec("h2privacy_adversary_phase_seconds",
+		"Virtual-time duration of each attack phase.", obs.DurationBuckets, "phase")
+	for _, span := range tb.Driver.PhaseSpans(tb.Sched.Now()) {
+		phases.With(span.Phase.String()).Observe(span.Duration.Seconds())
+	}
 }
 
 // ObjectSuccess reports the paper's success criterion for one object: its

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"h2privacy/internal/adversary"
+	"h2privacy/internal/obs"
 	"h2privacy/internal/trace"
 	"h2privacy/internal/website"
 )
@@ -206,6 +207,75 @@ func TestTimeline(t *testing.T) {
 		t.Fatal("render missing phase lines")
 	}
 	RenderTimeline(&buf, nil)
+}
+
+func TestTrialMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	plan := adversary.DefaultPlan()
+	tb, err := NewTestbed(TrialConfig{Seed: 8, Attack: &plan, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tb.Run()
+	snap := reg.Snapshot()
+	val := func(name string) (float64, bool) {
+		for _, f := range snap.Families {
+			if f.Name == name && len(f.Series) > 0 {
+				return f.Series[0].Value, true
+			}
+		}
+		return 0, false
+	}
+	if v, ok := val("h2privacy_trials_total"); !ok || v != 1 {
+		t.Fatalf("trials_total = %v %v", v, ok)
+	}
+	if v, ok := val("h2privacy_attack_trials_total"); !ok || v != 1 {
+		t.Fatalf("attack_trials_total = %v %v", v, ok)
+	}
+	if v, ok := val("h2privacy_monitor_gets_total"); !ok || v != float64(res.GETs) {
+		t.Fatalf("monitor_gets_total = %v, want %d", v, res.GETs)
+	}
+	if v, ok := val("h2privacy_adversary_drops_total"); !ok || v != float64(tb.Controller.Stats().DroppedPkts) {
+		t.Fatalf("adversary_drops_total = %v, want %d", v, tb.Controller.Stats().DroppedPkts)
+	}
+	// The attack driver must have walked through all three phases, and the
+	// phase-duration histogram must hold one observation per span.
+	spans := tb.Driver.PhaseSpans(tb.Sched.Now())
+	if len(spans) < 3 {
+		t.Fatalf("driver logged %d phase spans, want ≥3", len(spans))
+	}
+	var phaseObs uint64
+	for _, f := range snap.Families {
+		if f.Name == "h2privacy_adversary_phase_seconds" {
+			for _, s := range f.Series {
+				phaseObs += s.Count
+			}
+		}
+	}
+	if phaseObs != uint64(len(spans)) {
+		t.Fatalf("phase histogram holds %d observations, want %d", phaseObs, len(spans))
+	}
+	// Everything published is virtual-time derived: a same-seed rerun into a
+	// fresh registry must produce an identical exposition.
+	reg2 := obs.NewRegistry()
+	tb2, err := NewTestbed(TrialConfig{Seed: 8, Attack: &plan, Metrics: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2.Run()
+	var a, b strings.Builder
+	if err := reg.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg2.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same-seed trials produced different expositions:\n%s\n---\n%s", a.String(), b.String())
+	}
+	if _, err := obs.LintExposition([]byte(a.String())); err != nil {
+		t.Fatalf("trial exposition rejected by golden parser: %v", err)
+	}
 }
 
 func TestTimelineFromTrace(t *testing.T) {

@@ -8,10 +8,12 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 
 	"h2privacy/internal/core"
+	"h2privacy/internal/obs"
 	"h2privacy/internal/trace"
 )
 
@@ -27,16 +29,35 @@ type Options struct {
 	// just interleave and overwrite itself, so the harness traces one
 	// representative trial and runs the rest dark.
 	Trace *trace.Tracer
+	// Metrics, when non-nil, receives every trial's per-trial metrics
+	// (core.TrialConfig.Metrics): the whole sweep accumulates into one
+	// registry, so a final snapshot summarizes the run and a live scrape
+	// shows it advancing. Nil keeps trials unmetered at zero cost.
+	Metrics *obs.Registry
+	// Progress, when non-nil, is ticked once per completed trial; RunAll
+	// also drives its Start/Done around each experiment. Nil reports
+	// nothing (RunAll substitutes a stderr reporter unless NoProgress).
+	Progress *Progress
+	// NoProgress suppresses RunAll's default stderr progress reporter.
+	NoProgress bool
+	// Manifest, when non-nil, collects per-experiment accounting in RunAll
+	// (callers running experiments by hand use Manifest.Record directly).
+	Manifest *Manifest
 }
 
 // runTrial is how every experiment runs a trial: it arms opts.Trace on the
-// first trial (detected by the tracer still being empty) and leaves later
-// trials untraced.
+// first trial (detected by the tracer still being empty), points the trial
+// at the sweep's shared metrics registry, and ticks the progress reporter.
 func (o Options) runTrial(cfg core.TrialConfig) (*core.TrialResult, error) {
 	if o.Trace.Enabled() && o.Trace.Len() == 0 && o.Trace.Dropped() == 0 {
 		cfg.Trace = o.Trace
 	}
-	return core.RunTrial(cfg)
+	if cfg.Metrics == nil {
+		cfg.Metrics = o.Metrics
+	}
+	res, err := core.RunTrial(cfg)
+	o.Progress.Tick()
+	return res, err
 }
 
 func (o Options) withDefaults() Options {
@@ -165,13 +186,23 @@ func Lookup(id string) (Runner, bool) {
 	return nil, false
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment in order, reporting per-experiment
+// progress (id, trial counts, trials/sec, ETA) through opts.Progress — or
+// a default stderr reporter unless opts.NoProgress — and recording each
+// experiment's accounting into opts.Manifest when one is attached.
 func RunAll(opts Options, w io.Writer) error {
+	opts = opts.withDefaults()
+	if opts.Progress == nil && !opts.NoProgress {
+		opts.Progress = NewProgress(os.Stderr)
+	}
 	for _, e := range registry {
+		opts.Progress.Start(e.id, PlannedTrials(e.id, opts))
 		rep, err := e.runner(opts)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", e.id, err)
 		}
+		trials, wall := opts.Progress.Done()
+		opts.Manifest.Record(e.id, rep.Title, trials, len(rep.Rows), wall)
 		rep.Render(w)
 	}
 	return nil

@@ -256,6 +256,9 @@ func H1Baseline(opts Options) (*Report, error) {
 				identified.Observe(matched[obj.ID])
 			}
 		}
+		// This runner assembles its H1 testbed by hand instead of going
+		// through runTrial, so it ticks the reporter itself.
+		opts.Progress.Tick()
 	}
 	return &Report{
 		ID:     "h1base",

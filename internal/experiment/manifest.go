@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"h2privacy/internal/obs"
+)
+
+// Manifest is a sweep's machine-readable run record: what was run (tool,
+// options, seeds), on what (Go version), how long each experiment took,
+// and the final metrics-registry snapshot. Everything except StartedAt and
+// the per-experiment WallMS values is derived from seeds and virtual time,
+// so two same-seed runs produce byte-identical manifests once
+// StripWallClock zeroes those fields.
+type Manifest struct {
+	Tool      string `json:"tool"`
+	GoVersion string `json:"go_version"`
+	// StartedAt is wall-clock (RFC3339); stripped by StripWallClock.
+	StartedAt string            `json:"started_at,omitempty"`
+	Trials    int               `json:"trials"`
+	BaseSeed  int64             `json:"base_seed"`
+	Runs      []ManifestRun     `json:"runs"`
+	Metrics   *obs.Snapshot     `json:"metrics,omitempty"`
+	Extra     map[string]string `json:"extra,omitempty"`
+}
+
+// ManifestRun is one experiment's entry.
+type ManifestRun struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	Trials int    `json:"trials"`
+	Rows   int    `json:"rows"`
+	// WallMS is wall-clock; stripped by StripWallClock.
+	WallMS int64 `json:"wall_ms"`
+}
+
+// NewManifest starts a manifest for a sweep run by tool with the given
+// (already-defaulted) options.
+func NewManifest(tool string, opts Options) *Manifest {
+	opts = opts.withDefaults()
+	return &Manifest{
+		Tool:      tool,
+		GoVersion: runtime.Version(),
+		StartedAt: time.Now().UTC().Format(time.RFC3339),
+		Trials:    opts.Trials,
+		BaseSeed:  opts.BaseSeed,
+	}
+}
+
+// Record appends one experiment's accounting.
+func (m *Manifest) Record(id, title string, trials, rows int, wall time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Runs = append(m.Runs, ManifestRun{
+		ID: id, Title: title, Trials: trials, Rows: rows,
+		WallMS: wall.Milliseconds(),
+	})
+}
+
+// Finish attaches the registry's final snapshot (nil registry → none).
+func (m *Manifest) Finish(reg *obs.Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	m.Metrics = reg.Snapshot()
+}
+
+// StripWallClock zeroes the wall-clock fields (StartedAt, per-run WallMS),
+// leaving only seed- and virtual-time-derived content. Two same-seed runs
+// stripped this way must serialize byte-identically — the property the
+// manifest tests pin.
+func (m *Manifest) StripWallClock() {
+	m.StartedAt = ""
+	for i := range m.Runs {
+		m.Runs[i].WallMS = 0
+	}
+}
+
+// WriteJSON serializes the manifest as indented canonical JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress reports a sweep's live trial rate to a terminal: each runner's
+// trials tick through it, and it renders an in-place status line (trials
+// done, trials/sec, ETA) at most a few times per second. A nil *Progress
+// counts nothing and renders nothing, so runners call Tick unconditionally.
+//
+// Progress is the one place in the experiment harness that reads the wall
+// clock; nothing it produces feeds the registry or the manifest's
+// deterministic fields, so same-seed sweeps stay byte-identical whether or
+// not a reporter is attached.
+type Progress struct {
+	w   io.Writer        // nil writer counts silently (for manifests without a terminal)
+	now func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	id      string
+	planned int
+	done    int
+	start   time.Time
+	last    time.Time // last render, for throttling
+	dirty   bool      // an in-place line is on screen and needs terminating
+}
+
+// renderEvery throttles in-place updates.
+const renderEvery = 200 * time.Millisecond
+
+// NewProgress returns a reporter writing in-place status lines to w. A nil
+// w still counts trials (Done reports them) but renders nothing.
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w, now: time.Now}
+}
+
+// Start begins a new experiment's accounting. planned is the expected
+// trial count (see PlannedTrials); zero means unknown and suppresses the
+// percentage and ETA.
+func (p *Progress) Start(id string, planned int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.id = id
+	p.planned = planned
+	p.done = 0
+	p.start = p.now()
+	p.last = time.Time{}
+	p.render(p.start)
+}
+
+// Tick records one completed trial. Nil-safe and cheap when throttled: a
+// mutex and a clock read, with a render only every renderEvery.
+func (p *Progress) Tick() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	now := p.now()
+	if now.Sub(p.last) < renderEvery {
+		return
+	}
+	p.render(now)
+}
+
+// Done closes the current experiment, prints its final line, and returns
+// the trial count and wall time it observed.
+func (p *Progress) Done() (trials int, wall time.Duration) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	wall = p.now().Sub(p.start)
+	if p.w != nil {
+		rate := rate(p.done, wall)
+		p.clearLine()
+		fmt.Fprintf(p.w, "%s: %d trials in %s (%s)\n", p.id, p.done, roundDur(wall), rate)
+	}
+	return p.done, wall
+}
+
+// render writes the in-place status line; callers hold p.mu.
+func (p *Progress) render(now time.Time) {
+	p.last = now
+	if p.w == nil {
+		return
+	}
+	elapsed := now.Sub(p.start)
+	line := fmt.Sprintf("\r%s: %d", p.id, p.done)
+	if p.planned > 0 {
+		line += fmt.Sprintf("/%d trials (%d%%)", p.planned, 100*p.done/p.planned)
+	} else {
+		line += " trials"
+	}
+	line += " " + rate(p.done, elapsed)
+	if p.planned > p.done && p.done > 0 && elapsed > 0 {
+		remaining := time.Duration(float64(elapsed) / float64(p.done) * float64(p.planned-p.done))
+		line += fmt.Sprintf(" ETA %s", roundDur(remaining))
+	}
+	// Pad to blot out any longer previous line.
+	if n := len(line); n < 64 {
+		line += spaces[:64-n]
+	}
+	fmt.Fprint(p.w, line)
+	p.dirty = true
+}
+
+// clearLine terminates a pending in-place line; callers hold p.mu.
+func (p *Progress) clearLine() {
+	if p.dirty {
+		fmt.Fprint(p.w, "\r")
+		p.dirty = false
+	}
+}
+
+var spaces = "                                                                "
+
+func rate(done int, elapsed time.Duration) string {
+	if elapsed <= 0 {
+		return "-- trials/s"
+	}
+	return fmt.Sprintf("%.1f trials/s", float64(done)/elapsed.Seconds())
+}
+
+func roundDur(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second)
+	case d >= time.Second:
+		return d.Round(100 * time.Millisecond)
+	default:
+		return d.Round(time.Millisecond)
+	}
+}
+
+// PlannedTrials estimates how many trials an experiment will run under the
+// given options — the per-runner sweep shapes, including the caps the
+// heavyweight sweeps apply (sensitivity: 40/config, crosstraffic and
+// h1base: 25). Unknown ids return 0 (progress shows a bare count).
+func PlannedTrials(id string, opts Options) int {
+	opts = opts.withDefaults()
+	T := opts.Trials
+	capped := func(n, max int) int {
+		if n > max {
+			return max
+		}
+		return n
+	}
+	switch id {
+	case "fig1", "fig3", "table2", "partial":
+		return T
+	case "fig2", "fig6", "defense", "pushdef", "tcpablation", "padding":
+		return 2 * T
+	case "fig4":
+		return 3 * T
+	case "table1", "ablation":
+		return 4 * T
+	case "fig5":
+		return 5 * T
+	case "sensitivity":
+		return 9 * capped(T, 40)
+	case "crosstraffic":
+		return 3 * capped(T, 25)
+	case "h1base":
+		return capped(T, 25)
+	}
+	return 0
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"h2privacy/internal/trace"
+)
+
+// PublishTrace bridges a cross-layer tracer into the registry: it
+// registers a snapshot-time collector that mirrors every trace counter
+// and histogram summary, so one /metrics scrape reflects netsim
+// enqueues/drops, tcpsim RTO/fast-retransmit/TLP counts, h2 flow-control
+// stalls, monitor GET classifications and adversary knob activity without
+// any of those components knowing about the registry.
+//
+// Trace counters keep their (layer, name) identity as labels — their
+// names ("client.rto", "s2c.drop") are not legal Prometheus metric names,
+// and labels keep one family per source kind. Mirroring happens only at
+// scrape/snapshot time; the simulation hot path is untouched.
+func PublishTrace(r *Registry, tr *trace.Tracer) {
+	if r == nil || !tr.Enabled() {
+		return
+	}
+	events := r.Gauge("h2privacy_trace_events",
+		"Trace events retained in the ring buffer.")
+	dropped := r.Gauge("h2privacy_trace_events_dropped",
+		"Trace events overwritten by the ring buffer.")
+	counters := r.CounterVec("h2privacy_trace_counter_total",
+		"Cross-layer trace counters, mirrored at scrape time.",
+		"layer", "name")
+	stats := r.GaugeVec("h2privacy_trace_histo",
+		"Cross-layer trace histogram summary statistics (stat is one of n, min, p50, p90, max, mean).",
+		"layer", "name", "stat")
+	r.RegisterCollector(func() {
+		events.Set(float64(tr.Len()))
+		dropped.Set(float64(tr.Dropped()))
+		for _, c := range tr.Counters() {
+			counters.With(c.Layer().String(), c.Name()).set(c.Value())
+		}
+		for _, h := range tr.Histos() {
+			s := h.Summary()
+			layer, name := h.Layer().String(), h.Name()
+			stats.With(layer, name, "n").Set(float64(s.N))
+			stats.With(layer, name, "min").Set(s.Min)
+			stats.With(layer, name, "p50").Set(s.P50)
+			stats.With(layer, name, "p90").Set(s.P90)
+			stats.With(layer, name, "max").Set(s.Max)
+			stats.With(layer, name, "mean").Set(s.Mean)
+		}
+	})
+}

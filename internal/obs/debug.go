@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"h2privacy/internal/trace"
+)
+
+// DebugServer is the live observability endpoint the cmd tools expose
+// behind -debug-addr. It costs nothing unless started: the tools only
+// construct one when the flag is set, and nothing in this package runs at
+// package init beyond stdlib expvar/pprof registration.
+//
+// Endpoints:
+//
+//	/metrics       Prometheus text exposition (?format=json for canonical JSON)
+//	/healthz       liveness probe ("ok")
+//	/debug/vars    expvar (cmdline, memstats)
+//	/debug/pprof/  pprof index, profile, heap, symbol, trace, …
+//	/debug/trace   live trace-ring download (?format=chrome|jsonl|summary)
+type DebugServer struct {
+	// Registry backs /metrics. A nil registry serves an empty exposition.
+	Registry *Registry
+	// Tracer backs /debug/trace; nil → 404 with a hint.
+	Tracer *trace.Tracer
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler returns the endpoint mux. Exposed for tests and for embedding
+// into an existing server.
+func (s *DebugServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace", s.serveTrace)
+	return mux
+}
+
+// Start listens on addr (":0" picks a free port) and serves in a
+// background goroutine, returning the bound address.
+func (s *DebugServer) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug server: %w", err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener; in-flight requests are abandoned (the debug
+// server is diagnostics, not a service).
+func (s *DebugServer) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *DebugServer) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = s.Registry.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", PrometheusContentType)
+	_ = s.Registry.WritePrometheus(w)
+}
+
+func (s *DebugServer) serveTrace(w http.ResponseWriter, r *http.Request) {
+	if !s.Tracer.Enabled() {
+		http.Error(w, "tracing not armed (run with -trace or -debug-addr arms it)", http.StatusNotFound)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = trace.FormatSummary
+	}
+	switch format {
+	case trace.FormatSummary:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	case trace.FormatChrome:
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+	case trace.FormatJSONL:
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q", format), http.StatusBadRequest)
+		return
+	}
+	_ = s.Tracer.WriteFormat(w, format)
+}

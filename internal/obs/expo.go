@@ -1,0 +1,379 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type the /metrics endpoint serves
+// for the text exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4, a subset of OpenMetrics): families sorted by
+// name, series sorted by label values, histogram buckets cumulative with
+// a closing +Inf. Same-seed sweeps produce byte-identical output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// WritePrometheus writes the snapshot in the text exposition format.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range s.Families {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, series := range f.Series {
+			switch f.Kind {
+			case "histogram":
+				writeHistogramSeries(bw, f, series)
+			default:
+				bw.WriteString(f.Name)
+				writeLabels(bw, f.LabelNames, series.LabelValues, "")
+				bw.WriteByte(' ')
+				bw.WriteString(formatValue(series.Value))
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogramSeries writes one histogram series: cumulative _bucket
+// lines closed by le="+Inf", then _sum and _count.
+func writeHistogramSeries(bw *bufio.Writer, f FamilySnap, s SeriesSnap) {
+	var cum uint64
+	for i, bound := range f.Buckets {
+		cum += s.BucketCounts[i]
+		bw.WriteString(f.Name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, f.LabelNames, s.LabelValues, formatValue(bound))
+		fmt.Fprintf(bw, " %d\n", cum)
+	}
+	bw.WriteString(f.Name)
+	bw.WriteString("_bucket")
+	writeLabels(bw, f.LabelNames, s.LabelValues, "+Inf")
+	fmt.Fprintf(bw, " %d\n", s.Count)
+	bw.WriteString(f.Name)
+	bw.WriteString("_sum")
+	writeLabels(bw, f.LabelNames, s.LabelValues, "")
+	fmt.Fprintf(bw, " %s\n", formatValue(s.Sum))
+	bw.WriteString(f.Name)
+	bw.WriteString("_count")
+	writeLabels(bw, f.LabelNames, s.LabelValues, "")
+	fmt.Fprintf(bw, " %d\n", s.Count)
+}
+
+// writeLabels writes the {name="value",…} block, appending an le bucket
+// label when le is non-empty. Writes nothing when there are no labels.
+func writeLabels(bw *bufio.Writer, names, values []string, le string) {
+	if len(names) == 0 && le == "" {
+		return
+	}
+	bw.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(n)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabelValue(values[i]))
+		bw.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="`)
+		bw.WriteString(le)
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+// escapeHelp escapes backslash and newline per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslash, double quote and newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus does: shortest
+// round-trip float, with ±Inf spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// WriteJSON writes the registry snapshot as canonical indented JSON: the
+// same deterministic ordering as the text exposition, structured for the
+// run manifest and for tooling that would rather not parse the text
+// format.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}
+
+// WriteJSON writes the snapshot as canonical indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// LintExposition is the golden exposition parser: it validates Prometheus
+// text-format output strictly enough to pin the exporter's contract —
+// legal metric/label syntax, every sample preceded by its family's TYPE
+// line, families in sorted order, histogram buckets cumulative and closed
+// by an le="+Inf" line matching _count. It returns the number of sample
+// lines accepted.
+func LintExposition(data []byte) (samples int, err error) {
+	type histState struct {
+		last    float64 // last cumulative bucket count seen
+		lastLE  float64
+		infSeen bool
+		count   float64
+		hasCnt  bool
+	}
+	typed := make(map[string]string) // family → kind
+	hists := make(map[string]*histState)
+	var lastFamily string
+	lineNo := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return samples, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			if !validName(name) {
+				return samples, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return samples, fmt.Errorf("line %d: TYPE line missing kind", lineNo)
+				}
+				if _, dup := typed[name]; dup {
+					return samples, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if name < lastFamily {
+					return samples, fmt.Errorf("line %d: family %s out of order (after %s)", lineNo, name, lastFamily)
+				}
+				lastFamily = name
+				typed[name] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, perr := parseSampleLine(line)
+		if perr != nil {
+			return samples, fmt.Errorf("line %d: %v", lineNo, perr)
+		}
+		base, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, sfx) {
+				if k, ok := typed[strings.TrimSuffix(name, sfx)]; ok && k == "histogram" {
+					base, suffix = strings.TrimSuffix(name, sfx), sfx
+				}
+				break
+			}
+		}
+		kind, ok := typed[base]
+		if !ok {
+			return samples, fmt.Errorf("line %d: sample %s has no TYPE line", lineNo, name)
+		}
+		if kind == "histogram" {
+			// Histogram cumulativity is tracked per label-set; strip le to
+			// key the state.
+			key := base + "{" + labels + "}"
+			st := hists[key]
+			if st == nil {
+				st = &histState{lastLE: math.Inf(-1)}
+				hists[key] = st
+			}
+			switch suffix {
+			case "_bucket":
+				le, lerr := parseLE(line)
+				if lerr != nil {
+					return samples, fmt.Errorf("line %d: %v", lineNo, lerr)
+				}
+				if le <= st.lastLE {
+					return samples, fmt.Errorf("line %d: bucket le=%g not increasing", lineNo, le)
+				}
+				if value < st.last {
+					return samples, fmt.Errorf("line %d: bucket counts not cumulative (%g < %g)", lineNo, value, st.last)
+				}
+				st.last, st.lastLE = value, le
+				if math.IsInf(le, 1) {
+					st.infSeen = true
+				}
+			case "_count":
+				st.count, st.hasCnt = value, true
+			case "_sum":
+			default:
+				return samples, fmt.Errorf("line %d: bare sample %s for histogram %s", lineNo, name, base)
+			}
+			if st.infSeen && st.hasCnt && st.count != st.last {
+				return samples, fmt.Errorf("histogram %s: +Inf bucket %g != count %g", key, st.last, st.count)
+			}
+		}
+		samples++
+	}
+	for key, st := range hists {
+		if !st.infSeen {
+			return samples, fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", key)
+		}
+		if !st.hasCnt {
+			return samples, fmt.Errorf("histogram %s: missing _count", key)
+		}
+	}
+	return samples, nil
+}
+
+// parseSampleLine splits `name{labels} value` (labels optional), returning
+// the sorted-irrelevant raw label block without the le pair.
+func parseSampleLine(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i+1 : j]
+		if err := lintLabels(labels); err != nil {
+			return "", "", 0, err
+		}
+		// Drop the le pair so histogram state keys by label-set.
+		var kept []string
+		for _, pair := range splitLabelPairs(labels) {
+			if !strings.HasPrefix(pair, "le=") {
+				kept = append(kept, pair)
+			}
+		}
+		labels = strings.Join(kept, ",")
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	if !validName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = strings.TrimSpace(rest)
+	switch rest {
+	case "+Inf":
+		value = math.Inf(1)
+	case "-Inf":
+		value = math.Inf(-1)
+	default:
+		value, err = strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return "", "", 0, fmt.Errorf("bad value %q: %v", rest, err)
+		}
+	}
+	return name, labels, value, nil
+}
+
+// splitLabelPairs splits a raw label block on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// lintLabels validates each name="value" pair: legal label names, quoted
+// values, legal escapes only.
+func lintLabels(s string) error {
+	if s == "" {
+		return nil
+	}
+	for _, pair := range splitLabelPairs(s) {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair %q missing =", pair)
+		}
+		name, val := pair[:eq], pair[eq+1:]
+		if !validName(name) || strings.Contains(name, ":") {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+			return fmt.Errorf("label value %s not quoted", val)
+		}
+		inner := val[1 : len(val)-1]
+		for i := 0; i < len(inner); i++ {
+			switch inner[i] {
+			case '\\':
+				if i+1 >= len(inner) || (inner[i+1] != '\\' && inner[i+1] != '"' && inner[i+1] != 'n') {
+					return fmt.Errorf("illegal escape in label value %s", val)
+				}
+				i++
+			case '"', '\n':
+				return fmt.Errorf("unescaped %q in label value %s", inner[i], val)
+			}
+		}
+	}
+	return nil
+}
+
+// parseLE extracts the le label value from a _bucket sample line.
+func parseLE(line string) (float64, error) {
+	i := strings.Index(line, `le="`)
+	if i < 0 {
+		return 0, fmt.Errorf("bucket line missing le label: %q", line)
+	}
+	rest := line[i+4:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, fmt.Errorf("unterminated le label: %q", line)
+	}
+	if rest[:j] == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(rest[:j], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le value %q", rest[:j])
+	}
+	return v, nil
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildGoldenRegistry populates one instrument of every kind, including
+// label values that need escaping and a histogram whose observations
+// exercise every bucket region.
+func buildGoldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("h2privacy_trials_total", "Trials run.").Add(100)
+	dirs := reg.CounterVec("h2privacy_retrans_total", "Retransmitted segments observed at the gateway.", "dir")
+	dirs.With("c2s").Add(12)
+	dirs.With("s2c").Add(340)
+	reg.Gauge("h2privacy_adversary_phase", "Current attack phase (1 jitter, 2 drop, 3 space).").Set(3)
+	esc := reg.GaugeVec("h2privacy_escape_demo", `Help with backslash \ and
+newline.`, "path")
+	esc.With(`quote " backslash \ newline
+end`).Set(1.5)
+	h := reg.Histogram("h2privacy_phase_seconds", "Attack phase durations.", []float64{0.5, 1, 5})
+	for _, v := range []float64{0.1, 0.5, 0.7, 3, 20} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+// goldenExposition is the pinned text exposition of buildGoldenRegistry:
+// families sorted by name, series sorted by label value, escaped help and
+// label values, cumulative buckets closed by +Inf.
+const goldenExposition = `# HELP h2privacy_adversary_phase Current attack phase (1 jitter, 2 drop, 3 space).
+# TYPE h2privacy_adversary_phase gauge
+h2privacy_adversary_phase 3
+# HELP h2privacy_escape_demo Help with backslash \\ and\nnewline.
+# TYPE h2privacy_escape_demo gauge
+h2privacy_escape_demo{path="quote \" backslash \\ newline\nend"} 1.5
+# HELP h2privacy_phase_seconds Attack phase durations.
+# TYPE h2privacy_phase_seconds histogram
+h2privacy_phase_seconds_bucket{le="0.5"} 2
+h2privacy_phase_seconds_bucket{le="1"} 3
+h2privacy_phase_seconds_bucket{le="5"} 4
+h2privacy_phase_seconds_bucket{le="+Inf"} 5
+h2privacy_phase_seconds_sum 24.3
+h2privacy_phase_seconds_count 5
+# HELP h2privacy_retrans_total Retransmitted segments observed at the gateway.
+# TYPE h2privacy_retrans_total counter
+h2privacy_retrans_total{dir="c2s"} 12
+h2privacy_retrans_total{dir="s2c"} 340
+# HELP h2privacy_trials_total Trials run.
+# TYPE h2privacy_trials_total counter
+h2privacy_trials_total 100
+`
+
+func TestPrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := buildGoldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != goldenExposition {
+		t.Fatalf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, goldenExposition)
+	}
+}
+
+func TestGoldenPassesLint(t *testing.T) {
+	n, err := LintExposition([]byte(goldenExposition))
+	if err != nil {
+		t.Fatalf("golden exposition rejected by its own parser: %v", err)
+	}
+	// 1 phase + 1 escape + 6 histogram lines + 2 retrans + 1 trials.
+	if n != 11 {
+		t.Fatalf("lint accepted %d samples, want 11", n)
+	}
+}
+
+func TestLintRejects(t *testing.T) {
+	cases := map[string]string{
+		"no-type":      "orphan_metric 1\n",
+		"bad-name":     "# TYPE bad counter\nbad-name 1\n",
+		"bad-value":    "# TYPE m counter\nm one\n",
+		"dup-type":     "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"out-of-order": "# TYPE zz counter\nzz 1\n# TYPE aa counter\naa 1\n",
+		"unquoted-lab": "# TYPE m counter\nm{dir=c2s} 1\n",
+		"bad-escape":   "# TYPE m counter\nm{dir=\"a\\q\"} 1\n",
+		"non-cumulative": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"le-not-increasing": "# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"missing-inf": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"inf-vs-count": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 5\n",
+	}
+	for name, in := range cases {
+		if _, err := LintExposition([]byte(in)); err == nil {
+			t.Errorf("%s: lint accepted malformed input:\n%s", name, in)
+		}
+	}
+}
+
+func TestJSONDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := buildGoldenRegistry().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildGoldenRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("JSON export not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	for _, want := range []string{`"name": "h2privacy_trials_total"`, `"kind": "histogram"`, `"bucket_counts"`} {
+		if !strings.Contains(a.String(), want) {
+			t.Fatalf("JSON export missing %q:\n%s", want, a.String())
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"os"
+	"testing"
+)
+
+// TestLintLiveScrape lints a scrape captured from a live -debug-addr run
+// when H2PRIVACY_LINT_FILE points at one — a hook for CI smoke tests.
+func TestLintLiveScrape(t *testing.T) {
+	path := os.Getenv("H2PRIVACY_LINT_FILE")
+	if path == "" {
+		t.Skip("H2PRIVACY_LINT_FILE not set")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := LintExposition(data)
+	if err != nil {
+		t.Fatalf("live scrape rejected: %v", err)
+	}
+	t.Logf("live scrape: %d samples", n)
+}
