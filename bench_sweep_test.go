@@ -1,0 +1,102 @@
+package h2privacy_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"h2privacy/internal/adversary"
+	"h2privacy/internal/core"
+	"h2privacy/internal/experiment"
+	"h2privacy/internal/website"
+)
+
+// sweepWorkload is the timed workload for the sweep speedup measurements:
+// a full-attack sweep (the heaviest per-trial cost) at a fixed trial count.
+func sweepWorkload(workers int, trials int) (time.Duration, []*core.TrialResult, error) {
+	opts := experiment.Options{Trials: trials, BaseSeed: 42, Workers: workers}
+	start := time.Now()
+	plan := adversary.DefaultPlan()
+	results, err := opts.Sweep(trials, func(t int) core.TrialConfig {
+		return core.TrialConfig{Seed: opts.BaseSeed + int64(t), Attack: &plan}
+	})
+	return time.Since(start), results, err
+}
+
+// BenchmarkSweepWorkers measures the sweep engine at 1 worker and at every
+// core, for before/after comparison of the parallel fan-out.
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sweepWorkload(w, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestBenchSweepRecord times the sweep at 1 worker and at every core and
+// writes a machine-readable speedup record to $BENCH_SWEEP_OUT (skipped
+// when unset). CI uploads the result as BENCH_sweep.json.
+func TestBenchSweepRecord(t *testing.T) {
+	out := os.Getenv("BENCH_SWEEP_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SWEEP_OUT=path to record the sweep speedup")
+	}
+	const trials = 16
+	seqWall, seqRes, err := sweepWorkload(1, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	parWall, parRes, err := sweepWorkload(workers, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The speedup claim only counts if the parallel run computed the same
+	// thing; spot-check the per-trial identification outcomes.
+	for i := range seqRes {
+		if seqRes[i].Identified[website.TargetID] != parRes[i].Identified[website.TargetID] {
+			t.Fatalf("trial %d diverged between worker counts", i)
+		}
+	}
+	rec := struct {
+		Benchmark    string  `json:"benchmark"`
+		Trials       int     `json:"trials"`
+		Workers      int     `json:"workers"`
+		Cores        int     `json:"cores"`
+		GoVersion    string  `json:"go_version"`
+		SequentialMS int64   `json:"sequential_ms"`
+		ParallelMS   int64   `json:"parallel_ms"`
+		Speedup      float64 `json:"speedup"`
+	}{
+		Benchmark:    "full-attack sweep",
+		Trials:       trials,
+		Workers:      workers,
+		Cores:        runtime.NumCPU(),
+		GoVersion:    runtime.Version(),
+		SequentialMS: seqWall.Milliseconds(),
+		ParallelMS:   parWall.Milliseconds(),
+		Speedup:      seqWall.Seconds() / parWall.Seconds(),
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sweep %d trials: workers=1 %v, workers=%d %v (%.2fx) -> %s",
+		trials, seqWall, workers, parWall, rec.Speedup, out)
+}

@@ -5,6 +5,7 @@
 //	h2attack [-seed N] [-jitter1 50ms] [-jitter3 80ms] [-drop 0.8] [-bw 800]
 //	         [-trace out.json] [-trace-format chrome|jsonl|summary] [-timeline]
 //	         [-debug-addr :9090] [-hold 30s]
+//	h2attack -trials 50 [-parallel W]   (aggregate success over seeds N..N+49)
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"h2privacy/internal/capture"
 	"h2privacy/internal/cliutil"
 	"h2privacy/internal/core"
+	"h2privacy/internal/experiment"
+	"h2privacy/internal/metrics"
 	"h2privacy/internal/obs"
 	"h2privacy/internal/trace"
 	"h2privacy/internal/website"
@@ -25,6 +28,8 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "trial seed (drives the volunteer's ranking too)")
+	trials := flag.Int("trials", 1, "number of trials; >1 sweeps seeds N..N+trials-1 and prints an aggregate summary")
+	parallel := flag.Int("parallel", 0, "worker pool for -trials >1 (0 = GOMAXPROCS, 1 = sequential)")
 	jitter1 := flag.Duration("jitter1", 50*time.Millisecond, "phase-1 per-GET jitter")
 	jitter3 := flag.Duration("jitter3", 80*time.Millisecond, "phase-3 per-GET jitter")
 	drop := flag.Float64("drop", 0.8, "server→client drop rate during the reset phase")
@@ -66,6 +71,25 @@ func main() {
 	ds, err := df.Serve(reg, tracer, os.Stderr, "h2attack")
 	if err != nil {
 		fatal(err)
+	}
+
+	// -trials >1 switches to sweep mode: the same attack plan against
+	// seeds N..N+trials-1 over the experiment worker pool, reporting
+	// aggregate success instead of one trial's play-by-play. -pcap and
+	// -timeline are single-trial views and are ignored here; the tracer
+	// still records trial 0.
+	if *trials > 1 {
+		if *pcapPath != "" || *timeline {
+			fmt.Fprintln(os.Stderr, "h2attack: -pcap and -timeline apply to single trials; ignoring with -trials >1")
+		}
+		if err := runSweep(*seed, *trials, *parallel, plan, tracer, reg); err != nil {
+			fatal(err)
+		}
+		if err := tf.Export(tracer, os.Stdout, "h2attack"); err != nil {
+			fatal(err)
+		}
+		holdAndClose(ds, *hold)
+		return
 	}
 
 	tb, err := core.NewTestbed(core.TrialConfig{Seed: *seed, Attack: &plan, Trace: tracer, Metrics: reg})
@@ -120,13 +144,61 @@ func main() {
 		fmt.Printf("  page load broke: %s\n", res.BrokenReason)
 	}
 
-	if ds != nil {
-		if *hold > 0 {
-			fmt.Fprintf(os.Stderr, "h2attack: holding %v for debug scrapes\n", *hold)
-			time.Sleep(*hold)
-		}
-		_ = ds.Close()
+	holdAndClose(ds, *hold)
+}
+
+// runSweep is the -trials >1 path: n same-plan trials over the sweep
+// engine, aggregated exactly as table2 aggregates (HTML identified, ranks
+// correct, broken loads).
+func runSweep(seed int64, n, workers int, plan adversary.AttackPlan, tracer *trace.Tracer, reg *obs.Registry) error {
+	opts := experiment.Options{
+		Trials:   n,
+		BaseSeed: seed,
+		Workers:  workers,
+		Trace:    tracer,
+		Metrics:  reg,
+		Progress: experiment.NewProgress(os.Stderr),
 	}
+	opts.Progress.Start("attack", n)
+	results, err := opts.Sweep(n, func(t int) core.TrialConfig {
+		return core.TrialConfig{Seed: seed + int64(t), Attack: &plan}
+	})
+	if err != nil {
+		return err
+	}
+	opts.Progress.Done()
+	var html, ranks, allRanks, broken metrics.Counter
+	var resets metrics.Sample
+	for _, res := range results {
+		html.Observe(res.ObjectSuccess(website.TargetID))
+		all := true
+		for k := 0; k < website.PartyCount; k++ {
+			ok := res.SequenceRankCorrect(k)
+			ranks.Observe(ok)
+			all = all && ok
+		}
+		allRanks.Observe(all)
+		broken.Observe(res.Broken)
+		resets.Add(float64(res.Resets))
+	}
+	fmt.Printf("== attack sweep: %d trials, seeds %d..%d ==\n", n, seed, seed+int64(n)-1)
+	fmt.Printf("  quiz HTML identified:      %.0f%%\n", html.Percent())
+	fmt.Printf("  emblem ranks correct:      %.0f%%\n", ranks.Percent())
+	fmt.Printf("  full ranking recovered:    %.0f%%\n", allRanks.Percent())
+	fmt.Printf("  broken page loads:         %.0f%%\n", broken.Percent())
+	fmt.Printf("  mean reset cycles:         %.1f\n", resets.Mean())
+	return nil
+}
+
+func holdAndClose(ds *obs.DebugServer, hold time.Duration) {
+	if ds == nil {
+		return
+	}
+	if hold > 0 {
+		fmt.Fprintf(os.Stderr, "h2attack: holding %v for debug scrapes\n", hold)
+		time.Sleep(hold)
+	}
+	_ = ds.Close()
 }
 
 func fatal(err error) {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	h2bench [-trials N] [-seed S] all
+//	h2bench [-trials N] [-seed S] [-parallel W] all
 //	h2bench [-trials N] [-seed S] table1 fig5 table2 …
 //	h2bench [-trace out.json] [-trace-format chrome|jsonl|summary] table2
 //	h2bench [-manifest run.json] [-debug-addr :9090] [-quiet] all
@@ -29,6 +29,7 @@ func main() {
 func run() int {
 	trials := flag.Int("trials", 100, "trials per configuration point")
 	seed := flag.Int64("seed", 1, "base seed")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential); output is byte-identical at any setting")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	manifestPath := flag.String("manifest", "", "write a run manifest (options, per-experiment wall time, metrics snapshot) to this JSON file")
@@ -51,7 +52,7 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
-	opts := experiment.Options{Trials: *trials, BaseSeed: *seed}
+	opts := experiment.Options{Trials: *trials, BaseSeed: *seed, Workers: *parallel}
 	tracer, err := tf.NewTracer(trace.Config{Concurrent: df.Armed()}, df.Armed())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "h2bench:", err)

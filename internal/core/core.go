@@ -86,6 +86,16 @@ type TrialConfig struct {
 	// server scraping it sees the sweep advance live. Nil disables at zero
 	// cost — the unarmed instruments are nil no-ops.
 	Metrics *obs.Registry
+	// DeferMetrics suppresses the at-collection publication of the trial's
+	// outcome metrics (PublishTrialMetrics); the caller publishes the
+	// returned TrialResult itself. The parallel sweep engine uses this to
+	// publish results in trial-index order, so a registry snapshot is
+	// byte-identical whether trials ran sequentially or across a worker
+	// pool (histogram sums are order-sensitive float additions; gauges are
+	// last-writer-wins). Live counters — the adversary's intervention
+	// counts — still stream into Metrics during the trial; those are
+	// integer atomics whose totals are order-independent.
+	DeferMetrics bool
 }
 
 // Testbed is an assembled, un-run trial. Most callers use RunTrial; the
@@ -271,6 +281,15 @@ type TrialResult struct {
 	GETs int
 	// ServerTasks counts stream-serving tasks (duplicates included).
 	ServerTasks int
+	// Attacked reports whether the full staged adversary was armed;
+	// PhaseSpans then carries its per-phase virtual-time durations and
+	// FinalPhase its phase at collection. Keeping these on the result lets
+	// PublishTrialMetrics run after the testbed is gone — the sweep engine
+	// publishes completed trials in index order, decoupled from the worker
+	// that ran them.
+	Attacked   bool
+	PhaseSpans []adversary.PhaseSpan
+	FinalPhase adversary.Phase
 }
 
 func (tb *Testbed) collect() *TrialResult {
@@ -296,18 +315,29 @@ func (tb *Testbed) collect() *TrialResult {
 	res.Bursts = analyzer.Bursts(tb.Monitor.Records())
 	res.Identified = analyzer.MatchedObjects(res.Bursts)
 	res.InferredSeq = analyzer.InferSequence(res.Bursts, res.TrueSeq)
-	tb.publishMetrics(res)
+	if tb.Driver != nil {
+		res.Attacked = true
+		res.PhaseSpans = tb.Driver.PhaseSpans(tb.Sched.Now())
+		res.FinalPhase = tb.Driver.Phase()
+	}
+	if !tb.cfg.DeferMetrics {
+		PublishTrialMetrics(tb.cfg.Metrics, res)
+	}
 	return res
 }
 
-// publishMetrics records the trial's outcome into the armed registry —
-// the aggregate signals the paper's evaluation is built from, one update
-// per trial. Every value is derived from virtual time or event counts, so
-// same-seed sweeps produce identical registry snapshots (the manifest's
-// byte-identity contract); nothing here reads the wall clock.
-func (tb *Testbed) publishMetrics(res *TrialResult) {
-	reg := tb.cfg.Metrics
-	if reg == nil {
+// PublishTrialMetrics records a completed trial's outcome into the armed
+// registry — the aggregate signals the paper's evaluation is built from,
+// one update per trial. Every value is derived from virtual time or event
+// counts, so same-seed sweeps produce identical registry snapshots (the
+// manifest's byte-identity contract); nothing here reads the wall clock.
+// It runs at collection unless TrialConfig.DeferMetrics asked the caller
+// to publish — the parallel sweep engine does so in trial-index order,
+// because histogram sums are float additions (order-sensitive in the last
+// bits) and the phase gauge is last-writer-wins. Nil registry or result
+// is a no-op.
+func PublishTrialMetrics(reg *obs.Registry, res *TrialResult) {
+	if reg == nil || res == nil {
 		return
 	}
 	reg.Counter("h2privacy_trials_total", "Page-load trials completed.").Inc()
@@ -340,7 +370,7 @@ func (tb *Testbed) publishMetrics(res *TrialResult) {
 			obs.DurationBuckets).Observe(last.Seconds())
 	}
 
-	if tb.Driver == nil {
+	if !res.Attacked {
 		return
 	}
 	// Staged-attack trials additionally record the clean-slate outcome —
@@ -353,9 +383,16 @@ func (tb *Testbed) publishMetrics(res *TrialResult) {
 	}
 	phases := reg.HistogramVec("h2privacy_adversary_phase_seconds",
 		"Virtual-time duration of each attack phase.", obs.DurationBuckets, "phase")
-	for _, span := range tb.Driver.PhaseSpans(tb.Sched.Now()) {
+	for _, span := range res.PhaseSpans {
 		phases.With(span.Phase.String()).Observe(span.Duration.Seconds())
 	}
+	// Deterministically re-stamp the live phase gauge the driver maintains:
+	// under a worker pool its last live Set is whichever trial finished
+	// last, so the deferred in-order publication pins the final snapshot to
+	// trial n-1's terminal phase — the same value a sequential run leaves.
+	reg.Gauge("h2privacy_adversary_phase",
+		"Current attack phase (1 jitter+count, 2 throttle+drop, 3 space-images).").
+		Set(float64(res.FinalPhase))
 }
 
 // ObjectSuccess reports the paper's success criterion for one object: its

@@ -12,7 +12,6 @@ import (
 	"sort"
 	"strings"
 
-	"h2privacy/internal/core"
 	"h2privacy/internal/obs"
 	"h2privacy/internal/trace"
 )
@@ -24,10 +23,18 @@ type Options struct {
 	Trials int
 	// BaseSeed offsets the per-trial seeds, for independent repetitions.
 	BaseSeed int64
-	// Trace, when non-nil, is armed for the first trial executed through
-	// these options — a sweep of 100 trials into one ring buffer would
+	// Workers bounds the sweep engine's trial worker pool: 0 (default)
+	// uses runtime.GOMAXPROCS(0), 1 runs trials sequentially (the
+	// historical behavior). Any value produces byte-identical reports,
+	// CSVs, manifests and registry snapshots for the same seed — trials
+	// are independent and the engine aggregates and publishes in trial
+	// index order (see sweep.go).
+	Workers int
+	// Trace, when non-nil, is armed for trial 0 of the first sweep that
+	// finds it empty — a sweep of 100 trials into one ring buffer would
 	// just interleave and overwrite itself, so the harness traces one
-	// representative trial and runs the rest dark.
+	// representative trial and runs the rest dark. The choice is made
+	// before fan-out, so it is deterministic at any worker count.
 	Trace *trace.Tracer
 	// Metrics, when non-nil, receives every trial's per-trial metrics
 	// (core.TrialConfig.Metrics): the whole sweep accumulates into one
@@ -43,21 +50,6 @@ type Options struct {
 	// Manifest, when non-nil, collects per-experiment accounting in RunAll
 	// (callers running experiments by hand use Manifest.Record directly).
 	Manifest *Manifest
-}
-
-// runTrial is how every experiment runs a trial: it arms opts.Trace on the
-// first trial (detected by the tracer still being empty), points the trial
-// at the sweep's shared metrics registry, and ticks the progress reporter.
-func (o Options) runTrial(cfg core.TrialConfig) (*core.TrialResult, error) {
-	if o.Trace.Enabled() && o.Trace.Len() == 0 && o.Trace.Dropped() == 0 {
-		cfg.Trace = o.Trace
-	}
-	if cfg.Metrics == nil {
-		cfg.Metrics = o.Metrics
-	}
-	res, err := core.RunTrial(cfg)
-	o.Progress.Tick()
-	return res, err
 }
 
 func (o Options) withDefaults() Options {

@@ -24,15 +24,19 @@ func Partial(opts Options) (*Report, error) {
 	var plainQuiz, decompQuiz metrics.Counter
 	var plainAll, decompAll metrics.Counter
 	catalog := site.SizeToIdentity()
-	for t := 0; t < opts.Trials; t++ {
-		res, err := opts.runTrial(core.TrialConfig{
-			Seed:           opts.BaseSeed + int64(t),
+	results, err := opts.Sweep(opts.Trials, func(t int) core.TrialConfig {
+		return core.TrialConfig{
+			Seed:           seedFor(opts.BaseSeed, 0, opts.Trials, t),
 			RequestSpacing: 50 * time.Millisecond,
 			RandomJitter:   800 * time.Microsecond,
-		})
-		if err != nil {
-			return nil, err
 		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		// The analyzer is shared mutable state, so decomposition stays in
+		// this sequential aggregation pass rather than in the trial bodies.
 		decomposed := an.MatchedObjectsWithDecomposition(res.Bursts, 3)
 		plainQuiz.Observe(res.Identified[website.TargetID])
 		decompQuiz.Observe(decomposed[website.TargetID])
@@ -74,17 +78,20 @@ func CrossTraffic(opts Options) (*Report, error) {
 		Title:  "Attack vs background cross-traffic",
 		Header: []string{"background load", "HTML ok (%)", "ranks ok (%)", "broken (%)"},
 	}
+	results, err := opts.Sweep(len(loads)*opts.Trials, func(k int) core.TrialConfig {
+		i, t := k/opts.Trials, k%opts.Trials
+		return core.TrialConfig{
+			Seed:            seedFor(opts.BaseSeed, i, opts.Trials, t),
+			Attack:          &plan,
+			CrossTrafficBps: loads[i],
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
 	for i, load := range loads {
 		var html, ranks, broken metrics.Counter
-		for t := 0; t < opts.Trials; t++ {
-			res, err := opts.runTrial(core.TrialConfig{
-				Seed:            opts.BaseSeed + int64(i*opts.Trials+t),
-				Attack:          &plan,
-				CrossTrafficBps: load,
-			})
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range results[i*opts.Trials : (i+1)*opts.Trials] {
 			html.Observe(res.ObjectSuccess(website.TargetID))
 			for k := 0; k < website.PartyCount; k++ {
 				ranks.Observe(res.SequenceRankCorrect(k))
@@ -117,33 +124,43 @@ func Sensitivity(opts Options) (*Report, error) {
 	}
 	jitters := []time.Duration{40 * time.Millisecond, 80 * time.Millisecond, 160 * time.Millisecond}
 	windows := []time.Duration{3 * time.Second, 5 * time.Second, 7 * time.Second}
-	cfgIdx := 0
+	// Materialize the 3×3 grid first so one flat sweep covers every cell.
+	type cell struct {
+		jitter, window time.Duration
+		plan           adversary.AttackPlan
+	}
+	var cells []cell
 	for _, j := range jitters {
 		for _, w := range windows {
 			plan := adversary.DefaultPlan()
 			plan.Phase3Jitter = j
 			plan.DropDuration = w
-			var html, ranks, broken metrics.Counter
-			for t := 0; t < trials; t++ {
-				res, err := opts.runTrial(core.TrialConfig{
-					Seed:   opts.BaseSeed + int64(cfgIdx*trials+t),
-					Attack: &plan,
-				})
-				if err != nil {
-					return nil, err
-				}
-				html.Observe(res.ObjectSuccess(website.TargetID))
-				for k := 0; k < website.PartyCount; k++ {
-					ranks.Observe(res.SequenceRankCorrect(k))
-				}
-				broken.Observe(res.Broken)
-			}
-			rep.Rows = append(rep.Rows, []string{
-				fmt.Sprintf("%v", j), fmt.Sprintf("%v", w),
-				pct(html.Percent()), pct(ranks.Percent()), pct(broken.Percent()),
-			})
-			cfgIdx++
+			cells = append(cells, cell{jitter: j, window: w, plan: plan})
 		}
+	}
+	results, err := opts.Sweep(len(cells)*trials, func(k int) core.TrialConfig {
+		i, t := k/trials, k%trials
+		return core.TrialConfig{
+			Seed:   seedFor(opts.BaseSeed, i, trials, t),
+			Attack: &cells[i].plan,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		var html, ranks, broken metrics.Counter
+		for _, res := range results[i*trials : (i+1)*trials] {
+			html.Observe(res.ObjectSuccess(website.TargetID))
+			for k := 0; k < website.PartyCount; k++ {
+				ranks.Observe(res.SequenceRankCorrect(k))
+			}
+			broken.Observe(res.Broken)
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%v", c.jitter), fmt.Sprintf("%v", c.window),
+			pct(html.Percent()), pct(ranks.Percent()), pct(broken.Percent()),
+		})
 	}
 	rep.Notes = append(rep.Notes,
 		"the paper's published operating point (80ms, ≈client-patience window) should sit near the best cell",
@@ -171,17 +188,20 @@ func TCPAblation(opts Options) (*Report, error) {
 		Title:  "Attack vs victim TCP generation",
 		Header: []string{"victim stack", "HTML ok (%)", "ranks ok (%)", "broken (%)"},
 	}
+	results, err := opts.Sweep(len(stacks)*opts.Trials, func(k int) core.TrialConfig {
+		i, t := k/opts.Trials, k%opts.Trials
+		return core.TrialConfig{
+			Seed:   seedFor(opts.BaseSeed, i, opts.Trials, t),
+			Attack: &plan,
+			TCP:    stacks[i].cfg,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
 	for i, st := range stacks {
 		var html, ranks, broken metrics.Counter
-		for t := 0; t < opts.Trials; t++ {
-			res, err := opts.runTrial(core.TrialConfig{
-				Seed:   opts.BaseSeed + int64(i*opts.Trials+t),
-				Attack: &plan,
-				TCP:    st.cfg,
-			})
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range results[i*opts.Trials : (i+1)*opts.Trials] {
 			html.Observe(res.ObjectSuccess(website.TargetID))
 			for k := 0; k < website.PartyCount; k++ {
 				ranks.Observe(res.SequenceRankCorrect(k))

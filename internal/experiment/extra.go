@@ -45,13 +45,17 @@ func Ablation(opts Options) (*Report, error) {
 		Title:  "Adversary stage ablation",
 		Header: []string{"stage", "quiz non-mux (%)", "quiz identified (%)", "broken (%)"},
 	}
+	results, err := opts.Sweep(len(stages)*opts.Trials, func(k int) core.TrialConfig {
+		i, t := k/opts.Trials, k%opts.Trials
+		return stages[i].cfg(seedFor(opts.BaseSeed, i, opts.Trials, t))
+	})
+	if err != nil {
+		return nil, err
+	}
 	for i, st := range stages {
 		var nonMux, success, broken metrics.Counter
 		for t := 0; t < opts.Trials; t++ {
-			res, err := opts.runTrial(st.cfg(opts.BaseSeed + int64(i*opts.Trials+t)))
-			if err != nil {
-				return nil, err
-			}
+			res := results[i*opts.Trials+t]
 			nonMux.Observe(res.BestDoM[website.TargetID] == 0)
 			success.Observe(res.ObjectSuccess(website.TargetID))
 			broken.Observe(res.Broken)
@@ -68,17 +72,19 @@ func Ablation(opts Options) (*Report, error) {
 func Defense(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
 	plan := adversary.DefaultPlan()
-	run := func(shuffled bool, seedOff int64) (rankAcc, objAcc float64, err error) {
-		var rank, obj metrics.Counter
-		for t := 0; t < opts.Trials; t++ {
-			res, err := opts.runTrial(core.TrialConfig{
-				Seed:                opts.BaseSeed + seedOff + int64(t),
+	run := func(variant int, shuffled bool) (rankAcc, objAcc float64, err error) {
+		results, err := opts.Sweep(opts.Trials, func(t int) core.TrialConfig {
+			return core.TrialConfig{
+				Seed:                seedFor(opts.BaseSeed, variant, opts.Trials, t),
 				Attack:              &plan,
 				ShuffledEmblemOrder: shuffled,
-			})
-			if err != nil {
-				return 0, 0, err
 			}
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		var rank, obj metrics.Counter
+		for _, res := range results {
 			for k := 0; k < website.PartyCount; k++ {
 				rank.Observe(res.SequenceRankCorrect(k))
 				obj.Observe(res.ObjectSuccess(res.DisplaySeq[k]))
@@ -86,11 +92,11 @@ func Defense(opts Options) (*Report, error) {
 		}
 		return rank.Percent(), obj.Percent(), nil
 	}
-	baseRank, baseObj, err := run(false, 0)
+	baseRank, baseObj, err := run(0, false)
 	if err != nil {
 		return nil, err
 	}
-	defRank, defObj, err := run(true, int64(opts.Trials))
+	defRank, defObj, err := run(1, true)
 	if err != nil {
 		return nil, err
 	}
@@ -114,21 +120,24 @@ func Defense(opts Options) (*Report, error) {
 func Padding(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
 	plan := adversary.DefaultPlan()
-	run := func(pad bool, seedOff int64) (objAcc float64, err error) {
-		var obj metrics.Counter
-		for t := 0; t < opts.Trials; t++ {
+	run := func(variant int, pad bool) (objAcc float64, err error) {
+		results, err := opts.Sweep(opts.Trials, func(t int) core.TrialConfig {
 			cfg := core.TrialConfig{
-				Seed:   opts.BaseSeed + seedOff + int64(t),
+				Seed:   seedFor(opts.BaseSeed, variant, opts.Trials, t),
 				Attack: &plan,
 			}
 			if pad {
+				// Per-trial padding RNG, owned by this trial's closure.
 				rng := simtime.NewRand(cfg.Seed * 7)
 				cfg.Server.H2.PadData = func(n int) int { return rng.Intn(256) }
 			}
-			res, err := opts.runTrial(cfg)
-			if err != nil {
-				return 0, err
-			}
+			return cfg
+		})
+		if err != nil {
+			return 0, err
+		}
+		var obj metrics.Counter
+		for _, res := range results {
 			obj.Observe(res.ObjectSuccess(website.TargetID))
 			for k := 0; k < website.PartyCount; k++ {
 				obj.Observe(res.ObjectSuccess(res.DisplaySeq[k]))
@@ -136,11 +145,11 @@ func Padding(opts Options) (*Report, error) {
 		}
 		return obj.Percent(), nil
 	}
-	noPad, err := run(false, 0)
+	noPad, err := run(0, false)
 	if err != nil {
 		return nil, err
 	}
-	padded, err := run(true, int64(opts.Trials))
+	padded, err := run(1, true)
 	if err != nil {
 		return nil, err
 	}
@@ -164,17 +173,19 @@ func Padding(opts Options) (*Report, error) {
 func PushDefense(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
 	plan := adversary.DefaultPlan()
-	run := func(push bool, seedOff int64) (rankAcc, identAcc, domAcc float64, err error) {
-		var rank, ident, nonMux metrics.Counter
-		for t := 0; t < opts.Trials; t++ {
-			res, err := opts.runTrial(core.TrialConfig{
-				Seed:       opts.BaseSeed + seedOff + int64(t),
+	run := func(variant int, push bool) (rankAcc, identAcc, domAcc float64, err error) {
+		results, err := opts.Sweep(opts.Trials, func(t int) core.TrialConfig {
+			return core.TrialConfig{
+				Seed:       seedFor(opts.BaseSeed, variant, opts.Trials, t),
 				Attack:     &plan,
 				ServerPush: push,
-			})
-			if err != nil {
-				return 0, 0, 0, err
 			}
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		var rank, ident, nonMux metrics.Counter
+		for _, res := range results {
 			for k := 0; k < website.PartyCount; k++ {
 				rank.Observe(res.SequenceRankCorrect(k))
 				ident.Observe(res.ObjectSuccess(res.DisplaySeq[k]))
@@ -183,11 +194,11 @@ func PushDefense(opts Options) (*Report, error) {
 		}
 		return rank.Percent(), ident.Percent(), nonMux.Percent(), nil
 	}
-	baseRank, baseIdent, baseDom, err := run(false, 0)
+	baseRank, baseIdent, baseDom, err := run(0, false)
 	if err != nil {
 		return nil, err
 	}
-	pushRank, pushIdent, pushDom, err := run(true, int64(opts.Trials))
+	pushRank, pushIdent, pushDom, err := run(1, true)
 	if err != nil {
 		return nil, err
 	}
@@ -209,56 +220,68 @@ func PushDefense(opts Options) (*Report, error) {
 // every object is trivially serialized and identified with NO adversary.
 func H1Baseline(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
-	var identified, serialized metrics.Counter
 	trials := opts.Trials
 	if trials > 25 {
 		trials = 25 // the h1 page load is slow (sequential); shape needs few trials
 	}
-	for t := 0; t < trials; t++ {
-		seed := opts.BaseSeed + int64(t)
+	// This runner assembles its H1 testbed by hand instead of going through
+	// core.RunTrial, so it rides the generic trial pool: each body owns its
+	// scheduler and RNG, writes only outcomes[t], and ticks the reporter.
+	outcomes := make([]struct{ serialized, identified metrics.Counter }, trials)
+	err := opts.ForEachTrial(trials, func(t int) error {
+		seed := seedFor(opts.BaseSeed, 0, trials, t)
 		sched := simtime.NewScheduler()
 		rng := simtime.NewRand(seed)
 		path, err := netsim.NewPath(sched, rng.Fork(), netsim.PathConfig{Link: core.DefaultLink()})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mon := capture.NewMonitor()
 		path.AddTap(mon)
 		pair, err := tcpsim.NewPair(sched, rng.Fork(), path, tcpsim.Config{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		site := website.ISideWith()
 		plan, err := site.PlanFor(website.RandomPerm(rng.Fork()))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		srv, err := endpoint.NewH1Server(sched, rng.Fork(), pair.Server, site, endpoint.ServerConfig{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cli, err := endpoint.NewH1Browser(sched, rng.Fork(), pair.Client, site, plan)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		srv.Start()
 		cli.Start()
 		sched.RunUntil(120 * time.Second)
 		if srv.Err() != nil || cli.Err() != nil {
-			return nil, fmt.Errorf("h1 trial %d: server=%v client=%v", t, srv.Err(), cli.Err())
+			return fmt.Errorf("h1 trial %d: server=%v client=%v", t, srv.Err(), cli.Err())
 		}
 		dom := metrics.BestDoMPerObject(srv.TxLog())
 		matched := h1Identify(mon.Records(), site)
 		catalog := site.SizeToIdentity()
 		for _, obj := range site.Objects {
-			serialized.Observe(dom[obj.ID] == 0)
+			outcomes[t].serialized.Observe(dom[obj.ID] == 0)
 			if _, unique := catalog[obj.Size]; unique {
-				identified.Observe(matched[obj.ID])
+				outcomes[t].identified.Observe(matched[obj.ID])
 			}
 		}
-		// This runner assembles its H1 testbed by hand instead of going
-		// through runTrial, so it ticks the reporter itself.
 		opts.Progress.Tick()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var identified, serialized metrics.Counter
+	for t := range outcomes {
+		serialized.Hits += outcomes[t].serialized.Hits
+		serialized.Total += outcomes[t].serialized.Total
+		identified.Hits += outcomes[t].identified.Hits
+		identified.Total += outcomes[t].identified.Total
 	}
 	return &Report{
 		ID:     "h1base",

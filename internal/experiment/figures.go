@@ -16,18 +16,20 @@ import (
 // multiplexed objects defeat the delimiter+sum bookkeeping.
 func Fig1(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
+	// Run with request spacing so the trace contains both serialized
+	// and multiplexed transmissions in quantity.
+	results, err := opts.Sweep(opts.Trials, func(t int) core.TrialConfig {
+		return core.TrialConfig{
+			Seed:           seedFor(opts.BaseSeed, 0, opts.Trials, t),
+			RequestSpacing: 80 * time.Millisecond,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
 	var serializedID, multiplexedID metrics.Counter
 	var sizeErr metrics.Sample
-	for t := 0; t < opts.Trials; t++ {
-		// Run with request spacing so the trace contains both serialized
-		// and multiplexed transmissions in quantity.
-		res, err := opts.runTrial(core.TrialConfig{
-			Seed:           opts.BaseSeed + int64(t),
-			RequestSpacing: 80 * time.Millisecond,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range results {
 		for obj, dom := range res.BestCompleteDoM {
 			if dom == 0 {
 				serializedID.Observe(res.Identified[obj])
@@ -60,21 +62,20 @@ func Fig1(opts Options) (*Report, error) {
 // the object of interest. Baseline vs pure request-spacing, no other knobs.
 func Fig2(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
+	// Both arms of a pair run the same seed: same volunteer, same network
+	// noise, spacing as the only difference.
+	bases, spacs, err := opts.SweepPaired(opts.Trials, func(t int) (core.TrialConfig, core.TrialConfig) {
+		seed := seedFor(opts.BaseSeed, 0, opts.Trials, t)
+		return core.TrialConfig{Seed: seed},
+			core.TrialConfig{Seed: seed, RequestSpacing: 80 * time.Millisecond}
+	})
+	if err != nil {
+		return nil, err
+	}
 	var baseDom, spacedDom metrics.Sample
 	var baseNon, spacedNon metrics.Counter
-	for t := 0; t < opts.Trials; t++ {
-		seed := opts.BaseSeed + int64(t)
-		base, err := opts.runTrial(core.TrialConfig{Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		spaced, err := opts.runTrial(core.TrialConfig{
-			Seed:           seed,
-			RequestSpacing: 80 * time.Millisecond,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for t := range bases {
+		base, spaced := bases[t], spacs[t]
 		baseDom.Add(base.BestDoM[website.TargetID])
 		spacedDom.Add(spaced.BestDoM[website.TargetID])
 		baseNon.Observe(base.BestDoM[website.TargetID] == 0)
@@ -96,13 +97,15 @@ func Fig2(opts Options) (*Report, error) {
 // quiz HTML and of the emblem images with no adversary.
 func Fig3(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
+	results, err := opts.Sweep(opts.Trials, func(t int) core.TrialConfig {
+		return core.TrialConfig{Seed: seedFor(opts.BaseSeed, 0, opts.Trials, t)}
+	})
+	if err != nil {
+		return nil, err
+	}
 	var quizDom, emblemDom metrics.Sample
 	var quizMux metrics.Counter
-	for t := 0; t < opts.Trials; t++ {
-		res, err := opts.runTrial(core.TrialConfig{Seed: opts.BaseSeed + int64(t)})
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range results {
 		quizMux.Observe(res.BestDoM[website.TargetID] > 0)
 		if dom := res.BestDoM[website.TargetID]; dom > 0 {
 			quizDom.Add(dom * 100)
@@ -139,23 +142,27 @@ func Fig4(opts Options) (*Report, error) {
 	jitters := []time.Duration{0, 50 * time.Millisecond, 100 * time.Millisecond}
 	points := make([]point, len(jitters))
 	nObjects := len(website.ISideWith().Objects)
-	for i, d := range jitters {
-		for t := 0; t < opts.Trials; t++ {
-			res, err := opts.runTrial(core.TrialConfig{
-				Seed:           opts.BaseSeed + int64(i*opts.Trials+t),
-				RequestSpacing: d,
-				RandomJitter:   800 * time.Microsecond,
-			})
-			if err != nil {
-				return nil, err
-			}
-			points[i].dupGETs.Add(float64(res.AppRetries))
-			points[i].extraTasks.Add(float64(res.ServerTasks - nObjects))
-			// Multiplexing of the objects following the quiz.
-			for _, id := range []string{"analytics-js", "fonts-css", "banner"} {
-				if dom, ok := res.BestDoM[id]; ok {
-					points[i].nextDoM.Add(dom * 100)
-				}
+	// One flat sweep over (jitter point, trial); the sub-sweep index is
+	// the seed variant, so no two points share a seed.
+	results, err := opts.Sweep(len(jitters)*opts.Trials, func(k int) core.TrialConfig {
+		i, t := k/opts.Trials, k%opts.Trials
+		return core.TrialConfig{
+			Seed:           seedFor(opts.BaseSeed, i, opts.Trials, t),
+			RequestSpacing: jitters[i],
+			RandomJitter:   800 * time.Microsecond,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, res := range results {
+		i := k / opts.Trials
+		points[i].dupGETs.Add(float64(res.AppRetries))
+		points[i].extraTasks.Add(float64(res.ServerTasks - nObjects))
+		// Multiplexing of the objects following the quiz.
+		for _, id := range []string{"analytics-js", "fonts-css", "banner"} {
+			if dom, ok := res.BestDoM[id]; ok {
+				points[i].nextDoM.Add(dom * 100)
 			}
 		}
 	}
@@ -190,21 +197,23 @@ func Fig5(opts Options) (*Report, error) {
 		broken  metrics.Counter
 	}
 	points := make([]point, len(fig5Bandwidths))
-	for i, bw := range fig5Bandwidths {
-		for t := 0; t < opts.Trials; t++ {
-			res, err := opts.runTrial(core.TrialConfig{
-				Seed:           opts.BaseSeed + int64(i*opts.Trials+t),
-				RequestSpacing: 50 * time.Millisecond,
-				RandomJitter:   25 * time.Millisecond, // netem's 50ms jitter discipline
-				ThrottleBps:    bw,
-			})
-			if err != nil {
-				return nil, err
-			}
-			points[i].retrans.Add(float64(res.RetransS2C))
-			points[i].success.Observe(res.ObjectSuccess(website.TargetID))
-			points[i].broken.Observe(res.Broken)
+	results, err := opts.Sweep(len(fig5Bandwidths)*opts.Trials, func(k int) core.TrialConfig {
+		i, t := k/opts.Trials, k%opts.Trials
+		return core.TrialConfig{
+			Seed:           seedFor(opts.BaseSeed, i, opts.Trials, t),
+			RequestSpacing: 50 * time.Millisecond,
+			RandomJitter:   25 * time.Millisecond, // netem's 50ms jitter discipline
+			ThrottleBps:    fig5Bandwidths[i],
 		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, res := range results {
+		i := k / opts.Trials
+		points[i].retrans.Add(float64(res.RetransS2C))
+		points[i].success.Observe(res.ObjectSuccess(website.TargetID))
+		points[i].broken.Observe(res.Broken)
 	}
 	rep := &Report{
 		ID:     "fig5",
@@ -236,23 +245,23 @@ func Fig6(opts Options) (*Report, error) {
 		broken  metrics.Counter
 	}
 	var withDrops, withoutDrops point
-	for t := 0; t < opts.Trials; t++ {
-		seed := opts.BaseSeed + int64(t)
+	// Paired on the same seed: the only difference is the drop window.
+	dropped, undropped, err := opts.SweepPaired(opts.Trials, func(t int) (core.TrialConfig, core.TrialConfig) {
+		seed := seedFor(opts.BaseSeed, 0, opts.Trials, t)
 		plan := adversary.DefaultPlan()
-		res, err := opts.runTrial(core.TrialConfig{Seed: seed, Attack: &plan})
-		if err != nil {
-			return nil, err
-		}
+		noDrop := plan
+		noDrop.DropRate = 0
+		return core.TrialConfig{Seed: seed, Attack: &plan},
+			core.TrialConfig{Seed: seed, Attack: &noDrop}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for t := range dropped {
+		res, res2 := dropped[t], undropped[t]
 		withDrops.success.Observe(res.ObjectSuccess(website.TargetID))
 		withDrops.resets.Add(float64(res.Resets))
 		withDrops.broken.Observe(res.Broken)
-
-		noDrop := plan
-		noDrop.DropRate = 0
-		res2, err := opts.runTrial(core.TrialConfig{Seed: seed, Attack: &noDrop})
-		if err != nil {
-			return nil, err
-		}
 		withoutDrops.success.Observe(res2.ObjectSuccess(website.TargetID))
 		withoutDrops.resets.Add(float64(res2.Resets))
 		withoutDrops.broken.Observe(res2.Broken)

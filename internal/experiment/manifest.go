@@ -20,9 +20,14 @@ type Manifest struct {
 	Tool      string `json:"tool"`
 	GoVersion string `json:"go_version"`
 	// StartedAt is wall-clock (RFC3339); stripped by StripWallClock.
-	StartedAt string            `json:"started_at,omitempty"`
-	Trials    int               `json:"trials"`
-	BaseSeed  int64             `json:"base_seed"`
+	StartedAt string `json:"started_at,omitempty"`
+	Trials    int    `json:"trials"`
+	BaseSeed  int64  `json:"base_seed"`
+	// Workers is the resolved sweep worker-pool size (machine-dependent
+	// when Options.Workers is 0); stripped by StripWallClock so stripped
+	// manifests compare equal across worker counts — the determinism
+	// guarantee is precisely that Workers never changes anything else.
+	Workers int               `json:"workers,omitempty"`
 	Runs      []ManifestRun     `json:"runs"`
 	Metrics   *obs.Snapshot     `json:"metrics,omitempty"`
 	Extra     map[string]string `json:"extra,omitempty"`
@@ -48,6 +53,7 @@ func NewManifest(tool string, opts Options) *Manifest {
 		StartedAt: time.Now().UTC().Format(time.RFC3339),
 		Trials:    opts.Trials,
 		BaseSeed:  opts.BaseSeed,
+		Workers:   opts.workerCount(),
 	}
 }
 
@@ -70,12 +76,14 @@ func (m *Manifest) Finish(reg *obs.Registry) {
 	m.Metrics = reg.Snapshot()
 }
 
-// StripWallClock zeroes the wall-clock fields (StartedAt, per-run WallMS),
-// leaving only seed- and virtual-time-derived content. Two same-seed runs
-// stripped this way must serialize byte-identically — the property the
+// StripWallClock zeroes the wall-clock and machine-dependent fields
+// (StartedAt, per-run WallMS, Workers), leaving only seed- and
+// virtual-time-derived content. Two same-seed runs stripped this way must
+// serialize byte-identically — at any worker count — the property the
 // manifest tests pin.
 func (m *Manifest) StripWallClock() {
 	m.StartedAt = ""
+	m.Workers = 0
 	for i := range m.Runs {
 		m.Runs[i].WallMS = 0
 	}

@@ -1,0 +1,245 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"h2privacy/internal/obs"
+	"h2privacy/internal/trace"
+)
+
+// renderAll runs every registered experiment under opts and returns the
+// concatenated rendered reports.
+func renderAll(t *testing.T, opts Options) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, id := range IDs() {
+		runner, _ := Lookup(id)
+		rep, err := runner(opts)
+		if err != nil {
+			t.Fatalf("%s (workers=%d): %v", id, opts.Workers, err)
+		}
+		rep.Render(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepParallelMatchesSequential is the golden determinism test: every
+// registered experiment, rendered in full, must be byte-identical between
+// the sequential engine and a 4-worker pool.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice")
+	}
+	opts := Options{Trials: 3, BaseSeed: 77}
+	opts.Workers = 1
+	seq := renderAll(t, opts)
+	opts.Workers = 4
+	par := renderAll(t, opts)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("parallel reports differ from sequential:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", seq, par)
+	}
+}
+
+// manifestRun renders a few experiments with a manifest and a metrics
+// registry attached — exercising the deferred publication path — and
+// returns the wall-clock-stripped manifest JSON.
+func manifestRun(t *testing.T, workers int) []byte {
+	t.Helper()
+	opts := Options{Trials: 3, BaseSeed: 5, Workers: workers}
+	opts.Metrics = obs.NewRegistry()
+	opts.Progress = NewProgress(nil)
+	m := NewManifest("test", opts)
+	for _, id := range []string{"fig2", "table2"} {
+		runner, _ := Lookup(id)
+		opts.Progress.Start(id, PlannedTrials(id, opts))
+		rep, err := runner(opts)
+		if err != nil {
+			t.Fatalf("%s (workers=%d): %v", id, workers, err)
+		}
+		trials, wall := opts.Progress.Done()
+		m.Record(id, rep.Title, trials, len(rep.Rows), wall)
+	}
+	m.Finish(opts.Metrics)
+	m.StripWallClock()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepManifestDeterministic pins the stronger half of the guarantee:
+// the stripped manifest including the full metrics snapshot — histogram
+// sums and all — is byte-identical at any worker count, because the engine
+// defers registry publication and replays results in trial-index order.
+func TestSweepManifestDeterministic(t *testing.T) {
+	seq := manifestRun(t, 1)
+	par := manifestRun(t, 4)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("stripped manifests differ:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", seq, par)
+	}
+}
+
+// traceRun runs fig2 with a tracer attached and returns the exported JSONL.
+func traceRun(t *testing.T, workers int) []byte {
+	t.Helper()
+	tracer := trace.New(trace.WallClock(), trace.Config{Concurrent: true})
+	opts := Options{Trials: 3, BaseSeed: 9, Workers: workers, Trace: tracer}
+	runner, _ := Lookup("fig2")
+	if _, err := runner(opts); err != nil {
+		t.Fatalf("fig2 (workers=%d): %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepTraceDeterministic is the trace-arming regression test: the
+// tracer is armed for trial 0 by index, decided before fan-out, so the
+// exported trace is byte-identical whichever worker runs first.
+func TestSweepTraceDeterministic(t *testing.T) {
+	seq := traceRun(t, 1)
+	par := traceRun(t, 4)
+	if len(seq) == 0 {
+		t.Fatal("sequential run produced an empty trace")
+	}
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("trace differs between worker counts: %d vs %d bytes", len(seq), len(par))
+	}
+}
+
+// TestSeedForNoCollisions checks the seed-stream audit property: within
+// one experiment, no two (variant, trial) cells share a seed, and variant
+// 0 reproduces the historical base+t stream.
+func TestSeedForNoCollisions(t *testing.T) {
+	const base, trials, variants = 1000, 40, 9
+	seen := make(map[int64]string)
+	for v := 0; v < variants; v++ {
+		for tr := 0; tr < trials; tr++ {
+			s := seedFor(base, v, trials, tr)
+			cell := fmt.Sprintf("(%d,%d)", v, tr)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed %d reused by %s and %s", s, prev, cell)
+			}
+			seen[s] = cell
+		}
+	}
+	for tr := 0; tr < trials; tr++ {
+		if got := seedFor(base, 0, trials, tr); got != base+int64(tr) {
+			t.Fatalf("variant 0 seed = %d, want %d", got, base+int64(tr))
+		}
+	}
+}
+
+// TestForEachTrialFirstErrorByIndex: with many failing trials, the error
+// surfaced is the lowest-index one, not whichever worker lost the race.
+func TestForEachTrialFirstErrorByIndex(t *testing.T) {
+	opts := Options{Workers: 8}
+	for round := 0; round < 20; round++ {
+		err := opts.ForEachTrial(64, func(tr int) error {
+			if tr >= 3 {
+				return fmt.Errorf("trial %d failed", tr)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "trial 3 failed" {
+			t.Fatalf("round %d: err = %v, want trial 3's", round, err)
+		}
+	}
+}
+
+// TestForEachTrialStopsAfterError: once a trial fails, workers stop
+// claiming new trials (fail-fast), so late trials never run.
+func TestForEachTrialStopsAfterError(t *testing.T) {
+	opts := Options{Workers: 2}
+	var mu sync.Mutex
+	ran := make(map[int]bool)
+	sentinel := errors.New("boom")
+	err := opts.ForEachTrial(1000, func(tr int) error {
+		mu.Lock()
+		ran[tr] = true
+		mu.Unlock()
+		if tr == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ran) == 1000 {
+		t.Fatal("all trials ran despite an early failure")
+	}
+}
+
+// TestForEachTrialCoversAllIndices: every index runs exactly once at any
+// worker count.
+func TestForEachTrialCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		opts := Options{Workers: workers}
+		var mu sync.Mutex
+		counts := make([]int, 100)
+		if err := opts.ForEachTrial(100, func(tr int) error {
+			mu.Lock()
+			counts[tr]++
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for tr, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: trial %d ran %d times", workers, tr, c)
+			}
+		}
+	}
+}
+
+// TestProgressConcurrentTicks drives Progress from many goroutines under a
+// fake clock: the count must be exact and the final rate must be computed
+// from the completed count over elapsed time — not from any per-worker
+// interval arithmetic that concurrency could skew.
+func TestProgressConcurrentTicks(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	p.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	p.Start("conc", 200)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				mu.Lock()
+				now = now.Add(10 * time.Millisecond) // 200 ticks × 10ms = 2s total
+				mu.Unlock()
+				p.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+	trials, wall := p.Done()
+	if trials != 200 {
+		t.Fatalf("trials = %d, want 200", trials)
+	}
+	if wall != 2*time.Second {
+		t.Fatalf("wall = %v, want 2s", wall)
+	}
+	// 200 trials over 2 fake seconds = exactly 100.0 trials/s.
+	if !bytes.Contains(buf.Bytes(), []byte("100.0 trials/s")) {
+		t.Fatalf("final line lacks the honest rate:\n%s", buf.String())
+	}
+}

@@ -28,20 +28,22 @@ type table1Point struct {
 func Table1(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
 	points := make([]table1Point, len(table1Jitters))
-	for i, d := range table1Jitters {
-		for t := 0; t < opts.Trials; t++ {
-			res, err := opts.runTrial(core.TrialConfig{
-				Seed:           opts.BaseSeed + int64(i*opts.Trials+t),
-				RequestSpacing: d,
-				RandomJitter:   800 * time.Microsecond,
-			})
-			if err != nil {
-				return nil, err
-			}
-			points[i].nonMux.Observe(res.BestDoM[website.TargetID] == 0)
-			points[i].retrans.Add(float64(res.RetransC2S + res.AppRetries))
-			points[i].broken.Observe(res.Broken)
+	results, err := opts.Sweep(len(table1Jitters)*opts.Trials, func(k int) core.TrialConfig {
+		i, t := k/opts.Trials, k%opts.Trials
+		return core.TrialConfig{
+			Seed:           seedFor(opts.BaseSeed, i, opts.Trials, t),
+			RequestSpacing: table1Jitters[i],
+			RandomJitter:   800 * time.Microsecond,
 		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, res := range results {
+		i := k / opts.Trials
+		points[i].nonMux.Observe(res.BestDoM[website.TargetID] == 0)
+		points[i].retrans.Add(float64(res.RetransC2S + res.AppRetries))
+		points[i].broken.Observe(res.Broken)
 	}
 	rep := &Report{
 		ID:     "table1",
@@ -80,14 +82,16 @@ func Table2(opts Options) (*Report, error) {
 	single := make([]metrics.Counter, len(labels))
 	all := make([]metrics.Counter, len(labels))
 	var broken metrics.Counter
-	for t := 0; t < opts.Trials; t++ {
-		res, err := opts.runTrial(core.TrialConfig{
-			Seed:   opts.BaseSeed + int64(t),
+	results, err := opts.Sweep(opts.Trials, func(t int) core.TrialConfig {
+		return core.TrialConfig{
+			Seed:   seedFor(opts.BaseSeed, 0, opts.Trials, t),
 			Attack: &plan,
-		})
-		if err != nil {
-			return nil, err
 		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		broken.Observe(res.Broken)
 		// HTML row: the quiz is one fixed object in both modes.
 		single[0].Observe(res.ObjectSuccess(website.TargetID))

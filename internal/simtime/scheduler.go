@@ -12,12 +12,24 @@ import (
 
 // Event is a scheduled callback. Events fire in (time, sequence) order;
 // the sequence number makes simultaneous events deterministic (FIFO).
+//
+// Fired events are recycled through a per-scheduler free list (trials
+// schedule hundreds of thousands of short-lived timer events, and the
+// scheduler is the hottest allocation site of a trial). An Event is
+// single-owner: once its callback has run, the handle returned by At/After
+// is dead and the owner must drop it — every component in this repo clears
+// its stored handle inside the callback (or immediately after Cancel), so
+// a recycled struct is never reachable through a stale handle. Cancelling
+// a pending or already-cancelled event remains a safe no-op; cancelled
+// events are deliberately NOT recycled, so double-Cancel can never corrupt
+// a reused event.
 type Event struct {
 	at   time.Duration
 	seq  uint64
 	fn   func()
 	idx  int // heap index; -1 once removed
 	dead bool
+	next *Event // free-list link; non-nil only while recycled
 }
 
 // Time reports the virtual time at which the event will fire.
@@ -30,6 +42,7 @@ type Scheduler struct {
 	nextSeq uint64
 	queue   eventQueue
 	running bool
+	free    *Event // recycled fired events (see Event)
 }
 
 // NewScheduler returns an empty scheduler with the clock at zero.
@@ -51,7 +64,13 @@ func (s *Scheduler) At(at time.Duration, fn func()) *Event {
 	if at < s.now {
 		panic(fmt.Sprintf("simtime: event scheduled in the past: at=%v now=%v", at, s.now))
 	}
-	ev := &Event{at: at, seq: s.nextSeq, fn: fn}
+	ev := s.free
+	if ev != nil {
+		s.free = ev.next
+		*ev = Event{at: at, seq: s.nextSeq, fn: fn}
+	} else {
+		ev = &Event{at: at, seq: s.nextSeq, fn: fn}
+	}
 	s.nextSeq++
 	heap.Push(&s.queue, ev)
 	return ev
@@ -66,8 +85,11 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Event {
 	return s.At(s.now+d, fn)
 }
 
-// Cancel removes a pending event. Cancelling a fired or already-cancelled
-// event is a no-op, so callers can cancel unconditionally in cleanups.
+// Cancel removes a pending event. Cancelling an already-cancelled event is
+// a no-op, so callers can cancel unconditionally in cleanups. A fired
+// event's handle is dead (its struct may have been recycled into a new
+// event); callers must clear stored handles inside the callback rather
+// than cancel them afterwards.
 func (s *Scheduler) Cancel(ev *Event) {
 	if ev == nil || ev.dead {
 		return
@@ -89,6 +111,13 @@ func (s *Scheduler) Step() bool {
 		ev.dead = true
 		s.now = ev.at
 		ev.fn()
+		// Recycle only after the callback returns: a callback that reaches
+		// its own stale handle (cancel-guarded cleanup paths) still sees a
+		// dead, unpooled event and no-ops. The struct becomes live again
+		// only when a later At re-arms it.
+		ev.fn = nil
+		ev.next = s.free
+		s.free = ev
 		return true
 	}
 	return false
