@@ -3,9 +3,11 @@
 // observed and inferred.
 //
 //	h2attack [-seed N] [-jitter1 50ms] [-jitter3 80ms] [-drop 0.8] [-bw 800]
-//	         [-trace out.json] [-trace-format chrome|jsonl|summary] [-timeline]
+//	         [-scenario NAME] [-adaptive] [-trace out.json]
+//	         [-trace-format chrome|jsonl|summary] [-timeline]
 //	         [-debug-addr :9090] [-hold 30s]
 //	h2attack -trials 50 [-parallel W]   (aggregate success over seeds N..N+49)
+//	h2attack -scenarios                 (list the fault-scenario catalog)
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"h2privacy/internal/core"
 	"h2privacy/internal/experiment"
 	"h2privacy/internal/metrics"
+	"h2privacy/internal/netsim"
 	"h2privacy/internal/obs"
 	"h2privacy/internal/trace"
 	"h2privacy/internal/website"
@@ -34,6 +37,9 @@ func main() {
 	jitter3 := flag.Duration("jitter3", 80*time.Millisecond, "phase-3 per-GET jitter")
 	drop := flag.Float64("drop", 0.8, "server→client drop rate during the reset phase")
 	bw := flag.Float64("bw", 800, "throttle bandwidth in Mbps")
+	scenario := flag.String("scenario", "", "inject a named fault scenario (see -scenarios)")
+	listScenarios := flag.Bool("scenarios", false, "list the fault-scenario catalog and exit")
+	adaptive := flag.Bool("adaptive", false, "arm the closed-loop driver: watchdogs, retry with escalation, heartbeat re-arm, graceful degradation")
 	pcapPath := flag.String("pcap", "", "export the gateway's capture to this pcap file")
 	timeline := flag.Bool("timeline", false, "print the merged event timeline")
 	hold := flag.Duration("hold", 0, "keep the process (and -debug-addr endpoints) alive this long after the trial")
@@ -43,11 +49,26 @@ func main() {
 	df.RegisterDebug(flag.CommandLine)
 	flag.Parse()
 
+	if *listScenarios {
+		fmt.Println("fault scenarios:")
+		for _, sc := range netsim.Scenarios() {
+			fmt.Printf("  %-14s %s\n", sc.Name, sc.Desc)
+		}
+		return
+	}
+	if *scenario != "" {
+		if _, ok := netsim.LookupScenario(*scenario); !ok {
+			fatal(fmt.Errorf("unknown scenario %q (have %s)", *scenario,
+				strings.Join(netsim.ScenarioNames(), ", ")))
+		}
+	}
+
 	plan := adversary.DefaultPlan()
 	plan.Phase1Jitter = *jitter1
 	plan.Phase3Jitter = *jitter3
 	plan.DropRate = *drop
 	plan.ThrottleBps = *bw * 1e6
+	plan.Adaptive = *adaptive
 
 	// -timeline and -debug-addr also arm the tracer: the trace-derived
 	// timeline carries the TCP events the legacy logs never had, and the
@@ -82,7 +103,7 @@ func main() {
 		if *pcapPath != "" || *timeline {
 			fmt.Fprintln(os.Stderr, "h2attack: -pcap and -timeline apply to single trials; ignoring with -trials >1")
 		}
-		if err := runSweep(*seed, *trials, *parallel, plan, tracer, reg); err != nil {
+		if err := runSweep(*seed, *trials, *parallel, plan, *scenario, tracer, reg); err != nil {
 			fatal(err)
 		}
 		if err := tf.Export(tracer, os.Stdout, "h2attack"); err != nil {
@@ -92,7 +113,7 @@ func main() {
 		return
 	}
 
-	tb, err := core.NewTestbed(core.TrialConfig{Seed: *seed, Attack: &plan, Trace: tracer, Metrics: reg})
+	tb, err := core.NewTestbed(core.TrialConfig{Seed: *seed, Attack: &plan, Scenario: *scenario, Trace: tracer, Metrics: reg})
 	if err != nil {
 		fatal(err)
 	}
@@ -113,6 +134,13 @@ func main() {
 	fmt.Println("== attack phases ==")
 	for _, pc := range tb.Driver.PhaseLog {
 		fmt.Printf("  %-12v %v\n", pc.Time.Round(time.Millisecond), pc.Phase)
+	}
+
+	if len(res.FaultLog) > 0 {
+		fmt.Printf("\n== injected faults (%s) ==\n", *scenario)
+		for _, ft := range res.FaultLog {
+			fmt.Printf("  %-12v %-13s %s\n", ft.At.Round(time.Millisecond), ft.Kind, ft.Detail)
+		}
 	}
 
 	fmt.Println("\n== traffic observed at the gateway ==")
@@ -138,6 +166,8 @@ func main() {
 	}
 
 	fmt.Println("\n== verdict ==")
+	fmt.Printf("  attack outcome:   %s (%d drop attempt(s), %d heartbeat re-arm(s))\n",
+		res.Outcome, res.AttackAttempts, tb.Driver.Rearms())
 	fmt.Printf("  true ranking:     %s\n", seqString(res.DisplaySeq))
 	fmt.Printf("  inferred ranking: %s\n", seqString(res.InferredSeq))
 	if res.Broken {
@@ -150,7 +180,7 @@ func main() {
 // runSweep is the -trials >1 path: n same-plan trials over the sweep
 // engine, aggregated exactly as table2 aggregates (HTML identified, ranks
 // correct, broken loads).
-func runSweep(seed int64, n, workers int, plan adversary.AttackPlan, tracer *trace.Tracer, reg *obs.Registry) error {
+func runSweep(seed int64, n, workers int, plan adversary.AttackPlan, scenario string, tracer *trace.Tracer, reg *obs.Registry) error {
 	opts := experiment.Options{
 		Trials:   n,
 		BaseSeed: seed,
@@ -161,7 +191,7 @@ func runSweep(seed int64, n, workers int, plan adversary.AttackPlan, tracer *tra
 	}
 	opts.Progress.Start("attack", n)
 	results, err := opts.Sweep(n, func(t int) core.TrialConfig {
-		return core.TrialConfig{Seed: seed + int64(t), Attack: &plan}
+		return core.TrialConfig{Seed: seed + int64(t), Attack: &plan, Scenario: scenario}
 	})
 	if err != nil {
 		return err
@@ -169,6 +199,7 @@ func runSweep(seed int64, n, workers int, plan adversary.AttackPlan, tracer *tra
 	opts.Progress.Done()
 	var html, ranks, allRanks, broken metrics.Counter
 	var resets metrics.Sample
+	outcomes := make(map[adversary.Outcome]int)
 	for _, res := range results {
 		html.Observe(res.ObjectSuccess(website.TargetID))
 		all := true
@@ -180,13 +211,27 @@ func runSweep(seed int64, n, workers int, plan adversary.AttackPlan, tracer *tra
 		allRanks.Observe(all)
 		broken.Observe(res.Broken)
 		resets.Add(float64(res.Resets))
+		outcomes[res.Outcome]++
 	}
-	fmt.Printf("== attack sweep: %d trials, seeds %d..%d ==\n", n, seed, seed+int64(n)-1)
+	fmt.Printf("== attack sweep: %d trials, seeds %d..%d", n, seed, seed+int64(n)-1)
+	if scenario != "" {
+		fmt.Printf(", scenario %s", scenario)
+	}
+	fmt.Println(" ==")
 	fmt.Printf("  quiz HTML identified:      %.0f%%\n", html.Percent())
 	fmt.Printf("  emblem ranks correct:      %.0f%%\n", ranks.Percent())
 	fmt.Printf("  full ranking recovered:    %.0f%%\n", allRanks.Percent())
 	fmt.Printf("  broken page loads:         %.0f%%\n", broken.Percent())
 	fmt.Printf("  mean reset cycles:         %.1f\n", resets.Mean())
+	fmt.Print("  outcomes:                  ")
+	var parts []string
+	for _, o := range []adversary.Outcome{adversary.OutcomeCleanSlate, adversary.OutcomeRetryCleanSlate,
+		adversary.OutcomeDegraded, adversary.OutcomeBroken} {
+		if outcomes[o] > 0 {
+			parts = append(parts, fmt.Sprintf("%s %d", o, outcomes[o]))
+		}
+	}
+	fmt.Println(strings.Join(parts, ", "))
 	return nil
 }
 

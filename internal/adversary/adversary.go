@@ -46,6 +46,12 @@ type Controller struct {
 	dropRate           float64
 	dropRetransmitRate float64
 	dropUntil          time.Duration
+	// dropSeqFence, when non-zero, exempts server→client payload entirely
+	// below this sequence number from the drops (see DropNewServerData).
+	// maxS2CSeq tracks the server's send-high as observed in-line, so a
+	// fence can be planted at "everything sent so far".
+	dropSeqFence uint64
+	maxS2CSeq    uint64
 
 	stats ControllerStats
 
@@ -148,11 +154,67 @@ func (c *Controller) Throttle(bps float64) {
 func (c *Controller) DropServerData(rate, retransmitRate float64, duration time.Duration) {
 	c.dropRate = rate
 	c.dropRetransmitRate = retransmitRate
+	c.dropSeqFence = 0
 	c.dropUntil = c.sched.Now() + duration
 	if c.tr.Enabled() {
 		c.tr.Emit(trace.LayerAdversary, "drop-window",
 			trace.Num("rate_pct", int64(rate*100)), trace.Num("rtx_rate_pct", int64(retransmitRate*100)),
 			trace.Dur("duration", duration))
+	}
+}
+
+// DropNewServerData opens a drop window fenced at the server's current
+// send-high: only payload bytes beyond every sequence number observed so
+// far are subject to the drops; anything below the fence — retransmissions
+// of data the victim's client already reset away — passes untouched. The
+// fence is what makes a second starvation window survivable: the victim's
+// transport keeps making acknowledgement progress on the old bytes (no
+// consecutive-RTO abort) while the re-requested object, whose bytes are
+// all new, starves until the client resets again. A plain second
+// DropServerData window cannot do this: the victim's doubled reset
+// patience outlasts its own transport's retransmission-abort budget.
+func (c *Controller) DropNewServerData(rate, retransmitRate float64, duration time.Duration) {
+	c.dropRate = rate
+	c.dropRetransmitRate = retransmitRate
+	c.dropSeqFence = c.maxS2CSeq
+	c.dropUntil = c.sched.Now() + duration
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.LayerAdversary, "drop-window",
+			trace.Num("rate_pct", int64(rate*100)), trace.Num("rtx_rate_pct", int64(retransmitRate*100)),
+			trace.Dur("duration", duration), trace.Num("fence", int64(c.dropSeqFence)))
+	}
+}
+
+// StopDrops closes any open drop window immediately (the adaptive driver
+// stops dropping the moment the clean-slate reset is detected).
+func (c *Controller) StopDrops() {
+	c.dropRate = 0
+	c.dropRetransmitRate = 0
+	c.dropSeqFence = 0
+	c.dropUntil = 0
+}
+
+// DropsActive reports whether a drop window is currently open.
+func (c *Controller) DropsActive() bool {
+	return (c.dropRate > 0 || c.dropRetransmitRate > 0) && c.sched.Now() < c.dropUntil
+}
+
+// WipeKnobs implements netsim.KnobWiper: a middlebox restart loses all
+// volatile knob state — jitter schedules, throttles stay (they are qdisc
+// config reapplied at boot is not modeled; the paper's tc settings live in
+// the kernel and do not survive either), and the drop window closes. The
+// GET classifier's stream position is NOT wiped: the passive monitor is a
+// separate capture box in the §V setup and keeps its position, and the
+// controller's in-line classifier models state mirrored from it.
+func (c *Controller) WipeKnobs() {
+	c.requestSpacing = 0
+	c.getIndex = 0
+	c.lastGETExtra = 0
+	c.maxS2CSeq = 0
+	c.randJitter = make(map[netsim.Direction]time.Duration)
+	c.StopDrops()
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.LayerAdversary, "knobs-wiped")
 	}
 }
 
@@ -189,7 +251,11 @@ func (c *Controller) Process(now time.Duration, pkt *netsim.Packet) netsim.Verdi
 			}
 		}
 	case netsim.ServerToClient:
-		if (c.dropRate > 0 || c.dropRetransmitRate > 0) && now < c.dropUntil && len(seg.Payload) > 0 {
+		if end := seg.Seq + uint64(len(seg.Payload)); len(seg.Payload) > 0 && end > c.maxS2CSeq {
+			c.maxS2CSeq = end
+		}
+		if (c.dropRate > 0 || c.dropRetransmitRate > 0) && now < c.dropUntil && len(seg.Payload) > 0 &&
+			(c.dropSeqFence == 0 || seg.Seq+uint64(len(seg.Payload)) > c.dropSeqFence) {
 			rate := c.dropRate
 			if seg.Retransmit {
 				rate = c.dropRetransmitRate

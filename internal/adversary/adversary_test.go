@@ -182,7 +182,10 @@ func TestDriverPhases(t *testing.T) {
 	plan := DefaultPlan()
 	plan.TriggerGET = 2
 	plan.DropDuration = time.Second
-	d := NewDriver(sched, ctrl, mon, plan)
+	d, err := NewDriver(sched, ctrl, mon, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d.Phase() != PhaseIdle {
 		t.Fatalf("initial phase %v", d.Phase())
 	}

@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"fmt"
 	"time"
 
 	"h2privacy/internal/capture"
@@ -39,6 +40,38 @@ type AttackPlan struct {
 	// Phase3Jitter is the per-GET spacing after the drop window (80 ms),
 	// sized to serialize the eight emblem images.
 	Phase3Jitter time.Duration
+
+	// Adaptive arms the closed-loop driver: a trigger watchdog that
+	// aborts PhaseIdle when the trigger GET never appears, a clean-slate
+	// watchdog that retries the drop window (bounded attempts, escalated
+	// rate, backed-off duration) when no reset is observed, a middlebox
+	// heartbeat that re-arms a wiped drop window, and early drop shutdown
+	// the moment the reset is detected. The paper's published attack is
+	// open-loop (Adaptive=false): it drops for a fixed window and hopes.
+	Adaptive bool
+	// TriggerDeadline is how long the adaptive driver waits in PhaseIdle
+	// for the trigger GET before degrading to passive observation.
+	// Default 20 s.
+	TriggerDeadline time.Duration
+	// RSTGrace is how long past a drop window's end the adaptive driver
+	// waits for the client's reset before declaring the attempt failed.
+	// Default 1 s.
+	RSTGrace time.Duration
+	// MaxDropAttempts bounds the drop windows the adaptive driver opens
+	// (first try + retries). Default 3.
+	MaxDropAttempts int
+	// DropEscalation is added to DropRate/DropRetransmitRate per retry
+	// (capped below 1 so retransmissions still trickle). It must bite
+	// hard: any response byte that leaks through restarts the victim's
+	// (now doubled) reset patience, so a mild escalation just extends the
+	// starvation without ever forcing the second reset. Default 0.15.
+	DropEscalation float64
+	// RetryBackoff multiplies the drop window duration per retry. It must
+	// outpace the victim's reset-timeout doubling (§IV-D): a browser that
+	// already reset once waits 2× as long before resetting again, so a
+	// retry window shorter than that just starves the connection without
+	// forcing the reset. Default 2.6 (first retry 13s > the doubled 10s).
+	RetryBackoff float64
 }
 
 // DefaultPlan returns the paper's §V attack parameters.
@@ -60,7 +93,56 @@ func (p AttackPlan) withDefaults() AttackPlan {
 	if p.DropRetransmitRate == 0 {
 		p.DropRetransmitRate = 0.97
 	}
+	if p.TriggerDeadline == 0 {
+		p.TriggerDeadline = 20 * time.Second
+	}
+	if p.RSTGrace == 0 {
+		p.RSTGrace = time.Second
+	}
+	if p.MaxDropAttempts == 0 {
+		p.MaxDropAttempts = 3
+	}
+	if p.DropEscalation == 0 {
+		p.DropEscalation = 0.15
+	}
+	if p.RetryBackoff == 0 {
+		p.RetryBackoff = 2.6
+	}
 	return p
+}
+
+// Validate rejects plans that would silently misbehave: negative jitters
+// or durations, probabilities outside [0,1], a trigger ordinal below 1.
+// It validates the plan as the driver will run it (defaults applied).
+func (p AttackPlan) Validate() error {
+	p = p.withDefaults()
+	switch {
+	case p.Phase1Jitter < 0:
+		return fmt.Errorf("adversary: Phase1Jitter must be >= 0, got %v", p.Phase1Jitter)
+	case p.Phase1RandomJitter < 0:
+		return fmt.Errorf("adversary: Phase1RandomJitter must be >= 0, got %v", p.Phase1RandomJitter)
+	case p.Phase3Jitter < 0:
+		return fmt.Errorf("adversary: Phase3Jitter must be >= 0, got %v", p.Phase3Jitter)
+	case p.TriggerGET < 1:
+		return fmt.Errorf("adversary: TriggerGET must be >= 1, got %d", p.TriggerGET)
+	case p.ThrottleBps < 0:
+		return fmt.Errorf("adversary: ThrottleBps must be >= 0, got %v", p.ThrottleBps)
+	case p.DropRate < 0 || p.DropRate > 1:
+		return fmt.Errorf("adversary: DropRate must be in [0,1], got %v", p.DropRate)
+	case p.DropRetransmitRate < 0 || p.DropRetransmitRate > 1:
+		return fmt.Errorf("adversary: DropRetransmitRate must be in [0,1], got %v", p.DropRetransmitRate)
+	case p.DropDuration < 0:
+		return fmt.Errorf("adversary: DropDuration must be >= 0, got %v", p.DropDuration)
+	case p.TriggerDeadline < 0 || p.RSTGrace < 0:
+		return fmt.Errorf("adversary: watchdog deadlines must be >= 0")
+	case p.MaxDropAttempts < 1:
+		return fmt.Errorf("adversary: MaxDropAttempts must be >= 1, got %d", p.MaxDropAttempts)
+	case p.DropEscalation < 0:
+		return fmt.Errorf("adversary: DropEscalation must be >= 0, got %v", p.DropEscalation)
+	case p.RetryBackoff < 1:
+		return fmt.Errorf("adversary: RetryBackoff must be >= 1, got %v", p.RetryBackoff)
+	}
+	return nil
 }
 
 // Phase identifies the driver's progress.
@@ -71,6 +153,7 @@ const (
 	PhaseIdle     Phase = iota + 1 // armed, jitter active, counting GETs
 	PhaseDropping                  // trigger seen: throttled + dropping
 	PhaseSpacing                   // post-reset: phase-3 jitter active
+	PhaseDegraded                  // gave up: all knobs off, passive observation
 )
 
 // String names the phase.
@@ -82,22 +165,125 @@ func (p Phase) String() string {
 		return "throttle+drop"
 	case PhaseSpacing:
 		return "space-images"
+	case PhaseDegraded:
+		return "passive"
 	default:
 		return "phase?"
 	}
 }
 
+// phaseGaugeHelp is shared with core.PublishTrialMetrics — the registry
+// requires a stable help string per metric name.
+const phaseGaugeHelp = "Current attack phase (1 jitter+count, 2 throttle+drop, 3 space-images, 4 passive)."
+
+// PhaseGaugeHelp exposes the phase gauge's help text for re-registration
+// at publication time.
+func PhaseGaugeHelp() string { return phaseGaugeHelp }
+
+// Outcome classifies how an attack trial ended.
+type Outcome int
+
+// Trial outcomes.
+const (
+	OutcomePending         Outcome = iota // trial still running / never classified
+	OutcomeCleanSlate                     // reset observed on the first drop window
+	OutcomeRetryCleanSlate                // reset observed, but only after >= 1 retry
+	OutcomeDegraded                       // gave up and observed passively
+	OutcomeBroken                         // the connection itself died
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomePending:
+		return "pending"
+	case OutcomeCleanSlate:
+		return "clean-slate"
+	case OutcomeRetryCleanSlate:
+		return "retry-clean-slate"
+	case OutcomeDegraded:
+		return "degraded"
+	case OutcomeBroken:
+		return "broken"
+	default:
+		return "outcome?"
+	}
+}
+
+// Reset-detection rule constants. The monitor cannot decrypt, so a
+// "reset" is inferred from client→server control records (small
+// post-setup application records: WINDOW_UPDATE and RST_STREAM look
+// identical on the wire). The signature has two parts, both needed:
+//
+//   - Shape: the browser resets every open stream in one synchronous
+//     flush, so the reset is a run of >= controlBurstRun control records
+//     essentially simultaneous (successive gaps <= controlBurstGap).
+//     Flow-control chatter arrives in pairs and small clusters.
+//
+//   - Context: the reset happens while the client is starved — no
+//     substantial server→client payload has been forwarded past the tap
+//     for starvationQuiet. This kills the big false positive: when a
+//     stalled transfer recovers (drop window wiped by a middlebox
+//     restart, or simply expired), the client emits WINDOW_UPDATE floods
+//     with runs far longer than a real reset's, but always amid heavy
+//     server data.
+//
+// Taint splits the shape rule in two. Records carried (even partly) by
+// retransmitted segments are reassembly catch-up: after a blackout the
+// client's retransmitted backlog parses as one same-instant batch that
+// mimics a flush. Fresh records count toward the ordinary
+// controlBurstRun. A run that is entirely retransmission-borne is only
+// believed at taintedBurstRun — sized well above any observed catch-up
+// batch (~13 records after a 300ms blackout) but below a full flush
+// (one RST per open stream, 40+) whose packets were lost and resent,
+// which is how a reset looks when the path itself is bursty.
+//
+// The burst must land between the drop window opening and
+// resetWindowSlack past its end; later control traffic cannot credibly
+// be attributed to the starvation. The adaptive driver's retries move
+// that window forward, which is half their value: a flush delayed past
+// the open-loop acceptance window by loss recovery still converts a
+// retrying driver.
+const (
+	controlBurstGap  = 2 * time.Millisecond
+	controlBurstRun  = 6
+	taintedBurstRun  = 24
+	starvationQuiet  = 300 * time.Millisecond
+	resetWindowSlack = 2 * time.Second
+	heartbeatPeriod  = 500 * time.Millisecond
+	maxDropRate      = 0.98
+	maxDropRtxRate   = 0.99
+)
+
 // Driver sequences the attack: phase 1 applies jitter and counts GETs at
 // the monitor; on the trigger GET it throttles and starts targeted drops;
 // when the drop window ends it switches to the phase-3 spacing that
-// serializes the emblem images.
+// serializes the emblem images. With plan.Adaptive it closes the loop:
+// watchdogs retry, re-arm or degrade instead of hoping.
 type Driver struct {
 	sched      *simtime.Scheduler
 	controller *Controller
+	monitor    *capture.Monitor
 	plan       AttackPlan
 	phase      Phase
 	// PhaseLog records (time, phase) transitions for the experiment logs.
 	PhaseLog []PhaseChange
+
+	outcome    Outcome
+	attempts   int           // drop windows opened so far
+	rearms     int           // heartbeat re-arms after a knob wipe
+	dropStart  time.Duration // start of the current drop window
+	dropWindow time.Duration // duration of the current drop window
+	curRate    float64       // current attempt's drop rates (for re-arm)
+	curRtx     float64
+	curFenced  bool // current attempt drops only above the seq fence
+	rstSeen    bool
+	connBroken bool
+	lastCtrlAt time.Duration
+	haveCtrl   bool
+	ctrlRun    int // current run of near-simultaneous control records
+	freshRun   int // untainted records within the current run
+	gen        int // invalidates scheduled watchdog/heartbeat callbacks
 
 	// Live phase metrics (nil instruments when no registry is armed).
 	mPhase       *obs.Gauge
@@ -111,11 +297,16 @@ type PhaseChange struct {
 }
 
 // NewDriver arms the attack: it installs phase-1 jitter immediately and
-// subscribes to the monitor's GET feed. The monitor must already be tapped
-// into the same path.
-func NewDriver(sched *simtime.Scheduler, controller *Controller, monitor *capture.Monitor, plan AttackPlan) *Driver {
+// subscribes to the monitor's GET, control-record and teardown feeds. The
+// monitor must already be tapped into the same path. The plan is
+// validated (defaults applied first); an invalid plan is an error, not
+// silent misbehavior.
+func NewDriver(sched *simtime.Scheduler, controller *Controller, monitor *capture.Monitor, plan AttackPlan) (*Driver, error) {
 	plan = plan.withDefaults()
-	d := &Driver{sched: sched, controller: controller, plan: plan}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Driver{sched: sched, controller: controller, monitor: monitor, plan: plan, outcome: OutcomePending}
 	d.transition(PhaseIdle)
 	controller.SetRequestSpacing(plan.Phase1Jitter)
 	controller.SetRandomJitter(netsim.ClientToServer, plan.Phase1RandomJitter)
@@ -125,11 +316,49 @@ func NewDriver(sched *simtime.Scheduler, controller *Controller, monitor *captur
 			d.onTrigger()
 		}
 	})
-	return d
+	monitor.OnControl(d.onControl)
+	monitor.OnTeardown(func(now time.Duration, dir netsim.Direction) { d.onTeardown() })
+	if plan.Adaptive {
+		// Trigger watchdog: without it, a trial whose trigger GET is lost
+		// (blackout, burst loss) wedges in PhaseIdle forever.
+		sched.After(plan.TriggerDeadline, func() {
+			if d.phase == PhaseIdle {
+				d.degrade("trigger-timeout")
+			}
+		})
+	}
+	return d, nil
 }
 
 // Phase reports the current phase.
 func (d *Driver) Phase() Phase { return d.phase }
+
+// Attempts reports how many drop windows the driver opened.
+func (d *Driver) Attempts() int { return d.attempts }
+
+// Rearms reports how many times the heartbeat re-armed a wiped window.
+func (d *Driver) Rearms() int { return d.rearms }
+
+// FinalOutcome classifies the trial at collection time. broken is the
+// page-load verdict from the browser. A clean-slate already achieved
+// stands even if the transport dies afterwards — the reset was observed
+// and the re-request went out on a clean path; whether identification
+// then succeeded is the classifier's column, not the driver's. Broken
+// only claims trials where the attack never got its reset, and a trial
+// that never saw one ends degraded — "still pending" is not a terminal
+// state.
+func (d *Driver) FinalOutcome(broken bool) Outcome {
+	if d.outcome == OutcomeCleanSlate || d.outcome == OutcomeRetryCleanSlate {
+		return d.outcome
+	}
+	if broken || d.connBroken {
+		return OutcomeBroken
+	}
+	if d.outcome == OutcomePending {
+		return OutcomeDegraded
+	}
+	return d.outcome
+}
 
 // SetMetrics arms live phase metrics: a gauge holding the current phase
 // number and a per-phase transition counter, updated at every transition.
@@ -139,8 +368,7 @@ func (d *Driver) SetMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	d.mPhase = reg.Gauge("h2privacy_adversary_phase",
-		"Current attack phase (1 jitter+count, 2 throttle+drop, 3 space-images).")
+	d.mPhase = reg.Gauge("h2privacy_adversary_phase", phaseGaugeHelp)
 	d.mTransitions = reg.CounterVec("h2privacy_adversary_phase_transitions_total",
 		"Attack phase transitions.", "phase")
 	d.mPhase.Set(float64(d.phase))
@@ -157,7 +385,8 @@ type PhaseSpan struct {
 
 // PhaseSpans converts the transition log into per-phase durations; the
 // final phase is closed at end (the trial's quiescence time). This feeds
-// the per-trial phase-duration histograms.
+// the per-trial phase-duration histograms. An empty PhaseLog yields an
+// empty (non-nil) slice.
 func (d *Driver) PhaseSpans(end time.Duration) []PhaseSpan {
 	spans := make([]PhaseSpan, 0, len(d.PhaseLog))
 	for i, pc := range d.PhaseLog {
@@ -192,10 +421,183 @@ func (d *Driver) onTrigger() {
 		d.controller.Throttle(d.plan.ThrottleBps)
 	}
 	if d.plan.DropRate > 0 {
-		d.controller.DropServerData(d.plan.DropRate, d.plan.DropRetransmitRate, d.plan.DropDuration)
+		d.openDropWindow()
+		return
 	}
-	d.sched.After(d.plan.DropDuration, func() {
-		d.transition(PhaseSpacing)
-		d.controller.SetRequestSpacing(d.plan.Phase3Jitter)
+	// No drops planned: hold the phase for the window, then space images.
+	d.sched.After(d.plan.DropDuration, d.enterSpacing)
+}
+
+// openDropWindow starts drop attempt attempts+1. Retries escalate the
+// rates additively (capped so retransmissions still trickle — a total
+// black hole stalls TCP instead of provoking the HTTP/2-level reset) and
+// stretch the window by RetryBackoff, tracking a client whose reset
+// patience doubles after every reset. Retries also fence the drops at the
+// server's current send-high (DropNewServerData): after the first reset
+// attempt the victim's old streams are already cancelled, so their
+// retransmissions are let through to keep the transport alive while
+// everything new — the re-requested object — starves.
+func (d *Driver) openDropWindow() {
+	d.attempts++
+	n := d.attempts - 1
+	rate := d.plan.DropRate + float64(n)*d.plan.DropEscalation
+	if rate > maxDropRate {
+		rate = maxDropRate
+	}
+	rtx := d.plan.DropRetransmitRate + float64(n)*d.plan.DropEscalation
+	if rtx > maxDropRtxRate {
+		rtx = maxDropRtxRate
+	}
+	window := d.plan.DropDuration
+	for i := 0; i < n; i++ {
+		window = time.Duration(float64(window) * d.plan.RetryBackoff)
+	}
+	d.dropStart = d.sched.Now()
+	d.dropWindow = window
+	d.curRate, d.curRtx = rate, rtx
+	d.curFenced = n > 0
+	if d.curFenced {
+		d.controller.DropNewServerData(rate, rtx, window)
+	} else {
+		d.controller.DropServerData(rate, rtx, window)
+	}
+	if tr := d.controller.Tracer(); tr.Enabled() {
+		tr.Emit(trace.LayerAdversary, "drop-attempt",
+			trace.Num("attempt", int64(d.attempts)), trace.Dur("window", window))
+	}
+	if !d.plan.Adaptive {
+		// Open-loop: the window runs its course, then phase 3 — hoping the
+		// reset landed inside it.
+		d.sched.After(window, d.enterSpacing)
+		return
+	}
+	gen := d.gen
+	d.heartbeat(gen)
+	// Clean-slate watchdog: if the reset beats the deadline, onControl has
+	// already advanced the phase and bumped gen; this callback then sees a
+	// stale generation and does nothing.
+	d.sched.After(window+d.plan.RSTGrace, func() {
+		if d.gen != gen || d.phase != PhaseDropping {
+			return
+		}
+		if d.attempts >= d.plan.MaxDropAttempts {
+			d.degrade("no-reset")
+			return
+		}
+		d.openDropWindow()
 	})
+}
+
+// heartbeat polls the controller's knob state during a drop window: a
+// middlebox restart wipes the drop window mid-attack, and without the
+// re-arm the rest of the window silently does nothing.
+func (d *Driver) heartbeat(gen int) {
+	d.sched.After(heartbeatPeriod, func() {
+		if d.gen != gen || d.phase != PhaseDropping {
+			return
+		}
+		now := d.sched.Now()
+		if now >= d.dropStart+d.dropWindow {
+			return
+		}
+		if !d.controller.DropsActive() {
+			d.rearms++
+			if d.curFenced {
+				d.controller.DropNewServerData(d.curRate, d.curRtx, d.dropStart+d.dropWindow-now)
+			} else {
+				d.controller.DropServerData(d.curRate, d.curRtx, d.dropStart+d.dropWindow-now)
+			}
+			if tr := d.controller.Tracer(); tr.Enabled() {
+				tr.Emit(trace.LayerAdversary, "drop-rearm",
+					trace.Dur("remaining", d.dropStart+d.dropWindow-now))
+			}
+		}
+		d.heartbeat(gen)
+	})
+}
+
+// onControl is the monitor's control-record feed: classify the client's
+// clean-slate reset (see the detection-rule comment above). Valid in
+// PhaseDropping (reset inside the window) and PhaseSpacing (open-loop:
+// the reset usually lands just after the window closes).
+func (d *Driver) onControl(count int, ev capture.RecordEvent) {
+	if d.haveCtrl && ev.Time-d.lastCtrlAt <= controlBurstGap {
+		d.ctrlRun++
+	} else {
+		d.ctrlRun = 1
+		d.freshRun = 0
+	}
+	if !ev.Tainted {
+		d.freshRun++
+	}
+	d.lastCtrlAt = ev.Time
+	d.haveCtrl = true
+	if d.rstSeen || d.attempts == 0 {
+		return
+	}
+	if d.phase != PhaseDropping && d.phase != PhaseSpacing {
+		return
+	}
+	if ev.Time < d.dropStart || ev.Time > d.dropStart+d.dropWindow+resetWindowSlack {
+		return
+	}
+	if d.freshRun < controlBurstRun && d.ctrlRun < taintedBurstRun {
+		return
+	}
+	if lastData, seen := d.monitor.LastServerDataAt(); seen && ev.Time-lastData < starvationQuiet {
+		return // client not starved: flow-control flood, not a reset
+	}
+	d.rstSeen = true
+	if d.attempts > 1 {
+		d.outcome = OutcomeRetryCleanSlate
+	} else {
+		d.outcome = OutcomeCleanSlate
+	}
+	if tr := d.controller.Tracer(); tr.Enabled() {
+		tr.Emit(trace.LayerAdversary, "reset-detected",
+			trace.Num("attempt", int64(d.attempts)), trace.Dur("at", ev.Time))
+	}
+	if d.plan.Adaptive && d.phase == PhaseDropping {
+		// Closed loop: stop starving the instant the reset is seen, so the
+		// re-requested target transmits on a clean path immediately.
+		d.enterSpacing()
+	}
+}
+
+// enterSpacing moves to phase 3. Guarded: the adaptive early transition
+// and the open-loop window timer can both want it.
+func (d *Driver) enterSpacing() {
+	if d.phase != PhaseDropping {
+		return
+	}
+	d.gen++
+	d.controller.StopDrops()
+	d.transition(PhaseSpacing)
+	d.controller.SetRequestSpacing(d.plan.Phase3Jitter)
+}
+
+// onTeardown fires when a TCP RST crosses the tap: the connection is
+// dead. Nothing the middlebox does can help now, so degrade rather than
+// keep dropping packets of a corpse.
+func (d *Driver) onTeardown() {
+	d.connBroken = true
+	if d.phase != PhaseDegraded {
+		d.degrade("connection-broken")
+	}
+}
+
+// degrade turns every knob off and goes passive: the monitor keeps
+// classifying, the trial keeps running, but the adversary stops
+// interfering. This is the graceful-degradation terminal state — a trial
+// never wedges with half an attack armed.
+func (d *Driver) degrade(reason string) {
+	d.gen++
+	d.controller.StopDrops()
+	d.controller.SetRequestSpacing(0)
+	d.controller.SetRandomJitter(netsim.ClientToServer, 0)
+	d.controller.SetRandomJitter(netsim.ServerToClient, 0)
+	if tr := d.controller.Tracer(); tr.Enabled() {
+		tr.Emit(trace.LayerAdversary, "degrade", trace.Str("reason", reason))
+	}
+	d.transition(PhaseDegraded)
 }

@@ -91,6 +91,12 @@ type RecordEvent struct {
 	PlainLen int
 	// IsGET marks client→server records classified as GET requests.
 	IsGET bool
+	// IsControl marks client→server application records too small to be
+	// GETs: WINDOW_UPDATE, SETTINGS ACK and RST_STREAM records. The
+	// adaptive driver's clean-slate watchdog consumes these — during a
+	// starvation window the client sends almost no flow-control updates,
+	// so a burst of small control records is the browser resetting.
+	IsControl bool
 	// Tainted marks records whose bytes arrived (at least partly) via
 	// TCP-retransmitted segments — tshark's tcp.analysis.retransmission.
 	// The predictor excludes them: retransmitted bytes are replays of
@@ -109,14 +115,19 @@ type PacketStats struct {
 
 // Monitor is the passive tap. Install it on a netsim.Path with AddTap.
 type Monitor struct {
-	records     []RecordEvent
-	stats       map[netsim.Direction]*PacketStats
-	streams     map[netsim.Direction]*dirStream
-	getCount    int
-	c2sAppCount int
-	onGET       func(count int, ev RecordEvent)
-	logPackets  bool
-	packets     []PacketRecord
+	records      []RecordEvent
+	stats        map[netsim.Direction]*PacketStats
+	streams      map[netsim.Direction]*dirStream
+	getCount     int
+	c2sAppCount  int
+	controlCount int
+	lastS2CData  time.Duration
+	anyS2CData   bool
+	onGET        func(count int, ev RecordEvent)
+	onControl    func(count int, ev RecordEvent)
+	onTeardown   func(now time.Duration, dir netsim.Direction)
+	logPackets   bool
+	packets      []PacketRecord
 
 	tr    *trace.Tracer
 	ctGET *trace.Counter
@@ -142,6 +153,16 @@ func NewMonitor() *Monitor {
 // driver's phase trigger).
 func (m *Monitor) OnGET(fn func(count int, ev RecordEvent)) { m.onGET = fn }
 
+// OnControl registers a callback fired for each client→server control
+// record (small post-setup application record: WINDOW_UPDATE, RST_STREAM).
+// This is the adaptive driver's RST feed.
+func (m *Monitor) OnControl(fn func(count int, ev RecordEvent)) { m.onControl = fn }
+
+// OnTeardown registers a callback fired when a TCP RST segment crosses the
+// tap in either direction — the connection is being torn down abortively
+// and the attack should degrade to passive observation.
+func (m *Monitor) OnTeardown(fn func(now time.Duration, dir netsim.Direction)) { m.onTeardown = fn }
+
 // SetTracer arms monitor-layer tracing: each GET-classified record becomes
 // a trace event.
 func (m *Monitor) SetTracer(tr *trace.Tracer) {
@@ -154,6 +175,15 @@ func (m *Monitor) Records() []RecordEvent { return m.records }
 
 // GETCount reports the GETs counted so far.
 func (m *Monitor) GETCount() int { return m.getCount }
+
+// ControlCount reports client→server control records counted so far.
+func (m *Monitor) ControlCount() int { return m.controlCount }
+
+// LastServerDataAt reports when the last substantial server→client
+// payload packet was forwarded (not dropped) past the tap, and whether
+// one has been seen at all. Control records arriving long after this are
+// sent by a starved client — the reset-detection context.
+func (m *Monitor) LastServerDataAt() (time.Duration, bool) { return m.lastS2CData, m.anyS2CData }
 
 // Stats returns the per-direction packet counters.
 func (m *Monitor) Stats(dir netsim.Direction) PacketStats { return *m.stats[dir] }
@@ -184,9 +214,16 @@ func (m *Monitor) Observe(ev netsim.PacketEvent) {
 	case netsim.ActionDroppedPolicy:
 		st.DroppedPolicy++
 		return // never reaches the receiver: exclude from reassembly
-	case netsim.ActionDroppedLoss, netsim.ActionDroppedQueue:
+	case netsim.ActionDroppedLoss, netsim.ActionDroppedQueue, netsim.ActionDroppedFault:
 		st.DroppedOther++
 		return
+	}
+	if seg.Flags.Has(tcpsim.FlagRST) && m.onTeardown != nil {
+		m.onTeardown(ev.Now, ev.Pkt.Dir)
+	}
+	if ev.Pkt.Dir == netsim.ServerToClient && len(seg.Payload) >= 100 {
+		m.lastS2CData = ev.Now
+		m.anyS2CData = true
 	}
 	// Reassemble the forwarded byte stream and parse record headers.
 	ds := m.streams[ev.Pkt.Dir]
@@ -195,10 +232,15 @@ func (m *Monitor) Observe(ev netsim.PacketEvent) {
 		rec.Dir = ev.Pkt.Dir
 		if rec.Dir == netsim.ClientToServer && rec.Type == tlsrec.ContentApplicationData {
 			m.c2sAppCount++
-			if m.c2sAppCount > setupRecordSkip &&
-				rec.WireLen >= getMinRecordLen && rec.WireLen <= getMaxRecordLen {
-				rec.IsGET = true
-				m.getCount++
+			if m.c2sAppCount > setupRecordSkip {
+				switch {
+				case rec.WireLen >= getMinRecordLen && rec.WireLen <= getMaxRecordLen:
+					rec.IsGET = true
+					m.getCount++
+				case rec.WireLen < getMinRecordLen:
+					rec.IsControl = true
+					m.controlCount++
+				}
 			}
 		}
 		m.records = append(m.records, rec)
@@ -211,6 +253,9 @@ func (m *Monitor) Observe(ev netsim.PacketEvent) {
 			if m.onGET != nil {
 				m.onGET(m.getCount, rec)
 			}
+		}
+		if rec.IsControl && m.onControl != nil {
+			m.onControl(m.controlCount, rec)
 		}
 	}
 }
@@ -276,22 +321,27 @@ func (d *dirStream) append(fresh []byte, tainted bool) {
 }
 
 func (d *dirStream) drain() {
-	for {
-		advanced := false
-		for seq, chunk := range d.ooo {
-			end := seq + uint64(len(chunk.data))
-			switch {
-			case end <= d.nextSeq:
-				delete(d.ooo, seq)
-				advanced = true
-			case seq <= d.nextSeq:
-				delete(d.ooo, seq)
-				d.append(chunk.data[d.nextSeq-seq:], chunk.tainted)
-				advanced = true
+	// Apply stored chunks lowest-seq first. When one in-order fill makes
+	// several overlapping out-of-order chunks applicable at once, the chunk
+	// that supplies an overlapped byte decides its taint flag — so the
+	// application order must not depend on map iteration order, or two
+	// runs of the same trial can taint the same record differently and the
+	// adversary's record-driven decisions diverge.
+	for len(d.ooo) > 0 {
+		var low uint64
+		found := false
+		for seq := range d.ooo {
+			if !found || seq < low {
+				low, found = seq, true
 			}
 		}
-		if !advanced {
-			return
+		if low > d.nextSeq {
+			return // gap before the lowest chunk: nothing applicable
+		}
+		chunk := d.ooo[low]
+		delete(d.ooo, low)
+		if end := low + uint64(len(chunk.data)); end > d.nextSeq {
+			d.append(chunk.data[d.nextSeq-low:], chunk.tainted)
 		}
 	}
 }

@@ -219,3 +219,30 @@ func TestMonitorFragmentationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestReassemblyTaintDeterministic pins the drain order of the out-of-order
+// buffer. When one in-order fill makes two overlapping stored chunks
+// applicable at once, the chunk applied first decides the taint of the
+// overlap; lowest-seq-first keeps that independent of map iteration order.
+// The old map-range drain tainted the same bytes differently run to run,
+// which rippled through record tainting into the adversary's decisions and
+// broke same-seed byte-identity across processes.
+func TestReassemblyTaintDeterministic(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		d := newDirStream()
+		d.ingest(150, make([]byte, 100), true) // retransmit, lands out of order
+		d.ingest(200, make([]byte, 20), false) // clean, overlaps the tail above
+		d.ingest(0, make([]byte, 210), false)  // fill: both chunks now applicable
+		if len(d.taint) != 250 {
+			t.Fatalf("iter %d: reassembled %d bytes, want 250", i, len(d.taint))
+		}
+		for pos, tb := range d.taint {
+			if want := pos >= 210; tb != want {
+				t.Fatalf("iter %d: taint[%d] = %v, want %v (drain order leaked map order)", i, pos, tb, want)
+			}
+		}
+		if len(d.ooo) != 0 {
+			t.Fatalf("iter %d: %d chunks left in ooo buffer", i, len(d.ooo))
+		}
+	}
+}

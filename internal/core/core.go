@@ -57,6 +57,10 @@ type TrialConfig struct {
 	ServerPush bool
 	// Attack, when non-nil, arms the full §V staged adversary.
 	Attack *adversary.AttackPlan
+	// Scenario names a netsim fault scenario to inject (see
+	// netsim.ScenarioNames); empty disables fault injection entirely — no
+	// events scheduled, no extra RNG draws, existing seeds unchanged.
+	Scenario string
 	// Knobs for the single-parameter studies (§IV): applied from t=0
 	// when Attack is nil.
 	RequestSpacing time.Duration // per-GET jitter d (Table I)
@@ -111,6 +115,7 @@ type Testbed struct {
 	Monitor    *capture.Monitor
 	Controller *adversary.Controller
 	Driver     *adversary.Driver
+	Injector   *netsim.Injector
 	Tracer     *trace.Tracer
 	cfg        TrialConfig
 }
@@ -196,7 +201,10 @@ func NewTestbed(cfg TrialConfig) (*Testbed, error) {
 	}
 
 	if cfg.Attack != nil {
-		tb.Driver = adversary.NewDriver(sched, tb.Controller, tb.Monitor, *cfg.Attack)
+		tb.Driver, err = adversary.NewDriver(sched, tb.Controller, tb.Monitor, *cfg.Attack)
+		if err != nil {
+			return nil, fmt.Errorf("core: attack plan: %w", err)
+		}
 		if cfg.Metrics != nil {
 			tb.Driver.SetMetrics(cfg.Metrics)
 		}
@@ -217,6 +225,26 @@ func NewTestbed(cfg TrialConfig) (*Testbed, error) {
 				tb.Controller.DropServerData(cfg.DropRate, cfg.DropRate, cfg.DropDuration)
 			})
 		}
+	}
+
+	// Fault injection arms last: its RNG fork is taken only when a
+	// scenario is named, so un-faulted trials consume the exact seed
+	// streams they always did.
+	if cfg.Scenario != "" {
+		sc, ok := netsim.LookupScenario(cfg.Scenario)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown fault scenario %q (have %v)", cfg.Scenario, netsim.ScenarioNames())
+		}
+		inj := netsim.NewInjector(sched, rng.Fork(), tb.Path)
+		inj.SetWiper(tb.Controller)
+		if cfg.Trace.Enabled() {
+			inj.SetTracer(cfg.Trace)
+		}
+		if cfg.Metrics != nil {
+			inj.SetMetrics(cfg.Metrics)
+		}
+		sc.Arm(inj)
+		tb.Injector = inj
 	}
 	return tb, nil
 }
@@ -290,6 +318,15 @@ type TrialResult struct {
 	Attacked   bool
 	PhaseSpans []adversary.PhaseSpan
 	FinalPhase adversary.Phase
+	// Outcome is the driver's terminal classification of an attacked
+	// trial (clean-slate, retry-clean-slate, degraded, broken);
+	// AttackAttempts counts drop windows opened. Both are zero for
+	// un-attacked trials.
+	Outcome        adversary.Outcome
+	AttackAttempts int
+	// FaultLog holds the injected fault transitions when a Scenario was
+	// armed, in virtual-time order.
+	FaultLog []netsim.FaultTransition
 }
 
 func (tb *Testbed) collect() *TrialResult {
@@ -319,6 +356,16 @@ func (tb *Testbed) collect() *TrialResult {
 		res.Attacked = true
 		res.PhaseSpans = tb.Driver.PhaseSpans(tb.Sched.Now())
 		res.FinalPhase = tb.Driver.Phase()
+		res.Outcome = tb.Driver.FinalOutcome(res.Broken)
+		res.AttackAttempts = tb.Driver.Attempts()
+		if tb.Tracer.Enabled() {
+			tb.Tracer.Emit(trace.LayerAdversary, "outcome",
+				trace.Str("outcome", res.Outcome.String()),
+				trace.Num("attempts", int64(res.AttackAttempts)))
+		}
+	}
+	if tb.Injector != nil {
+		res.FaultLog = tb.Injector.Log()
 	}
 	if !tb.cfg.DeferMetrics {
 		PublishTrialMetrics(tb.cfg.Metrics, res)
@@ -386,12 +433,15 @@ func PublishTrialMetrics(reg *obs.Registry, res *TrialResult) {
 	for _, span := range res.PhaseSpans {
 		phases.With(span.Phase.String()).Observe(span.Duration.Seconds())
 	}
+	// Every attacked trial ends in exactly one classified outcome.
+	reg.CounterVec("h2privacy_attack_outcome_total",
+		"Attack trials by terminal outcome classification.", "outcome").
+		With(res.Outcome.String()).Inc()
 	// Deterministically re-stamp the live phase gauge the driver maintains:
 	// under a worker pool its last live Set is whichever trial finished
 	// last, so the deferred in-order publication pins the final snapshot to
 	// trial n-1's terminal phase — the same value a sequential run leaves.
-	reg.Gauge("h2privacy_adversary_phase",
-		"Current attack phase (1 jitter+count, 2 throttle+drop, 3 space-images).").
+	reg.Gauge("h2privacy_adversary_phase", adversary.PhaseGaugeHelp()).
 		Set(float64(res.FinalPhase))
 }
 

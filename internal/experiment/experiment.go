@@ -157,6 +157,7 @@ var registry = []struct {
 	{"tcpablation", "Attack vs victim TCP generation", TCPAblation},
 	{"padding", "Defense extension: random DATA-frame padding", Padding},
 	{"h1base", "HTTP/1.1 baseline: everything serialized (§II)", H1Baseline},
+	{"robustness", "Fault scenarios: open-loop vs adaptive attack driver", Robustness},
 }
 
 // IDs lists the experiment ids in order.

@@ -172,6 +172,8 @@ func PlannedTrials(id string, opts Options) int {
 		return 3 * capped(T, 25)
 	case "h1base":
 		return capped(T, 25)
+	case "robustness":
+		return 2 * len(robustnessScenarios()) * capped(T, robustnessTrialCap)
 	}
 	return 0
 }

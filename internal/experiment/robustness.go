@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"fmt"
+
+	"h2privacy/internal/adversary"
+	"h2privacy/internal/core"
+	"h2privacy/internal/metrics"
+	"h2privacy/internal/netsim"
+	"h2privacy/internal/website"
+)
+
+// robustnessTrialCap bounds the per-cell trial count: the table runs
+// 2 × (1 + |scenarios|) sweeps, so the default 100 trials would be ~1400
+// page loads.
+const robustnessTrialCap = 40
+
+// robustnessScenarios lists the table's rows: the clean path first, then
+// every catalog scenario in name order.
+func robustnessScenarios() []string {
+	return append([]string{"none"}, netsim.ScenarioNames()...)
+}
+
+// Robustness measures what the fault layer does to the §V attack and what
+// the closed-loop driver buys back: for every fault scenario it runs the
+// open-loop (paper) driver and the adaptive driver as a paired sweep —
+// same seeds, same faults, same volunteer — and tabulates clean-slate
+// rate (reset observed → target re-requested on a clean path), HTML
+// identification, retries used, and broken loads. Runs on the parallel
+// sweep engine: byte-identical at any worker count.
+func Robustness(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	trials := opts.Trials
+	if trials > robustnessTrialCap {
+		trials = robustnessTrialCap
+	}
+	openPlan := adversary.DefaultPlan()
+	adaptPlan := adversary.DefaultPlan()
+	adaptPlan.Adaptive = true
+
+	rep := &Report{
+		ID:    "robustness",
+		Title: "Fault scenarios: open-loop vs adaptive attack driver",
+		Header: []string{"scenario", "clean-slate o/a (%)", "html o/a (%)",
+			"degraded o/a (%)", "broken o/a (%)", "avg attempts a"},
+	}
+	for v, name := range robustnessScenarios() {
+		scenario := name
+		if scenario == "none" {
+			scenario = ""
+		}
+		openRes, adaptRes, err := opts.SweepPaired(trials, func(t int) (core.TrialConfig, core.TrialConfig) {
+			seed := seedFor(opts.BaseSeed, v, trials, t)
+			return core.TrialConfig{Seed: seed, Attack: &openPlan, Scenario: scenario},
+				core.TrialConfig{Seed: seed, Attack: &adaptPlan, Scenario: scenario}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("robustness %s: %w", name, err)
+		}
+		var clean, html, degraded, broken [2]metrics.Counter
+		var attempts int
+		for arm, results := range [2][]*core.TrialResult{openRes, adaptRes} {
+			for _, res := range results {
+				if res.Outcome == adversary.OutcomePending {
+					return nil, fmt.Errorf("robustness %s: unclassified trial outcome", name)
+				}
+				clean[arm].Observe(res.Outcome == adversary.OutcomeCleanSlate ||
+					res.Outcome == adversary.OutcomeRetryCleanSlate)
+				html[arm].Observe(res.ObjectSuccess(website.TargetID))
+				degraded[arm].Observe(res.Outcome == adversary.OutcomeDegraded)
+				broken[arm].Observe(res.Outcome == adversary.OutcomeBroken)
+				if arm == 1 {
+					attempts += res.AttackAttempts
+				}
+			}
+		}
+		pair := func(c [2]metrics.Counter) string {
+			return fmt.Sprintf("%s / %s", pct(c[0].Percent()), pct(c[1].Percent()))
+		}
+		rep.Rows = append(rep.Rows, []string{
+			name, pair(clean), pair(html), pair(degraded), pair(broken),
+			fmt.Sprintf("%.1f", float64(attempts)/float64(trials)),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"o/a = open-loop (paper's fixed drop window) / adaptive (watchdogs + retry + re-arm + graceful degradation)",
+		"clean-slate: the monitor observed the client's reset, so the target was re-requested on a clean path",
+		fmt.Sprintf("%d paired trials per scenario, shared seeds across arms", trials))
+	return rep, nil
+}

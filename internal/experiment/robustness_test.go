@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"h2privacy/internal/adversary"
+	"h2privacy/internal/core"
+	"h2privacy/internal/website"
+)
+
+// scenarioVariant returns the scenario's row index in the robustness
+// table, which is its seed-stream variant.
+func scenarioVariant(t *testing.T, name string) int {
+	t.Helper()
+	for v, s := range robustnessScenarios() {
+		if s == name {
+			return v
+		}
+	}
+	t.Fatalf("scenario %q not in robustness table", name)
+	return -1
+}
+
+// TestRobustnessAdaptiveDominates is the PR's acceptance criterion, on the
+// exact seeds the robustness table uses (BaseSeed 1, 12 paired trials):
+// the adaptive driver's clean-slate rate strictly dominates the open-loop
+// driver on bursty-loss AND mbox-restart, and every trial in both arms
+// ends classified.
+func TestRobustnessAdaptiveDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 4 attack sweeps")
+	}
+	const trials = 12
+	opts := Options{Trials: trials, BaseSeed: 1}
+	openPlan := adversary.DefaultPlan()
+	adaptPlan := adversary.DefaultPlan()
+	adaptPlan.Adaptive = true
+	for _, scenario := range []string{"bursty-loss", "mbox-restart"} {
+		v := scenarioVariant(t, scenario)
+		openRes, adaptRes, err := opts.SweepPaired(trials, func(tr int) (core.TrialConfig, core.TrialConfig) {
+			seed := seedFor(opts.BaseSeed, v, trials, tr)
+			return core.TrialConfig{Seed: seed, Attack: &openPlan, Scenario: scenario},
+				core.TrialConfig{Seed: seed, Attack: &adaptPlan, Scenario: scenario}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean := func(results []*core.TrialResult, arm string) int {
+			n := 0
+			for i, res := range results {
+				if res.Outcome == adversary.OutcomePending {
+					t.Fatalf("%s/%s trial %d unclassified", scenario, arm, i)
+				}
+				if res.Outcome == adversary.OutcomeCleanSlate || res.Outcome == adversary.OutcomeRetryCleanSlate {
+					n++
+				}
+			}
+			return n
+		}
+		open, adapt := clean(openRes, "open"), clean(adaptRes, "adaptive")
+		if adapt <= open {
+			t.Fatalf("%s: adaptive clean-slate %d/%d does not strictly dominate open-loop %d/%d",
+				scenario, adapt, trials, open, trials)
+		}
+		t.Logf("%s: clean-slate open %d/%d, adaptive %d/%d", scenario, open, trials, adapt, trials)
+	}
+}
+
+// TestRobustnessReportClassifiesEveryTrial runs the full table at a small
+// trial count: it must produce one row per scenario (the clean path plus
+// the whole catalog) and, by construction, error on any unclassified
+// outcome.
+func TestRobustnessReportClassifiesEveryTrial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full scenario table")
+	}
+	rep, err := Robustness(Options{Trials: 3, BaseSeed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(robustnessScenarios()); len(rep.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), want)
+	}
+	if rep.Rows[0][0] != "none" {
+		t.Fatalf("first row %q, want the clean path", rep.Rows[0][0])
+	}
+}
+
+// faultSweepFingerprint runs an adaptive fault-scenario sweep and
+// serializes everything observable about each trial.
+func faultSweepFingerprint(t *testing.T, workers int) []byte {
+	t.Helper()
+	plan := adversary.DefaultPlan()
+	plan.Adaptive = true
+	opts := Options{Trials: 8, BaseSeed: 301, Workers: workers}
+	results, err := opts.Sweep(opts.Trials, func(tr int) core.TrialConfig {
+		return core.TrialConfig{Seed: opts.BaseSeed + int64(tr), Attack: &plan, Scenario: "storm"}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for i, res := range results {
+		fmt.Fprintf(&buf, "trial %d: outcome=%v attempts=%d resets=%d gets=%d html=%v broken=%v reason=%q\n",
+			i, res.Outcome, res.AttackAttempts, res.Resets, res.GETs,
+			res.ObjectSuccess(website.TargetID), res.Broken, res.BrokenReason)
+		for _, ft := range res.FaultLog {
+			fmt.Fprintf(&buf, "  fault %v %s %s\n", ft.At, ft.Kind, ft.Detail)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestFaultSweepByteIdenticalAcrossWorkers is the golden same-seed check
+// for the fault layer: a fault-scenario sweep — fault timelines included —
+// is byte-identical between the sequential engine and a 4-worker pool.
+func TestFaultSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	seq := faultSweepFingerprint(t, 1)
+	par := faultSweepFingerprint(t, 4)
+	if len(seq) == 0 {
+		t.Fatal("empty fingerprint")
+	}
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("fault sweep differs across worker counts:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", seq, par)
+	}
+}

@@ -37,6 +37,12 @@ func (c *LinkConfig) validate() error {
 	if c.BandwidthBps <= 0 {
 		return fmt.Errorf("netsim: bandwidth must be positive, got %v", c.BandwidthBps)
 	}
+	if c.PropDelay < 0 {
+		return fmt.Errorf("netsim: propagation delay must be non-negative, got %v", c.PropDelay)
+	}
+	if c.NaturalJitter < 0 {
+		return fmt.Errorf("netsim: natural jitter must be non-negative, got %v", c.NaturalJitter)
+	}
 	if c.LossProb < 0 || c.LossProb >= 1 {
 		return fmt.Errorf("netsim: loss probability must be in [0,1), got %v", c.LossProb)
 	}
@@ -60,6 +66,7 @@ type LinkStats struct {
 	DroppedLoss    int
 	DroppedPolicy  int
 	DroppedQueue   int
+	DroppedFault   int // dropped by an injected fault (blackout / burst-loss episode)
 	BytesDelivered int64
 }
 
@@ -83,6 +90,13 @@ type Link struct {
 	queuedBytes int
 	stats       LinkStats
 	nextID      *uint64 // shared across both links of a path
+
+	// Injected fault state (see faults.go). All three are inert at their
+	// zero values and cost no RNG draws, so un-faulted trials are
+	// bit-identical to builds without the fault layer.
+	faultLoss float64       // burst-loss episode: overrides LossProb while > 0
+	blackout  bool          // full outage: every packet dropped
+	propExtra time.Duration // RTT step: added to PropDelay for new packets
 
 	tr           *trace.Tracer
 	maxDelivered uint64 // highest packet ID delivered, for reorder detection
@@ -132,11 +146,39 @@ func (l *Link) Bandwidth() float64 { return l.cfg.BandwidthBps }
 
 // SetBandwidth throttles or restores the link rate. Takes effect for
 // packets sent after the call (the adversary's bandwidth-limitation knob,
-// §IV-C).
+// §IV-C); packets already serialized or queued keep the transmission time
+// computed at their send, so a rate change never reorders the FIFO.
+// A non-positive rate panics: it is always a caller bug (a zero-rate link
+// is a blackout, which SetBlackout models explicitly).
 func (l *Link) SetBandwidth(bps float64) {
-	if bps > 0 {
-		l.cfg.BandwidthBps = bps
+	if bps <= 0 {
+		panic(fmt.Sprintf("netsim: SetBandwidth requires a positive rate, got %v", bps))
 	}
+	l.cfg.BandwidthBps = bps
+}
+
+// SetFaultLoss arms a burst-loss episode: while p > 0 it replaces the
+// configured LossProb for new packets, and matching drops are counted as
+// DroppedFault. Zero ends the episode. Negative values clamp to zero.
+func (l *Link) SetFaultLoss(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	l.faultLoss = p
+}
+
+// SetBlackout takes the link fully down (every packet dropped as a fault)
+// or back up. In-flight packets already past the middlebox still arrive.
+func (l *Link) SetBlackout(on bool) { l.blackout = on }
+
+// SetPropDelayExtra sets the additional propagation delay an RTT-step
+// fault contributes, clamped so the effective one-way delay stays
+// non-negative. Applies to packets sent after the call.
+func (l *Link) SetPropDelayExtra(d time.Duration) {
+	if l.cfg.PropDelay+d < 0 {
+		d = -l.cfg.PropDelay
+	}
+	l.propExtra = d
 }
 
 // Send offers a packet to the link. The packet's ID, Dir and SentAt fields
@@ -171,11 +213,31 @@ func (l *Link) Send(size int, payload any) {
 		extra += v.ExtraDelay
 	}
 
-	// Random link loss.
-	if l.rng.Bool(l.cfg.LossProb) {
-		l.stats.DroppedLoss++
-		l.traceDrop(pkt, "loss")
-		l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedLoss})
+	// Injected blackout: the path is down, nothing crosses.
+	if l.blackout {
+		l.stats.DroppedFault++
+		l.traceDrop(pkt, "fault")
+		l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedFault})
+		return
+	}
+
+	// Random link loss; an active burst-loss episode overrides the base
+	// rate and books its drops as faults. Either way it is one RNG draw,
+	// so arming the fault layer never desynchronizes the jitter stream.
+	lossProb, faultEpisode := l.cfg.LossProb, false
+	if l.faultLoss > 0 {
+		lossProb, faultEpisode = l.faultLoss, true
+	}
+	if l.rng.Bool(lossProb) {
+		if faultEpisode {
+			l.stats.DroppedFault++
+			l.traceDrop(pkt, "fault")
+			l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedFault})
+		} else {
+			l.stats.DroppedLoss++
+			l.traceDrop(pkt, "loss")
+			l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedLoss})
+		}
 		return
 	}
 
@@ -198,11 +260,7 @@ func (l *Link) Send(size int, payload any) {
 	l.queuedBytes += size
 	l.sched.At(txEnd, func() { l.queuedBytes -= size })
 
-	var natural time.Duration
-	if l.cfg.NaturalJitter > 0 && (l.cfg.ReorderProb == 0 || l.rng.Bool(l.cfg.ReorderProb)) {
-		natural = l.rng.Uniform(0, l.cfg.NaturalJitter)
-	}
-	arrival := txEnd + l.cfg.PropDelay + natural + extra
+	arrival := txEnd + l.cfg.PropDelay + l.propExtra + l.naturalJitter() + extra
 	l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionForwarded, Arrival: arrival})
 	l.sched.At(arrival, func() {
 		l.stats.Delivered++
@@ -210,16 +268,29 @@ func (l *Link) Send(size int, payload any) {
 		l.traceDequeue(pkt)
 		l.deliver(pkt)
 	})
-	// netem-style duplication: a second copy with its own jitter draw.
+	// netem-style duplication: a second copy whose independent jitter draw
+	// goes through the same ReorderProb gate as the primary, and whose
+	// delivery updates the same stats the primary does.
 	if l.rng.Bool(l.cfg.DuplicateProb) {
-		dupArrival := txEnd + l.cfg.PropDelay + l.rng.Uniform(0, l.cfg.NaturalJitter) + extra
+		dupArrival := txEnd + l.cfg.PropDelay + l.propExtra + l.naturalJitter() + extra
 		l.stats.Duplicated++
 		l.sched.At(dupArrival, func() {
 			l.stats.Delivered++
+			l.stats.BytesDelivered += int64(size)
 			l.traceDequeue(pkt)
 			l.deliver(pkt)
 		})
 	}
+}
+
+// naturalJitter draws one per-packet natural delay, honoring the netem
+// reorder gate: with ReorderProb set, only that fraction of packets takes
+// a jitter draw at all.
+func (l *Link) naturalJitter() time.Duration {
+	if l.cfg.NaturalJitter > 0 && (l.cfg.ReorderProb == 0 || l.rng.Bool(l.cfg.ReorderProb)) {
+		return l.rng.Uniform(0, l.cfg.NaturalJitter)
+	}
+	return 0
 }
 
 func (l *Link) traceDrop(pkt *Packet, reason string) {

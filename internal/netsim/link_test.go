@@ -93,9 +93,31 @@ func TestLinkBandwidthChangeAffectsNewPackets(t *testing.T) {
 	if arrivals[1] != time.Millisecond+time.Second {
 		t.Fatalf("second arrival %v, want 1.001s", arrivals[1])
 	}
-	l.SetBandwidth(0) // ignored
-	if l.Bandwidth() != 8e3 {
-		t.Fatal("SetBandwidth(0) must be ignored")
+}
+
+// TestLinkSetBandwidthRejectsNonPositive: a zero or negative rate is a
+// programming error and panics with a clear message rather than being
+// silently ignored.
+func TestLinkSetBandwidthRejectsNonPositive(t *testing.T) {
+	sched := simtime.NewScheduler()
+	l, err := NewLink(sched, simtime.NewRand(1), ClientToServer, LinkConfig{
+		BandwidthBps: 8e6,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bps := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SetBandwidth(%v) did not panic", bps)
+				}
+			}()
+			l.SetBandwidth(bps)
+		}()
+	}
+	if l.Bandwidth() != 8e6 {
+		t.Fatal("rejected SetBandwidth must leave the rate unchanged")
 	}
 }
 
@@ -308,5 +330,49 @@ func TestLinkDuplication(t *testing.T) {
 	}
 	if _, err := NewLink(sched, simtime.NewRand(1), ClientToServer, LinkConfig{BandwidthBps: 1, DuplicateProb: 1.5}, nil); err == nil {
 		t.Fatal("bad duplicate prob accepted")
+	}
+}
+
+// TestLinkDuplicateStatsAndReorderGate: a duplicated copy counts in
+// Delivered AND BytesDelivered (it crossed the wire like any packet), and
+// its jitter draw goes through the same ReorderProb gate as the primary —
+// with the gate effectively closed, both copies arrive at the exact
+// un-jittered time.
+func TestLinkDuplicateStatsAndReorderGate(t *testing.T) {
+	sched := simtime.NewScheduler()
+	l, err := NewLink(sched, simtime.NewRand(11), ClientToServer, LinkConfig{
+		BandwidthBps:  8e6, // 1 µs per byte
+		PropDelay:     time.Millisecond,
+		NaturalJitter: 50 * time.Millisecond,
+		ReorderProb:   1e-12,   // gate essentially never opens
+		DuplicateProb: 0.99999, // effectively every packet duplicated
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals []time.Duration
+	l.SetDeliver(func(*Packet) { arrivals = append(arrivals, sched.Now()) })
+	const size, sent = 100, 50
+	for i := 0; i < sent; i++ {
+		l.Send(size, i)
+	}
+	sched.Run()
+	st := l.Stats()
+	if st.Duplicated < sent/2 {
+		t.Fatalf("Duplicated = %d of %d at p≈1", st.Duplicated, sent)
+	}
+	if st.Delivered != sent+st.Duplicated {
+		t.Fatalf("Delivered = %d, want %d (duplicates included)", st.Delivered, sent+st.Duplicated)
+	}
+	if st.BytesDelivered != int64(size*(sent+st.Duplicated)) {
+		t.Fatalf("BytesDelivered = %d, want %d (duplicates included)", st.BytesDelivered, size*(sent+st.Duplicated))
+	}
+	// Every copy — primary or duplicate — arrives at an exact FIFO slot
+	// (k·tx + prop): no copy took an ungated jitter draw.
+	for i, at := range arrivals {
+		slot := at - time.Millisecond
+		if slot <= 0 || slot%(size*time.Microsecond) != 0 || slot > sent*size*time.Microsecond {
+			t.Fatalf("arrival %d at %v off the FIFO grid (jitter leaked past the reorder gate)", i, at)
+		}
 	}
 }

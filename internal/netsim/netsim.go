@@ -91,6 +91,7 @@ const (
 	ActionDroppedLoss          // random link loss
 	ActionDroppedPolicy        // dropped by a middlebox processor (the adversary)
 	ActionDroppedQueue         // tail-dropped: link queue full
+	ActionDroppedFault         // dropped by an injected fault (blackout, burst-loss episode)
 )
 
 // String names the action for traces.
@@ -104,6 +105,8 @@ func (a Action) String() string {
 		return "drop-policy"
 	case ActionDroppedQueue:
 		return "drop-queue"
+	case ActionDroppedFault:
+		return "drop-fault"
 	default:
 		return "action?"
 	}

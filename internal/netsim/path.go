@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"time"
 
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/trace"
@@ -93,4 +94,25 @@ func (p *Path) AddTap(t Tap) {
 func (p *Path) SetBandwidth(bps float64) {
 	p.c2s.SetBandwidth(bps)
 	p.s2c.SetBandwidth(bps)
+}
+
+// SetFaultLoss applies a fault-injected loss probability to both
+// directions; 0 restores the configured base loss (see faults.go).
+func (p *Path) SetFaultLoss(prob float64) {
+	p.c2s.SetFaultLoss(prob)
+	p.s2c.SetFaultLoss(prob)
+}
+
+// SetBlackout takes both directions down (or back up): while on, every
+// offered packet is dropped as a fault.
+func (p *Path) SetBlackout(on bool) {
+	p.c2s.SetBlackout(on)
+	p.s2c.SetBlackout(on)
+}
+
+// SetPropDelayExtra adds a fault-injected delay step to both directions'
+// propagation delay for newly sent packets (an RTT step of 2·d).
+func (p *Path) SetPropDelayExtra(d time.Duration) {
+	p.c2s.SetPropDelayExtra(d)
+	p.s2c.SetPropDelayExtra(d)
 }

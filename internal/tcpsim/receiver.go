@@ -70,26 +70,29 @@ func (c *Conn) deliverInOrder(p []byte) {
 // rcvNxt. Segment boundaries can shift across go-back-N retransmissions,
 // so partial overlaps are trimmed rather than assumed away.
 func (c *Conn) drainOutOfOrder() {
-	for {
-		advanced := false
-		for seq, buf := range c.ooo {
-			end := seq + uint64(len(buf))
-			switch {
-			case end <= c.rcvNxt:
-				// Entirely superseded.
-				delete(c.ooo, seq)
-				c.oooBytes -= len(buf)
-				advanced = true
-			case seq <= c.rcvNxt:
-				// Contiguous (possibly overlapping): deliver the tail.
-				delete(c.ooo, seq)
-				c.oooBytes -= len(buf)
-				c.deliverInOrder(buf[c.rcvNxt-seq:])
-				advanced = true
+	// Apply buffered chunks lowest-seq first. The delivered byte stream is
+	// the same in any order, but the per-call granularity of onData is not:
+	// when overlapping chunks become contiguous together, whichever is
+	// applied first decides how the tail is split, the application layer
+	// flushes per call, and TCP segment boundaries shift — so map iteration
+	// order here would break same-seed byte-identity across runs.
+	for len(c.ooo) > 0 {
+		var low uint64
+		found := false
+		for seq := range c.ooo {
+			if !found || seq < low {
+				low, found = seq, true
 			}
 		}
-		if !advanced {
-			return
+		if low > c.rcvNxt {
+			return // hole before the lowest chunk: nothing contiguous
+		}
+		buf := c.ooo[low]
+		delete(c.ooo, low)
+		c.oooBytes -= len(buf)
+		if end := low + uint64(len(buf)); end > c.rcvNxt {
+			// Contiguous (possibly overlapping the front): deliver the tail.
+			c.deliverInOrder(buf[c.rcvNxt-low:])
 		}
 	}
 }

@@ -102,7 +102,15 @@ func (c *Conn) processAck(seg *Segment) {
 	}
 	ack := seg.Ack
 	switch {
-	case ack > c.sndUna && ack <= c.sndNxt:
+	case ack > c.sndUna && ack <= c.maxSndNxt:
+		// Bounded by the highest sequence ever sent, not sndNxt: after an
+		// RTO's go-back-N rewind an ACK for the pre-rewind flight is still
+		// in the network, and ignoring it deadlocks both ends — the sender
+		// keeps retransmitting data the receiver already has, and every
+		// re-ACK lands above the rewound sndNxt forever.
+		if ack > c.sndNxt {
+			c.sndNxt = ack
+		}
 		acked := int(ack - c.sndUna)
 		dataAcked := acked
 		if c.finSent && ack > c.finSeq {
