@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"h2privacy/internal/adversary"
+	"h2privacy/internal/check"
 	"h2privacy/internal/core"
 	"h2privacy/internal/experiment"
 	"h2privacy/internal/h2"
@@ -274,6 +275,89 @@ func BenchmarkObsOverhead(b *testing.B) {
 			b.Fatal("metered trial published nothing")
 		}
 	})
+}
+
+// --- check subsystem ---
+
+// BenchmarkCheckOverhead mirrors BenchmarkTraceOverhead for the invariant
+// checker: the hook hot path with checking off (nil checker, the default
+// for every benchmark above) and armed, plus a fully checked attack trial
+// against BenchmarkTrialFullAttack's unchecked baseline.
+func BenchmarkCheckOverhead(b *testing.B) {
+	b.Run("hooks-disabled", func(b *testing.B) {
+		var ck *check.Checker
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seq := uint64(i) * 1200
+			ck.TCPSegment("client", seq, seq+1200, false)
+			ck.SchedulerStep(time.Duration(i))
+			ck.LinkOffered(check.DirC2S, 1500)
+		}
+	})
+	b.Run("hooks-armed", func(b *testing.B) {
+		rec := check.NewRecorder()
+		ck := check.New(1, 0, rec)
+		ck.TCPRegister("client", 0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seq := uint64(i) * 1200
+			ck.TCPSegment("client", seq, seq+1200, false)
+			ck.SchedulerStep(time.Duration(i))
+			ck.LinkOffered(check.DirC2S, 1500)
+		}
+		if rec.Total() != 0 {
+			b.Fatalf("benchmark traffic violated invariants:\n%s", rec.Report())
+		}
+	})
+	b.Run("trial-checked", func(b *testing.B) {
+		plan := adversary.DefaultPlan()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec := check.NewRecorder()
+			cfg := core.TrialConfig{Seed: int64(i), Attack: &plan,
+				Check: check.New(int64(i), 0, rec)}
+			res, err := core.RunTrial(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.CheckViolations != 0 {
+				b.Fatalf("checked trial violated invariants:\n%s", rec.Report())
+			}
+		}
+	})
+}
+
+// TestDisabledCheckZeroAllocs pins the invariant-checker contract: a nil
+// *check.Checker (the default everywhere) makes every hook a nil-receiver
+// no-op, so a check-capable build runs the simulation with zero extra
+// allocations on every hot path that carries a hook.
+func TestDisabledCheckZeroAllocs(t *testing.T) {
+	var ck *check.Checker
+	if ck.Enabled() {
+		t.Fatal("nil checker reported enabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ck.TCPSegment("client", 0, 1200, false)
+		ck.TCPAck("client", 1200, 1200)
+		ck.TCPDeliver("server", 1200)
+		ck.TCPRewind("client", 2400, 1200)
+		ck.H2FrameSent("client", 0, 1, 1200, 0, 0)
+		ck.H2FrameRecv("server", 0, 1, 1200, 0, 0)
+		ck.H2DataSent("client", 1, 1200)
+		ck.H2AppData("server", 1)
+		ck.HpackEncoded("client", 4096)
+		ck.HpackDecoded("server", 4096)
+		ck.LinkOffered(check.DirC2S, 1500)
+		ck.LinkDropped(check.DirC2S, 1500, 0)
+		ck.LinkForwarded(check.DirC2S, 1500, false)
+		ck.LinkDelivered(check.DirC2S, 1500)
+		ck.SchedulerStep(time.Millisecond)
+		ck.CaptureAppend(check.DirC2S, 1200, 1200, 1200, 1200)
+		ck.CaptureRecord(check.DirC2S, 600, 600)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled check path allocates %.1f allocs per op, want 0", allocs)
+	}
 }
 
 // TestDisabledTraceZeroAllocs pins the design contract: with tracing off

@@ -19,6 +19,7 @@ import (
 
 	"h2privacy/internal/adversary"
 	"h2privacy/internal/capture"
+	"h2privacy/internal/check"
 	"h2privacy/internal/cliutil"
 	"h2privacy/internal/core"
 	"h2privacy/internal/experiment"
@@ -47,6 +48,8 @@ func main() {
 	tf.RegisterTrace(flag.CommandLine, "the trial's cross-layer trace")
 	var df cliutil.DebugFlags
 	df.RegisterDebug(flag.CommandLine)
+	var cf cliutil.CheckFlags
+	cf.RegisterCheck(flag.CommandLine)
 	flag.Parse()
 
 	if *listScenarios {
@@ -69,6 +72,23 @@ func main() {
 	plan.DropRate = *drop
 	plan.ThrottleBps = *bw * 1e6
 	plan.Adaptive = *adaptive
+
+	// -check arms per-layer invariant checking; a violation's repro line
+	// names the exact single-trial rerun (the sweep engine keys each trial's
+	// checker by that trial's own seed, so -seed N reproduces it alone).
+	rec := cf.NewRecorder()
+	if rec != nil {
+		knobs := fmt.Sprintf(" -jitter1 %v -jitter3 %v -drop %v -bw %v", *jitter1, *jitter3, *drop, *bw)
+		if *scenario != "" {
+			knobs += " -scenario " + *scenario
+		}
+		if *adaptive {
+			knobs += " -adaptive"
+		}
+		rec.SetRepro(func(v check.Violation) string {
+			return fmt.Sprintf("go run ./cmd/h2attack -check -seed %d%s", v.TrialSeed, knobs)
+		})
+	}
 
 	// -timeline and -debug-addr also arm the tracer: the trace-derived
 	// timeline carries the TCP events the legacy logs never had, and the
@@ -103,17 +123,21 @@ func main() {
 		if *pcapPath != "" || *timeline {
 			fmt.Fprintln(os.Stderr, "h2attack: -pcap and -timeline apply to single trials; ignoring with -trials >1")
 		}
-		if err := runSweep(*seed, *trials, *parallel, plan, *scenario, tracer, reg); err != nil {
+		if err := runSweep(*seed, *trials, *parallel, plan, *scenario, tracer, reg, rec); err != nil {
 			fatal(err)
 		}
 		if err := tf.Export(tracer, os.Stdout, "h2attack"); err != nil {
 			fatal(err)
 		}
-		holdAndClose(ds, *hold)
+		exitChecks(cf, rec, ds, *hold)
 		return
 	}
 
-	tb, err := core.NewTestbed(core.TrialConfig{Seed: *seed, Attack: &plan, Scenario: *scenario, Trace: tracer, Metrics: reg})
+	var ck *check.Checker
+	if rec != nil {
+		ck = check.New(*seed, 0, rec)
+	}
+	tb, err := core.NewTestbed(core.TrialConfig{Seed: *seed, Attack: &plan, Scenario: *scenario, Trace: tracer, Metrics: reg, Check: ck})
 	if err != nil {
 		fatal(err)
 	}
@@ -174,19 +198,33 @@ func main() {
 		fmt.Printf("  page load broke: %s\n", res.BrokenReason)
 	}
 
-	holdAndClose(ds, *hold)
+	exitChecks(cf, rec, ds, *hold)
+}
+
+// exitChecks prints the invariant-check report (when -check was armed),
+// releases the debug server, and exits nonzero on any violation.
+func exitChecks(cf cliutil.CheckFlags, rec *check.Recorder, ds *obs.DebugServer, hold time.Duration) {
+	n, err := cf.Report(rec, os.Stderr, "h2attack")
+	holdAndClose(ds, hold)
+	if err != nil {
+		fatal(err)
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
 }
 
 // runSweep is the -trials >1 path: n same-plan trials over the sweep
 // engine, aggregated exactly as table2 aggregates (HTML identified, ranks
 // correct, broken loads).
-func runSweep(seed int64, n, workers int, plan adversary.AttackPlan, scenario string, tracer *trace.Tracer, reg *obs.Registry) error {
+func runSweep(seed int64, n, workers int, plan adversary.AttackPlan, scenario string, tracer *trace.Tracer, reg *obs.Registry, rec *check.Recorder) error {
 	opts := experiment.Options{
 		Trials:   n,
 		BaseSeed: seed,
 		Workers:  workers,
 		Trace:    tracer,
 		Metrics:  reg,
+		Check:    rec,
 		Progress: experiment.NewProgress(os.Stderr),
 	}
 	opts.Progress.Start("attack", n)

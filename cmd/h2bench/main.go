@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"h2privacy/internal/check"
 	"h2privacy/internal/cliutil"
 	"h2privacy/internal/experiment"
 	"h2privacy/internal/obs"
@@ -38,6 +39,8 @@ func run() int {
 	tf.RegisterTrace(flag.CommandLine, "the first trial's cross-layer trace")
 	var df cliutil.DebugFlags
 	df.RegisterDebug(flag.CommandLine)
+	var cf cliutil.CheckFlags
+	cf.RegisterCheck(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: h2bench [flags] all|<experiment-id>...\nexperiments: %s\n", strings.Join(experiment.IDs(), " "))
 		flag.PrintDefaults()
@@ -53,6 +56,17 @@ func run() int {
 		return 2
 	}
 	opts := experiment.Options{Trials: *trials, BaseSeed: *seed, Workers: *parallel}
+	rec := cf.NewRecorder()
+	if rec != nil {
+		// An experiment derives per-variant seeds internally, so the repro
+		// command replays the whole (cheap at -trials 1..few) experiment
+		// with checks armed rather than guessing the variant arm.
+		repro := fmt.Sprintf("go run ./cmd/h2bench -check -trials %d -seed %d", *trials, *seed)
+		rec.SetRepro(func(v check.Violation) string {
+			return fmt.Sprintf("%s <experiment-id>  # violating trial: seed %d, flat index %d", repro, v.TrialSeed, v.TrialIndex)
+		})
+		opts.Check = rec
+	}
 	tracer, err := tf.NewTracer(trace.Config{Concurrent: df.Armed()}, df.Armed())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "h2bench:", err)
@@ -124,6 +138,12 @@ func run() int {
 		}
 		fmt.Fprintf(os.Stderr, "h2bench: wrote run manifest (%d experiments) to %s\n",
 			len(manifest.Runs), *manifestPath)
+	}
+	if n, err := cf.Report(rec, os.Stderr, "h2bench"); err != nil {
+		fmt.Fprintln(os.Stderr, "h2bench:", err)
+		return 1
+	} else if n > 0 {
+		return 1
 	}
 	return 0
 }

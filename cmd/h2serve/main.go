@@ -14,6 +14,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"h2privacy/internal/check"
 	"h2privacy/internal/cliutil"
 	"h2privacy/internal/h2"
 	"h2privacy/internal/h2/h2sync"
@@ -27,14 +28,16 @@ func main() {
 	tf.RegisterTrace(flag.CommandLine, "the server's h2-layer trace (written on SIGINT)")
 	var df cliutil.DebugFlags
 	df.RegisterDebug(flag.CommandLine)
+	var cf cliutil.CheckFlags
+	cf.RegisterCheck(flag.CommandLine)
 	flag.Parse()
-	if err := run(*addr, tf, df); err != nil {
+	if err := run(*addr, tf, df, cf); err != nil {
 		fmt.Fprintln(os.Stderr, "h2serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, tf cliutil.TraceFlags, df cliutil.DebugFlags) error {
+func run(addr string, tf cliutil.TraceFlags, df cliutil.DebugFlags, cf cliutil.CheckFlags) error {
 	site := website.ISideWith()
 	// Real-TCP serving has no virtual clock and one goroutine per stream,
 	// so the tracer stamps wall time and takes the mutex path. The trace
@@ -44,13 +47,31 @@ func run(addr string, tf cliutil.TraceFlags, df cliutil.DebugFlags) error {
 	if err != nil {
 		return err
 	}
-	if tf.Armed() {
+	// -check arms the server side of the h2 invariant checks (stream-state
+	// legality, flow-control accounting, HPACK table sync on our half).
+	// Real connections arrive concurrently and sequentially re-register the
+	// same endpoint shadow, so this is best-effort diagnostics for one
+	// client at a time — the simulated testbed is where checks are exact.
+	rec := cf.NewRecorder()
+	var ck *check.Checker
+	if rec != nil {
+		ck = check.New(0, 0, rec)
+		ck.Concurrent()
+	}
+	if tf.Armed() || cf.Armed() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			<-sig
 			if err := tf.Export(tracer, os.Stderr, "h2serve"); err != nil {
 				fmt.Fprintln(os.Stderr, "h2serve:", err)
+				os.Exit(1)
+			}
+			ck.Finalize()
+			if n, err := cf.Report(rec, os.Stderr, "h2serve"); err != nil || n > 0 {
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "h2serve:", err)
+				}
 				os.Exit(1)
 			}
 			os.Exit(0)
@@ -72,7 +93,7 @@ func run(addr string, tf cliutil.TraceFlags, df cliutil.DebugFlags) error {
 		defer ds.Close()
 	}
 	srv := &h2sync.Server{
-		Config: h2.Config{Tracer: tracer, TraceName: "server"},
+		Config: h2.Config{Tracer: tracer, TraceName: "server", Check: ck},
 		Handler: func(w *h2sync.ResponseWriter, r *h2sync.Request) {
 			obj := site.Lookup(r.Path)
 			if obj == nil {

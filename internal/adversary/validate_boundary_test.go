@@ -1,0 +1,81 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAttackPlanValidateBoundaries walks every Validate error path at its
+// field boundary. Validate applies withDefaults first, so fields with a
+// zero-means-default rule (Phase1RandomJitter, DropRetransmitRate,
+// TriggerDeadline, RSTGrace, MaxDropAttempts, DropEscalation,
+// RetryBackoff) are driven with explicitly invalid values — zero would be
+// silently replaced, never rejected.
+func TestAttackPlanValidateBoundaries(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*AttackPlan)
+		wantErr string // substring of the error; "" = must validate
+	}{
+		{"default-plan-valid", func(p *AttackPlan) {}, ""},
+
+		{"phase1-jitter-negative", func(p *AttackPlan) { p.Phase1Jitter = -time.Nanosecond }, "Phase1Jitter"},
+		{"phase1-jitter-zero-ok", func(p *AttackPlan) { p.Phase1Jitter = 0 }, ""},
+
+		{"phase1-random-jitter-negative", func(p *AttackPlan) { p.Phase1RandomJitter = -time.Nanosecond }, "Phase1RandomJitter"},
+		{"phase1-random-jitter-zero-defaults", func(p *AttackPlan) { p.Phase1RandomJitter = 0 }, ""},
+
+		{"phase3-jitter-negative", func(p *AttackPlan) { p.Phase3Jitter = -time.Nanosecond }, "Phase3Jitter"},
+		{"phase3-jitter-zero-ok", func(p *AttackPlan) { p.Phase3Jitter = 0 }, ""},
+
+		{"trigger-get-zero", func(p *AttackPlan) { p.TriggerGET = 0 }, "TriggerGET"},
+		{"trigger-get-negative", func(p *AttackPlan) { p.TriggerGET = -1 }, "TriggerGET"},
+		{"trigger-get-one-ok", func(p *AttackPlan) { p.TriggerGET = 1 }, ""},
+
+		{"throttle-negative", func(p *AttackPlan) { p.ThrottleBps = -1 }, "ThrottleBps"},
+		{"throttle-zero-ok", func(p *AttackPlan) { p.ThrottleBps = 0 }, ""},
+
+		{"drop-rate-negative", func(p *AttackPlan) { p.DropRate = -0.01 }, "DropRate"},
+		{"drop-rate-above-one", func(p *AttackPlan) { p.DropRate = 1.01 }, "DropRate"},
+		{"drop-rate-zero-ok", func(p *AttackPlan) { p.DropRate = 0 }, ""},
+		{"drop-rate-one-ok", func(p *AttackPlan) { p.DropRate = 1 }, ""},
+
+		{"drop-retransmit-negative", func(p *AttackPlan) { p.DropRetransmitRate = -0.01 }, "DropRetransmitRate"},
+		{"drop-retransmit-above-one", func(p *AttackPlan) { p.DropRetransmitRate = 1.01 }, "DropRetransmitRate"},
+		{"drop-retransmit-one-ok", func(p *AttackPlan) { p.DropRetransmitRate = 1 }, ""},
+
+		{"drop-duration-negative", func(p *AttackPlan) { p.DropDuration = -time.Nanosecond }, "DropDuration"},
+		{"drop-duration-zero-ok", func(p *AttackPlan) { p.DropDuration = 0 }, ""},
+
+		{"trigger-deadline-negative", func(p *AttackPlan) { p.TriggerDeadline = -time.Nanosecond }, "watchdog"},
+		{"rst-grace-negative", func(p *AttackPlan) { p.RSTGrace = -time.Nanosecond }, "watchdog"},
+
+		{"max-drop-attempts-negative", func(p *AttackPlan) { p.MaxDropAttempts = -1 }, "MaxDropAttempts"},
+		{"max-drop-attempts-one-ok", func(p *AttackPlan) { p.MaxDropAttempts = 1 }, ""},
+
+		{"drop-escalation-negative", func(p *AttackPlan) { p.DropEscalation = -0.01 }, "DropEscalation"},
+
+		{"retry-backoff-below-one", func(p *AttackPlan) { p.RetryBackoff = 0.5 }, "RetryBackoff"},
+		{"retry-backoff-one-ok", func(p *AttackPlan) { p.RetryBackoff = 1 }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultPlan()
+			tc.mutate(&p)
+			err := p.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() accepted the plan, want error mentioning %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ package capture
 import (
 	"time"
 
+	"h2privacy/internal/check"
 	"h2privacy/internal/netsim"
 	"h2privacy/internal/tcpsim"
 	"h2privacy/internal/tlsrec"
@@ -170,6 +171,16 @@ func (m *Monitor) SetTracer(tr *trace.Tracer) {
 	m.ctGET = tr.Counter(trace.LayerMonitor, "gets")
 }
 
+// SetChecker arms reassembly invariant checks on both direction streams:
+// taint arrays stay parallel to the byte buffer, the reassembled stream has
+// no gaps, and parsed records exactly partition the appended bytes.
+func (m *Monitor) SetChecker(ck *check.Checker) {
+	m.streams[netsim.ClientToServer].ck = ck
+	m.streams[netsim.ClientToServer].ckDir = check.DirC2S
+	m.streams[netsim.ServerToClient].ck = ck
+	m.streams[netsim.ServerToClient].ckDir = check.DirS2C
+}
+
 // Records returns all parsed record events in observation order.
 func (m *Monitor) Records() []RecordEvent { return m.records }
 
@@ -269,6 +280,9 @@ type dirStream struct {
 	ooo     map[uint64]oooChunk
 	buf     []byte // contiguous unparsed record bytes
 	taint   []bool // parallel to buf: byte arrived via a retransmission
+
+	ck    *check.Checker
+	ckDir uint8
 }
 
 type oooChunk struct {
@@ -318,6 +332,9 @@ func (d *dirStream) append(fresh []byte, tainted bool) {
 		d.taint = append(d.taint, tainted)
 	}
 	d.nextSeq += uint64(len(fresh))
+	if d.ck.Enabled() {
+		d.ck.CaptureAppend(d.ckDir, len(fresh), len(d.buf), len(d.taint), d.nextSeq)
+	}
 }
 
 func (d *dirStream) drain() {
@@ -377,5 +394,8 @@ func (d *dirStream) parse() []RecordEvent {
 		})
 		d.buf = d.buf[total:]
 		d.taint = d.taint[total:]
+		if d.ck.Enabled() {
+			d.ck.CaptureRecord(d.ckDir, total, len(d.buf))
+		}
 	}
 }

@@ -1,0 +1,320 @@
+// Package prop is the property-based trial harness over the simulated
+// testbed: it generates randomized trial configurations (seeded, so every
+// run is reproducible), executes them with every invariant checker armed
+// (see internal/check), and — when a trial violates an invariant —
+// shrinks the configuration by bisection over its dimension vector to a
+// minimal still-failing trial.
+//
+// The harness is the repository's standing differential test: any layer
+// change that breaks sequence-space conservation, HTTP/2 stream legality,
+// flow-control accounting, HPACK table sync, link packet conservation or
+// monitor reassembly shows up as a violating trial with a shrunk repro.
+package prop
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"h2privacy/internal/adversary"
+	"h2privacy/internal/check"
+	"h2privacy/internal/core"
+	"h2privacy/internal/simtime"
+)
+
+// Trial is one point in the harness's configuration space. It is a flat
+// vector of scalar dimensions (comparable, so shrinking can detect a
+// fixed point) covering the trial shapes the testbed exercises: the
+// staged attack (open- and closed-loop), the single-knob studies, the
+// defenses and fault scenarios.
+type Trial struct {
+	Seed int64
+
+	// Attack arms the staged §V adversary (plan defaults); Adaptive makes
+	// it closed-loop. The knob fields below are ignored while Attack is on
+	// (core.TrialConfig applies them only to un-attacked trials).
+	Attack   bool
+	Adaptive bool
+
+	// Scenario names a netsim fault scenario ("" disables).
+	Scenario string
+
+	// Defenses.
+	ServerPush bool
+	Shuffled   bool
+
+	// Single-knob studies (core.TrialConfig semantics).
+	DropRate        float64
+	DropFrom        time.Duration
+	DropDuration    time.Duration
+	RequestSpacing  time.Duration
+	RandomJitter    time.Duration
+	ThrottleBps     float64
+	CrossTrafficBps float64
+}
+
+// String renders the trial compactly, zero dimensions omitted — the form
+// violation repro lines embed.
+func (t Trial) String() string {
+	s := fmt.Sprintf("seed=%d", t.Seed)
+	if t.Attack {
+		s += " attack"
+		if t.Adaptive {
+			s += " adaptive"
+		}
+	}
+	if t.Scenario != "" {
+		s += " scenario=" + t.Scenario
+	}
+	if t.ServerPush {
+		s += " push"
+	}
+	if t.Shuffled {
+		s += " shuffled"
+	}
+	if t.DropRate > 0 {
+		s += fmt.Sprintf(" drop=%.3f from=%v dur=%v", t.DropRate, t.DropFrom, t.DropDuration)
+	}
+	if t.RequestSpacing > 0 {
+		s += fmt.Sprintf(" spacing=%v", t.RequestSpacing)
+	}
+	if t.RandomJitter > 0 {
+		s += fmt.Sprintf(" jitter=%v", t.RandomJitter)
+	}
+	if t.ThrottleBps > 0 {
+		s += fmt.Sprintf(" throttle=%.0fbps", t.ThrottleBps)
+	}
+	if t.CrossTrafficBps > 0 {
+		s += fmt.Sprintf(" crosstraffic=%.0fbps", t.CrossTrafficBps)
+	}
+	return s
+}
+
+// Config translates the trial vector into a runnable core.TrialConfig
+// (Check left nil; Run arms it).
+func (t Trial) Config() core.TrialConfig {
+	cfg := core.TrialConfig{
+		Seed:                t.Seed,
+		Scenario:            t.Scenario,
+		ServerPush:          t.ServerPush,
+		ShuffledEmblemOrder: t.Shuffled,
+		DropRate:            t.DropRate,
+		DropFrom:            t.DropFrom,
+		DropDuration:        t.DropDuration,
+		RequestSpacing:      t.RequestSpacing,
+		RandomJitter:        t.RandomJitter,
+		ThrottleBps:         t.ThrottleBps,
+		CrossTrafficBps:     t.CrossTrafficBps,
+	}
+	if t.Attack {
+		plan := adversary.DefaultPlan()
+		plan.Adaptive = t.Adaptive
+		cfg.Attack = &plan
+	}
+	return cfg
+}
+
+// scenarios the generator draws from: the catalog entries that stress the
+// transport hardest (loss bursts, blackouts, delay steps).
+var genScenarios = []string{"", "", "bursty-loss", "mbox-restart", "rtt-step"}
+
+// Generate draws a random trial from the configuration space. The same
+// rng state always yields the same trial; seed becomes the trial's own
+// simulation seed.
+func Generate(rng *simtime.Rand, seed int64) Trial {
+	t := Trial{Seed: seed}
+	switch rng.Intn(4) {
+	case 0, 1:
+		// The staged attack — the deepest cross-layer path (throttle +
+		// jitter + drop windows + resets), half of them closed-loop.
+		t.Attack = true
+		t.Adaptive = rng.Bool(0.5)
+	case 2:
+		// Aggressive drop-window knobs: RTO rewinds with out-of-order
+		// data in flight, the shape that distinguishes the ACK-acceptance
+		// bound (see tcpsim.SetLegacyStaleAck).
+		t.DropRate = 0.5 + 0.45*rng.Float64()
+		t.DropFrom = rng.Uniform(0, 2*time.Second)
+		t.DropDuration = rng.Uniform(2*time.Second, 6*time.Second)
+	case 3:
+		// Mixed mild knobs.
+		if rng.Bool(0.5) {
+			t.RequestSpacing = rng.Uniform(time.Millisecond, 60*time.Millisecond)
+		}
+		if rng.Bool(0.5) {
+			t.RandomJitter = rng.Uniform(time.Millisecond, 20*time.Millisecond)
+		}
+		if rng.Bool(0.5) {
+			t.ThrottleBps = 100e6 + 900e6*rng.Float64()
+		}
+	}
+	// Orthogonal extras on any shape.
+	t.Scenario = genScenarios[rng.Intn(len(genScenarios))]
+	if rng.Bool(0.2) {
+		t.ServerPush = true
+	}
+	if rng.Bool(0.2) {
+		t.Shuffled = true
+	}
+	if rng.Bool(0.2) {
+		t.CrossTrafficBps = 1e6 + 49e6*rng.Float64()
+	}
+	return t
+}
+
+// Run executes the trial with all checkers armed, flushing violations
+// into rec under the given trial index. It returns the violation count.
+func Run(t Trial, index int, rec *check.Recorder) (int, error) {
+	cfg := t.Config()
+	cfg.Check = check.New(t.Seed, index, rec)
+	res, err := core.RunTrial(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.CheckViolations, nil
+}
+
+// fails re-runs the trial against a throwaway recorder — the shrinker's
+// oracle.
+func fails(t Trial) bool {
+	n, err := Run(t, 0, check.NewRecorder())
+	return err == nil && n > 0
+}
+
+// Options tunes Explore.
+type Options struct {
+	// Seeds is how many generated trials to run (the CI seed budget).
+	// Default 32.
+	Seeds int
+	// BaseSeed offsets the generator seeds. Default 1.
+	BaseSeed int64
+	// Log, when non-nil, receives one line per trial and the shrink trace.
+	Log io.Writer
+	// NoShrink returns the raw failing trial without minimizing it.
+	NoShrink bool
+}
+
+// Result is what Explore found.
+type Result struct {
+	// Checked counts trials run (excluding shrink probes).
+	Checked int
+	// Failing is the first generated trial that violated an invariant,
+	// nil when the whole budget passed clean.
+	Failing *Trial
+	// Shrunk is the minimized still-failing trial (== Failing when no
+	// dimension could be removed).
+	Shrunk *Trial
+	// Violations are the failing trial's violations (from its recorder).
+	Violations []check.Violation
+	// ShrinkProbes counts trials run by the shrinker.
+	ShrinkProbes int
+}
+
+// Explore runs the seed budget, stopping at the first violating trial and
+// shrinking it. A clean budget returns Result{Checked: Seeds}.
+func Explore(opts Options) (*Result, error) {
+	if opts.Seeds == 0 {
+		opts.Seeds = 32
+	}
+	if opts.BaseSeed == 0 {
+		opts.BaseSeed = 1
+	}
+	res := &Result{}
+	for s := 0; s < opts.Seeds; s++ {
+		seed := opts.BaseSeed + int64(s)
+		t := Generate(simtime.NewRand(seed), seed)
+		rec := check.NewRecorder()
+		rec.SetRepro(func(v check.Violation) string {
+			return fmt.Sprintf("prop.Run(prop.Trial{%s}) — regenerate with prop.Generate(simtime.NewRand(%d), %d)", t, seed, seed)
+		})
+		n, err := Run(t, s, rec)
+		res.Checked++
+		if err != nil {
+			return nil, fmt.Errorf("prop: trial %s: %w", t, err)
+		}
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "prop: trial %d/%d ok=%t %s\n", s+1, opts.Seeds, n == 0, t)
+		}
+		if n > 0 {
+			res.Failing = &t
+			res.Violations = rec.Violations()
+			if opts.NoShrink {
+				res.Shrunk = &t
+				return res, nil
+			}
+			shrunk, probes := Shrink(t, opts.Log)
+			res.Shrunk = &shrunk
+			res.ShrinkProbes = probes
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// shrinkBudget bounds how many probe trials one Shrink may run.
+const shrinkBudget = 48
+
+// Shrink minimizes a failing trial: first it tries to zero out whole
+// dimensions (drop the fault scenario, the defenses, the cross traffic,
+// each knob, finally the attack itself), then bisects the surviving
+// numeric dimensions toward zero, keeping every candidate that still
+// fails. The result is the smallest configuration the bisection ladder
+// reaches that still violates an invariant.
+func Shrink(t Trial, log io.Writer) (Trial, int) {
+	probes := 0
+	try := func(cand Trial) bool {
+		if probes >= shrinkBudget || cand == t {
+			return false
+		}
+		probes++
+		if fails(cand) {
+			if log != nil {
+				fmt.Fprintf(log, "prop: shrink -> %s\n", cand)
+			}
+			t = cand
+			return true
+		}
+		return false
+	}
+
+	// Pass 1: remove whole dimensions, cheapest-to-understand first.
+	zeros := []func(*Trial){
+		func(c *Trial) { c.Scenario = "" },
+		func(c *Trial) { c.CrossTrafficBps = 0 },
+		func(c *Trial) { c.ServerPush = false },
+		func(c *Trial) { c.Shuffled = false },
+		func(c *Trial) { c.RandomJitter = 0 },
+		func(c *Trial) { c.RequestSpacing = 0 },
+		func(c *Trial) { c.ThrottleBps = 0 },
+		func(c *Trial) { c.DropRate, c.DropFrom, c.DropDuration = 0, 0, 0 },
+		func(c *Trial) { c.Adaptive = false },
+		func(c *Trial) { c.Attack, c.Adaptive = false, false },
+	}
+	for _, z := range zeros {
+		cand := t
+		z(&cand)
+		try(cand)
+	}
+
+	// Pass 2: bisect the surviving numeric dimensions toward zero. Each
+	// halving that still fails is kept; a failed halving ends that
+	// dimension's ladder.
+	halves := []func(*Trial) bool{
+		func(c *Trial) bool { c.DropRate /= 2; return c.DropRate > 0.01 },
+		func(c *Trial) bool { c.DropDuration /= 2; return c.DropDuration > 10*time.Millisecond },
+		func(c *Trial) bool { c.DropFrom /= 2; return c.DropFrom > 10*time.Millisecond },
+		func(c *Trial) bool { c.RandomJitter /= 2; return c.RandomJitter > 10*time.Microsecond },
+		func(c *Trial) bool { c.RequestSpacing /= 2; return c.RequestSpacing > 10*time.Microsecond },
+		func(c *Trial) bool { c.ThrottleBps /= 2; return c.ThrottleBps > 1e6 },
+		func(c *Trial) bool { c.CrossTrafficBps /= 2; return c.CrossTrafficBps > 1e5 },
+	}
+	for _, h := range halves {
+		for probes < shrinkBudget {
+			cand := t
+			if !h(&cand) || !try(cand) {
+				break
+			}
+		}
+	}
+	return t, probes
+}

@@ -13,6 +13,7 @@ import (
 	"os"
 	"strings"
 
+	"h2privacy/internal/check"
 	"h2privacy/internal/obs"
 	"h2privacy/internal/trace"
 )
@@ -96,6 +97,57 @@ func validFormat(format string) bool {
 		}
 	}
 	return false
+}
+
+// CheckFlags holds the -check / -check-report pair.
+type CheckFlags struct {
+	Enabled    bool
+	ReportPath string
+}
+
+// RegisterCheck adds -check and -check-report to fs.
+func (cf *CheckFlags) RegisterCheck(fs *flag.FlagSet) {
+	fs.BoolVar(&cf.Enabled, "check", false,
+		"arm runtime invariant checking on every layer of each trial (see internal/check)")
+	fs.StringVar(&cf.ReportPath, "check-report", "",
+		"with -check: also write the full violation report to this file")
+}
+
+// Armed reports whether -check was given.
+func (cf *CheckFlags) Armed() bool { return cf.Enabled }
+
+// NewRecorder returns a violation recorder when -check was given, else nil.
+func (cf *CheckFlags) NewRecorder() *check.Recorder {
+	if !cf.Armed() {
+		return nil
+	}
+	return check.NewRecorder()
+}
+
+// Report prints the recorder's summary to logw, writes the full report to
+// -check-report when set, and returns the total violation count — callers
+// exit nonzero when it is. A nil recorder (unarmed) reports zero.
+func (cf *CheckFlags) Report(rec *check.Recorder, logw io.Writer, tool string) (int, error) {
+	if rec == nil {
+		return 0, nil
+	}
+	if logw != nil {
+		fmt.Fprintf(logw, "%s: %s\n", tool, strings.TrimRight(rec.Report(), "\n"))
+	}
+	if cf.ReportPath != "" {
+		f, err := os.Create(cf.ReportPath)
+		if err != nil {
+			return rec.Total(), err
+		}
+		rec.WriteReport(f)
+		if err := f.Close(); err != nil {
+			return rec.Total(), err
+		}
+		if logw != nil {
+			fmt.Fprintf(logw, "%s: wrote check report to %s\n", tool, cf.ReportPath)
+		}
+	}
+	return rec.Total(), nil
 }
 
 // DebugFlags holds -debug-addr.

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"h2privacy/internal/adversary"
+	"h2privacy/internal/check"
+)
+
+// TestCheckArmedTrialShapesClean runs the representative trial shapes with
+// every invariant checker armed; working code must produce zero violations.
+func TestCheckArmedTrialShapesClean(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  TrialConfig
+	}{
+		{"plain", TrialConfig{Seed: 1}},
+		{"attack", TrialConfig{Seed: 2, Attack: func() *adversary.AttackPlan { p := adversary.DefaultPlan(); return &p }()}},
+		{"adaptive", func() TrialConfig {
+			p := adversary.DefaultPlan()
+			p.Adaptive = true
+			return TrialConfig{Seed: 3, Attack: &p}
+		}()},
+		{"push", TrialConfig{Seed: 4, ServerPush: true}},
+		{"drops", TrialConfig{Seed: 5, DropRate: 0.6, DropDuration: 3e9, DropFrom: 1e9}},
+	} {
+		rec := check.NewRecorder()
+		tc.cfg.Check = check.New(tc.cfg.Seed, 0, rec)
+		res, err := RunTrial(tc.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.CheckViolations != 0 {
+			t.Errorf("%s: %d violations:\n%s", tc.name, res.CheckViolations, rec.Report())
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"h2privacy/internal/adversary"
 	"h2privacy/internal/capture"
+	"h2privacy/internal/check"
 	"h2privacy/internal/endpoint"
 	"h2privacy/internal/metrics"
 	"h2privacy/internal/netsim"
@@ -82,6 +83,14 @@ type TrialConfig struct {
 	// browser, the server, the monitor and the adversary all emit events,
 	// counters and histograms into it. Nil disables tracing at zero cost.
 	Trace *trace.Tracer
+	// Check, when non-nil, arms runtime invariant checking across every
+	// layer of the testbed: TCP sequence-space conservation, HTTP/2 stream
+	// legality and flow-control accounting, HPACK table sync, link packet
+	// conservation, scheduler clock monotonicity and monitor reassembly
+	// partitioning. Violations accumulate in the checker and flush into its
+	// Recorder at collection (TrialResult.CheckViolations). Nil disables at
+	// zero cost — every hook is a nil-receiver no-op.
+	Check *check.Checker
 	// Metrics, when non-nil, receives the trial's aggregate metrics: the
 	// adversary's live intervention counters and phase state, and the
 	// per-trial outcome counters/histograms published at collection (GETs,
@@ -143,9 +152,18 @@ func NewTestbed(cfg TrialConfig) (*Testbed, error) {
 		cfg.Browser.Tracer = cfg.Trace
 		cfg.Browser.H2.Tracer = cfg.Trace
 	}
+	if cfg.Check.Enabled() {
+		// Same fan-out as the tracer: clock from this trial's scheduler,
+		// then every config-carried layer; SetChecker below covers the rest.
+		cfg.Check.SetClock(sched.Now)
+		sched.SetStepHook(cfg.Check.SchedulerStep)
+		cfg.TCP.Check = cfg.Check
+		cfg.Server.H2.Check = cfg.Check
+		cfg.Browser.H2.Check = cfg.Check
+	}
 
 	var err error
-	tb.Path, err = netsim.NewPath(sched, rng.Fork(), netsim.PathConfig{Link: cfg.Link, Tracer: cfg.Trace})
+	tb.Path, err = netsim.NewPath(sched, rng.Fork(), netsim.PathConfig{Link: cfg.Link, Tracer: cfg.Trace, Check: cfg.Check})
 	if err != nil {
 		return nil, fmt.Errorf("core: path: %w", err)
 	}
@@ -158,6 +176,9 @@ func NewTestbed(cfg TrialConfig) (*Testbed, error) {
 	if cfg.Trace.Enabled() {
 		tb.Monitor.SetTracer(cfg.Trace)
 		tb.Controller.SetTracer(cfg.Trace)
+	}
+	if cfg.Check.Enabled() {
+		tb.Monitor.SetChecker(cfg.Check)
 	}
 	if cfg.Metrics != nil {
 		tb.Controller.SetMetrics(cfg.Metrics)
@@ -327,6 +348,10 @@ type TrialResult struct {
 	// FaultLog holds the injected fault transitions when a Scenario was
 	// armed, in virtual-time order.
 	FaultLog []netsim.FaultTransition
+	// CheckViolations is the trial's invariant-violation count when
+	// TrialConfig.Check was armed (including end-of-trial conservation
+	// checks); zero otherwise.
+	CheckViolations int
 }
 
 func (tb *Testbed) collect() *TrialResult {
@@ -366,6 +391,21 @@ func (tb *Testbed) collect() *TrialResult {
 	}
 	if tb.Injector != nil {
 		res.FaultLog = tb.Injector.Log()
+	}
+	if ck := tb.cfg.Check; ck.Enabled() {
+		// Hand the checker each link's final stats for drift detection, then
+		// run the end-of-trial conservation checks and flush the report.
+		for _, dir := range []netsim.Direction{netsim.ClientToServer, netsim.ServerToClient} {
+			d := uint8(check.DirC2S)
+			if dir == netsim.ServerToClient {
+				d = check.DirS2C
+			}
+			st := tb.Path.Link(dir).Stats()
+			ck.LinkStatsFinal(d, st.Sent, st.Delivered, st.Duplicated,
+				st.DroppedLoss, st.DroppedPolicy, st.DroppedQueue, st.DroppedFault,
+				st.BytesDelivered)
+		}
+		res.CheckViolations = ck.Finalize()
 	}
 	if !tb.cfg.DeferMetrics {
 		PublishTrialMetrics(tb.cfg.Metrics, res)

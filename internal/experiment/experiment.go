@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"h2privacy/internal/check"
 	"h2privacy/internal/obs"
 	"h2privacy/internal/trace"
 )
@@ -36,6 +37,12 @@ type Options struct {
 	// representative trial and runs the rest dark. The choice is made
 	// before fan-out, so it is deterministic at any worker count.
 	Trace *trace.Tracer
+	// Check, when non-nil, arms invariant checking on every trial of the
+	// sweep: each trial gets its own check.Checker (seeded with the trial's
+	// seed and flat trial index, so a violation report names the exact
+	// repro seed) flushing into this shared recorder. Nil runs unchecked at
+	// zero cost.
+	Check *check.Recorder
 	// Metrics, when non-nil, receives every trial's per-trial metrics
 	// (core.TrialConfig.Metrics): the whole sweep accumulates into one
 	// registry, so a final snapshot summarizes the run and a live scrape

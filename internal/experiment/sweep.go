@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"h2privacy/internal/check"
 	"h2privacy/internal/core"
 )
 
@@ -123,6 +124,12 @@ func (o Options) sweep(n, arity int, cfgs func(t int) []core.TrialConfig) ([]*co
 			if cfg.Metrics == nil {
 				cfg.Metrics = o.Metrics
 				cfg.DeferMetrics = cfg.Metrics != nil
+			}
+			if o.Check != nil && cfg.Check == nil {
+				// Keyed by the trial's own seed (already seedFor-derived by
+				// the experiment) so the recorder's repro line names the seed
+				// that actually reproduces this trial.
+				cfg.Check = check.New(cfg.Seed, t*arity+j, o.Check)
 			}
 			res, err := core.RunTrial(cfg)
 			o.Progress.Tick()

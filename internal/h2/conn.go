@@ -3,6 +3,7 @@ package h2
 import (
 	"fmt"
 
+	"h2privacy/internal/check"
 	"h2privacy/internal/hpack"
 	"h2privacy/internal/trace"
 )
@@ -40,6 +41,11 @@ type Config struct {
 	// TraceName tags this endpoint's trace events. Defaults to "client" or
 	// "server" by role.
 	TraceName string
+	// Check, when non-nil, arms the HTTP/2 and HPACK invariant checkers
+	// (see internal/check): stream-state legality, flow-control window
+	// shadows, and dynamic-table size agreement. The endpoint name follows
+	// TraceName's defaulting.
+	Check *check.Checker
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +158,9 @@ type Conn struct {
 	tr        *trace.Tracer
 	traceName string
 	ctStall   *trace.Counter
+
+	ck     *check.Checker // nil unless invariant checks are armed
+	ckName string
 }
 
 // NewConn builds an endpoint. out transmits wire bytes (one call per
@@ -205,6 +214,18 @@ func NewConn(isClient bool, cfg Config, out func([]byte)) (*Conn, error) {
 			}
 		}
 		c.ctStall = c.tr.Counter(trace.LayerH2, c.traceName+".fc-stall")
+	}
+	if cfg.Check.Enabled() {
+		c.ck = cfg.Check
+		c.ckName = cfg.TraceName
+		if c.ckName == "" {
+			if isClient {
+				c.ckName = "client"
+			} else {
+				c.ckName = "server"
+			}
+		}
+		c.ck.H2Register(c.ckName, isClient, cfg.InitialWindowSize)
 	}
 	return c, nil
 }
@@ -302,6 +323,9 @@ func (c *Conn) Push(parent *Stream, fields []HeaderField) (*Stream, error) {
 	promised := c.newStream(id)
 	promised.state = StreamReservedLocal
 	block := c.henc.Encode(nil, fields)
+	if c.ck.Enabled() {
+		c.ck.HpackEncoded(c.ckName, c.henc.DynamicTableSize())
+	}
 	c.emitFrame(FramePushPromise, parent.id, func(dst []byte) []byte {
 		return AppendPushPromise(dst, parent.id, id, block, true)
 	})
@@ -385,6 +409,9 @@ func (c *Conn) isPeerInitiated(id uint32) bool {
 // needed).
 func (c *Conn) sendHeaderBlock(streamID uint32, fields []HeaderField, endStream bool, prio PriorityParam) {
 	block := c.henc.Encode(nil, fields)
+	if c.ck.Enabled() {
+		c.ck.HpackEncoded(c.ckName, c.henc.DynamicTableSize())
+	}
 	max := c.peerMaxFrameSize
 	if !prio.IsZero() {
 		max -= 5
@@ -436,6 +463,16 @@ func (c *Conn) emitFrame(t FrameType, streamID uint32, build func([]byte) []byte
 		c.tr.Emit(trace.LayerH2, "send",
 			trace.Str("ep", c.traceName), trace.Str("type", t.String()),
 			trace.Num("stream", int64(streamID)), trace.Num("len", int64(len(b)-FrameHeaderSize)))
+	}
+	if c.ck.Enabled() {
+		// aux carries the WINDOW_UPDATE increment / PUSH_PROMISE promised
+		// stream ID, both big-endian at the start of the payload.
+		var aux uint32
+		if (t == FrameWindowUpdate || t == FramePushPromise) && len(b) >= FrameHeaderSize+4 {
+			p := b[FrameHeaderSize:]
+			aux = (uint32(p[0])<<24 | uint32(p[1])<<16 | uint32(p[2])<<8 | uint32(p[3])) & 0x7fffffff
+		}
+		c.ck.H2FrameSent(c.ckName, uint8(t), streamID, len(b)-FrameHeaderSize, b[4], aux)
 	}
 	c.out(b)
 }

@@ -87,6 +87,16 @@ func (c *Conn) processFrame(f *Frame) error {
 			trace.Str("ep", c.traceName), trace.Str("type", t.String()),
 			trace.Num("stream", int64(f.Header.StreamID)), trace.Num("len", int64(f.Header.Length)))
 	}
+	if c.ck.Enabled() {
+		var aux uint32
+		switch t {
+		case FrameWindowUpdate:
+			aux = f.WindowIncrement
+		case FramePushPromise:
+			aux = f.PromisedStreamID
+		}
+		c.ck.H2FrameRecv(c.ckName, uint8(t), f.Header.StreamID, f.Header.Length, uint8(f.Header.Flags), aux)
+	}
 
 	// While a header block is being continued, only CONTINUATION on the
 	// same stream is legal (§6.10).
@@ -159,6 +169,9 @@ func (c *Conn) processSettings(f *Frame) error {
 			for _, st := range c.streams {
 				st.sendWindow += delta
 			}
+			if c.ck.Enabled() {
+				c.ck.H2PeerInitialWindow(c.ckName, s.Val)
+			}
 			if delta > 0 {
 				c.notifyWindow(nil)
 			}
@@ -218,6 +231,9 @@ func (c *Conn) processData(f *Frame) error {
 	}
 	c.stats.DataBytesRcvd += int64(len(f.Data))
 	endStream := f.Header.Flags.Has(FlagEndStream)
+	if c.ck.Enabled() {
+		c.ck.H2AppData(c.ckName, id)
+	}
 	if c.handlers.OnStreamData != nil {
 		c.handlers.OnStreamData(s, f.Data, endStream)
 	}
@@ -316,6 +332,9 @@ func (c *Conn) finishHeaderBlock(s *Stream, block []byte, endStream bool) error 
 	if err != nil {
 		return ConnectionError{ErrCodeCompression, err.Error()}
 	}
+	if c.ck.Enabled() {
+		c.ck.HpackDecoded(c.ckName, c.hdec.DynamicTableSize())
+	}
 	if s.orphan {
 		return nil // decoded for table continuity only
 	}
@@ -413,6 +432,9 @@ func (c *Conn) finishPushPromise(parent, promised *Stream, block []byte) error {
 	fields, err := c.hdec.Decode(block)
 	if err != nil {
 		return ConnectionError{ErrCodeCompression, err.Error()}
+	}
+	if c.ck.Enabled() {
+		c.ck.HpackDecoded(c.ckName, c.hdec.DynamicTableSize())
 	}
 	if c.handlers.OnPushPromise != nil {
 		c.handlers.OnPushPromise(parent, promised, fields)

@@ -159,6 +159,9 @@ func (s *Stream) SendData(p []byte, endStream bool) (int, error) {
 		consumed := int64(chunk + overhead)
 		s.sendWindow -= consumed
 		s.conn.sendWindow -= consumed
+		if c := s.conn; c.ck.Enabled() {
+			c.ck.H2DataSent(c.ckName, s.id, int(consumed))
+		}
 		s.conn.stats.DataBytesSent += int64(chunk)
 		sent += chunk
 		if es {

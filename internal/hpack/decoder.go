@@ -145,3 +145,8 @@ func (d *Decoder) readLiteral(block []byte, n uint) (HeaderField, []byte, error)
 	}
 	return f, rest, nil
 }
+
+// DynamicTableSize returns the current dynamic-table size in RFC 7541
+// §4.1 bytes. Invariant checkers compare it against the peer encoder's
+// table after each header block.
+func (d *Decoder) DynamicTableSize() int { return d.table.size }

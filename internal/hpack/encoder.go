@@ -90,3 +90,8 @@ func (e *Encoder) encodeLiteral(dst []byte, pattern byte, prefix uint, f HeaderF
 	}
 	return e.encodeString(dst, f.Value)
 }
+
+// DynamicTableSize returns the current dynamic-table size in RFC 7541
+// §4.1 bytes. Invariant checkers compare it against the peer decoder's
+// table after each header block.
+func (e *Encoder) DynamicTableSize() int { return e.table.size }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"h2privacy/internal/check"
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/trace"
 )
@@ -104,6 +105,9 @@ type Link struct {
 	ctDequeue    *trace.Counter
 	ctDrop       *trace.Counter
 	ctReorder    *trace.Counter
+
+	ck    *check.Checker // nil unless invariant checks are armed
+	ckDir uint8          // check.DirC2S / check.DirS2C, resolved once
 }
 
 // NewLink builds a link for one direction. deliver may be set later with
@@ -136,6 +140,16 @@ func (l *Link) SetTracer(tr *trace.Tracer) {
 	l.ctDequeue = tr.Counter(trace.LayerNetsim, prefix+"dequeue")
 	l.ctDrop = tr.Counter(trace.LayerNetsim, prefix+"drop")
 	l.ctReorder = tr.Counter(trace.LayerNetsim, prefix+"reorder")
+}
+
+// SetChecker arms packet-conservation invariant checks on the link. The
+// direction index is resolved once so the Send path stays allocation-free.
+func (l *Link) SetChecker(ck *check.Checker) {
+	l.ck = ck
+	l.ckDir = check.DirC2S
+	if l.dir == ServerToClient {
+		l.ckDir = check.DirS2C
+	}
 }
 
 // Stats returns a copy of the link counters.
@@ -194,6 +208,7 @@ func (l *Link) Send(size int, payload any) {
 	pkt := &Packet{ID: *l.nextID, Dir: l.dir, Size: size, Payload: payload, SentAt: now}
 	*l.nextID++
 	l.stats.Sent++
+	l.ck.LinkOffered(l.ckDir, size)
 	l.ctEnqueue.Inc()
 	if l.tr.Enabled() {
 		l.tr.Emit(trace.LayerNetsim, "enqueue",
@@ -206,6 +221,7 @@ func (l *Link) Send(size int, payload any) {
 		v := p.Process(now, pkt)
 		if v.Drop {
 			l.stats.DroppedPolicy++
+			l.ck.LinkDropped(l.ckDir, size, check.DropPolicy)
 			l.traceDrop(pkt, "policy")
 			l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedPolicy})
 			return
@@ -216,6 +232,7 @@ func (l *Link) Send(size int, payload any) {
 	// Injected blackout: the path is down, nothing crosses.
 	if l.blackout {
 		l.stats.DroppedFault++
+		l.ck.LinkDropped(l.ckDir, size, check.DropFault)
 		l.traceDrop(pkt, "fault")
 		l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedFault})
 		return
@@ -231,10 +248,12 @@ func (l *Link) Send(size int, payload any) {
 	if l.rng.Bool(lossProb) {
 		if faultEpisode {
 			l.stats.DroppedFault++
+			l.ck.LinkDropped(l.ckDir, size, check.DropFault)
 			l.traceDrop(pkt, "fault")
 			l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedFault})
 		} else {
 			l.stats.DroppedLoss++
+			l.ck.LinkDropped(l.ckDir, size, check.DropLoss)
 			l.traceDrop(pkt, "loss")
 			l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedLoss})
 		}
@@ -244,6 +263,7 @@ func (l *Link) Send(size int, payload any) {
 	// Tail drop when the serialization queue is over its byte limit.
 	if l.queuedBytes+size > l.cfg.QueueLimit {
 		l.stats.DroppedQueue++
+		l.ck.LinkDropped(l.ckDir, size, check.DropQueue)
 		l.traceDrop(pkt, "queue")
 		l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedQueue})
 		return
@@ -261,10 +281,12 @@ func (l *Link) Send(size int, payload any) {
 	l.sched.At(txEnd, func() { l.queuedBytes -= size })
 
 	arrival := txEnd + l.cfg.PropDelay + l.propExtra + l.naturalJitter() + extra
+	l.ck.LinkForwarded(l.ckDir, size, false)
 	l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionForwarded, Arrival: arrival})
 	l.sched.At(arrival, func() {
 		l.stats.Delivered++
 		l.stats.BytesDelivered += int64(size)
+		l.ck.LinkDelivered(l.ckDir, size)
 		l.traceDequeue(pkt)
 		l.deliver(pkt)
 	})
@@ -274,9 +296,11 @@ func (l *Link) Send(size int, payload any) {
 	if l.rng.Bool(l.cfg.DuplicateProb) {
 		dupArrival := txEnd + l.cfg.PropDelay + l.propExtra + l.naturalJitter() + extra
 		l.stats.Duplicated++
+		l.ck.LinkForwarded(l.ckDir, size, true)
 		l.sched.At(dupArrival, func() {
 			l.stats.Delivered++
 			l.stats.BytesDelivered += int64(size)
+			l.ck.LinkDelivered(l.ckDir, size)
 			l.traceDequeue(pkt)
 			l.deliver(pkt)
 		})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"h2privacy/internal/check"
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/trace"
 )
@@ -18,6 +19,9 @@ type PathConfig struct {
 	Asymmetric *LinkConfig
 	// Tracer, when non-nil, arms per-packet tracing on both links.
 	Tracer *trace.Tracer
+	// Check, when non-nil, arms packet-conservation invariant checks on
+	// both links (see internal/check).
+	Check *check.Checker
 }
 
 // Path is the bidirectional client↔server connection through the
@@ -52,6 +56,10 @@ func NewPath(sched *simtime.Scheduler, rng *simtime.Rand, cfg PathConfig) (*Path
 	if cfg.Tracer.Enabled() {
 		c2s.SetTracer(cfg.Tracer)
 		s2c.SetTracer(cfg.Tracer)
+	}
+	if cfg.Check.Enabled() {
+		c2s.SetChecker(cfg.Check)
+		s2c.SetChecker(cfg.Check)
 	}
 	return &Path{c2s: c2s, s2c: s2c}, nil
 }

@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLinkConfigValidateBoundaries walks every LinkConfig validation
+// error path at its exact field boundary, including the asymmetric
+// inclusive/exclusive ends (LossProb and DuplicateProb exclude 1,
+// ReorderProb includes it) and the QueueLimit zero-means-default rule.
+func TestLinkConfigValidateBoundaries(t *testing.T) {
+	valid := func() LinkConfig {
+		return LinkConfig{BandwidthBps: 1e9, PropDelay: 8 * time.Millisecond}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*LinkConfig)
+		wantErr string // substring; "" = must validate
+	}{
+		{"valid", func(c *LinkConfig) {}, ""},
+
+		{"bandwidth-zero", func(c *LinkConfig) { c.BandwidthBps = 0 }, "bandwidth"},
+		{"bandwidth-negative", func(c *LinkConfig) { c.BandwidthBps = -1 }, "bandwidth"},
+
+		{"prop-delay-negative", func(c *LinkConfig) { c.PropDelay = -time.Nanosecond }, "propagation"},
+		{"prop-delay-zero-ok", func(c *LinkConfig) { c.PropDelay = 0 }, ""},
+
+		{"jitter-negative", func(c *LinkConfig) { c.NaturalJitter = -time.Nanosecond }, "jitter"},
+		{"jitter-zero-ok", func(c *LinkConfig) { c.NaturalJitter = 0 }, ""},
+
+		{"loss-negative", func(c *LinkConfig) { c.LossProb = -0.01 }, "loss"},
+		{"loss-one-rejected", func(c *LinkConfig) { c.LossProb = 1 }, "loss"},
+		{"loss-just-below-one-ok", func(c *LinkConfig) { c.LossProb = 0.999 }, ""},
+		{"loss-zero-ok", func(c *LinkConfig) { c.LossProb = 0 }, ""},
+
+		{"reorder-negative", func(c *LinkConfig) { c.ReorderProb = -0.01 }, "reorder"},
+		{"reorder-above-one", func(c *LinkConfig) { c.ReorderProb = 1.01 }, "reorder"},
+		{"reorder-one-ok", func(c *LinkConfig) { c.ReorderProb = 1 }, ""},
+
+		{"duplicate-negative", func(c *LinkConfig) { c.DuplicateProb = -0.01 }, "duplicate"},
+		{"duplicate-one-rejected", func(c *LinkConfig) { c.DuplicateProb = 1 }, "duplicate"},
+		{"duplicate-just-below-one-ok", func(c *LinkConfig) { c.DuplicateProb = 0.999 }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid()
+			tc.mutate(&cfg)
+			err := cfg.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate() accepted the config, want error mentioning %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate() = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestLinkConfigQueueLimitDefault pins the zero-means-default mutation:
+// validate rewrites QueueLimit 0 to 256 KiB and leaves explicit values
+// alone.
+func TestLinkConfigQueueLimitDefault(t *testing.T) {
+	cfg := LinkConfig{BandwidthBps: 1e9}
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.QueueLimit != 256<<10 {
+		t.Fatalf("QueueLimit defaulted to %d, want %d", cfg.QueueLimit, 256<<10)
+	}
+	cfg = LinkConfig{BandwidthBps: 1e9, QueueLimit: 1234}
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.QueueLimit != 1234 {
+		t.Fatalf("explicit QueueLimit rewritten to %d", cfg.QueueLimit)
+	}
+}

@@ -38,11 +38,12 @@ func (e *Event) Time() time.Duration { return e.at }
 // Scheduler is a discrete-event executor over a virtual clock.
 // The zero value is ready to use.
 type Scheduler struct {
-	now     time.Duration
-	nextSeq uint64
-	queue   eventQueue
-	running bool
-	free    *Event // recycled fired events (see Event)
+	now      time.Duration
+	nextSeq  uint64
+	queue    eventQueue
+	running  bool
+	free     *Event // recycled fired events (see Event)
+	stepHook func(time.Duration)
 }
 
 // NewScheduler returns an empty scheduler with the clock at zero.
@@ -50,6 +51,12 @@ func NewScheduler() *Scheduler { return &Scheduler{} }
 
 // Now reports the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
+
+// SetStepHook installs a callback invoked with each fired event's time,
+// just before its callback runs. Invariant checkers use it to assert
+// clock monotonicity; simtime stays free of higher-layer imports by
+// taking a plain func. nil removes the hook.
+func (s *Scheduler) SetStepHook(fn func(time.Duration)) { s.stepHook = fn }
 
 // Len reports the number of pending events.
 func (s *Scheduler) Len() int { return len(s.queue) }
@@ -110,6 +117,9 @@ func (s *Scheduler) Step() bool {
 		}
 		ev.dead = true
 		s.now = ev.at
+		if s.stepHook != nil {
+			s.stepHook(ev.at)
+		}
 		ev.fn()
 		// Recycle only after the callback returns: a callback that reaches
 		// its own stale handle (cancel-guarded cleanup paths) still sees a

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"h2privacy/internal/check"
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/trace"
 )
@@ -73,6 +74,8 @@ type Conn struct {
 	ctFastRtx *trace.Counter
 	ctTLP     *trace.Counter
 	hSRTT     *trace.Histo
+
+	ck *check.Checker // nil unless invariant checks are armed
 }
 
 // NewConn builds an endpoint. name tags errors and traces ("client",
@@ -105,6 +108,10 @@ func NewConn(sched *simtime.Scheduler, cfg Config, name string, iss uint64, out 
 		c.ctFastRtx = c.tr.Counter(trace.LayerTCP, name+".fast-retransmit")
 		c.ctTLP = c.tr.Counter(trace.LayerTCP, name+".tlp")
 		c.hSRTT = c.tr.Histo(trace.LayerTCP, name+".srtt_ms")
+	}
+	if cfg.Check.Enabled() {
+		c.ck = cfg.Check
+		c.ck.TCPRegister(name, iss)
 	}
 	return c, nil
 }
@@ -266,6 +273,9 @@ func (c *Conn) processEstablished(seg *Segment) {
 	}
 	if seg.Flags.Has(FlagACK) {
 		c.processAck(seg)
+		if c.ck.Enabled() {
+			c.ck.TCPAck(c.name, seg.Ack, c.sndUna)
+		}
 	}
 	if len(seg.Payload) > 0 || seg.Flags.Has(FlagFIN) {
 		c.processData(seg)
@@ -306,6 +316,16 @@ func (c *Conn) advertisedWindow() int {
 }
 
 func (c *Conn) transmit(seg *Segment) {
+	if c.ck.Enabled() && !seg.Flags.Has(FlagRST) {
+		end := seg.Seq + uint64(len(seg.Payload))
+		if seg.Flags.Has(FlagSYN) {
+			end++
+		}
+		if seg.Flags.Has(FlagFIN) {
+			end++
+		}
+		c.ck.TCPSegment(c.name, seg.Seq, end, seg.Retransmit)
+	}
 	c.out(seg)
 }
 

@@ -39,6 +39,9 @@ func NewPair(sched *simtime.Scheduler, rng *simtime.Rand, path *netsim.Path, cfg
 		func(pkt *netsim.Packet) { server.Deliver(segmentOf(pkt)) },
 		func(pkt *netsim.Packet) { client.Deliver(segmentOf(pkt)) },
 	)
+	// Cross-link the endpoints so the checker can verify that every byte a
+	// side delivers was actually sent by its peer.
+	cfg.Check.TCPPeers("client", "server")
 	return &Pair{Client: client, Server: server}, nil
 }
 

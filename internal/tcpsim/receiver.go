@@ -61,6 +61,9 @@ func (c *Conn) deliverInOrder(p []byte) {
 	}
 	c.rcvNxt += uint64(len(p))
 	c.stats.BytesDelivered += int64(len(p))
+	if c.ck.Enabled() {
+		c.ck.TCPDeliver(c.name, c.rcvNxt)
+	}
 	if c.onData != nil {
 		c.onData(p)
 	}

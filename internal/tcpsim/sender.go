@@ -93,6 +93,17 @@ func (c *Conn) trySend() {
 	}
 }
 
+// legacyStaleAck reverts processAck to its pre-fix acceptance bound
+// (sndNxt instead of maxSndNxt), reintroducing the go-back-N stale-ACK
+// deadlock that PR 4 fixed. It exists solely so the property harness can
+// prove it rediscovers the bug; never set it outside tests. Toggle only
+// while no trials are running (it is an unsynchronized global).
+var legacyStaleAck bool
+
+// SetLegacyStaleAck enables or disables the deliberately re-broken
+// processAck behaviour. Test hook — see legacyStaleAck.
+func SetLegacyStaleAck(on bool) { legacyStaleAck = on }
+
 // processAck handles the acknowledgement field of an incoming segment:
 // window advance, RTT sampling, congestion control, duplicate-ACK fast
 // retransmit (RFC 5681) with NewReno-style recovery.
@@ -101,8 +112,12 @@ func (c *Conn) processAck(seg *Segment) {
 		c.peerWnd = seg.Window
 	}
 	ack := seg.Ack
+	ackBound := c.maxSndNxt
+	if legacyStaleAck {
+		ackBound = c.sndNxt
+	}
 	switch {
-	case ack > c.sndUna && ack <= c.maxSndNxt:
+	case ack > c.sndUna && ack <= ackBound:
 		// Bounded by the highest sequence ever sent, not sndNxt: after an
 		// RTO's go-back-N rewind an ACK for the pre-rewind flight is still
 		// in the network, and ignoring it deadlocks both ends — the sender
@@ -341,6 +356,9 @@ func (c *Conn) onRTO() {
 		c.cwnd = c.cfg.MSS
 		c.traceCwnd("rto")
 		// Go-back-N: rewind and let trySend re-emit (marked Retransmit).
+		if c.ck.Enabled() {
+			c.ck.TCPRewind(c.name, c.sndNxt, c.sndUna)
+		}
 		c.sndNxt = c.sndUna
 		if c.finSent && c.finSeq >= c.sndUna {
 			c.finSent = false

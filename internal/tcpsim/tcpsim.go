@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"h2privacy/internal/check"
 	"h2privacy/internal/trace"
 )
 
@@ -164,6 +165,10 @@ type Config struct {
 	// Tracer, when non-nil, arms per-connection transport tracing (cwnd
 	// changes, RTO fires, recovery entry/exit, SRTT samples).
 	Tracer *trace.Tracer
+	// Check, when non-nil, arms the sequence-space invariant checkers
+	// (see internal/check): conservation of delivered bytes, ACK bounds,
+	// and sndNxt/rcvNxt monotonicity outside RTO rewinds.
+	Check *check.Checker
 }
 
 func (c Config) withDefaults() Config {
