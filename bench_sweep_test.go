@@ -1,7 +1,6 @@
 package h2privacy_test
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -11,19 +10,23 @@ import (
 	"h2privacy/internal/adversary"
 	"h2privacy/internal/core"
 	"h2privacy/internal/experiment"
+	"h2privacy/internal/perf"
 	"h2privacy/internal/website"
 )
 
 // sweepWorkload is the timed workload for the sweep speedup measurements:
-// a full-attack sweep (the heaviest per-trial cost) at a fixed trial count.
-func sweepWorkload(workers int, trials int) (time.Duration, []*core.TrialResult, error) {
-	opts := experiment.Options{Trials: trials, BaseSeed: 42, Workers: workers}
+// a full-attack sweep (the heaviest per-trial cost) at a fixed trial
+// count, with per-stage cost attribution armed so the record shows where
+// the time went, not just how much there was.
+func sweepWorkload(workers int, trials int) (time.Duration, []*core.TrialResult, *perf.Report, error) {
+	col := perf.NewCollector()
+	opts := experiment.Options{Trials: trials, BaseSeed: 42, Workers: workers, Perf: col}
 	start := time.Now()
 	plan := adversary.DefaultPlan()
 	results, err := opts.Sweep(trials, func(t int) core.TrialConfig {
 		return core.TrialConfig{Seed: opts.BaseSeed + int64(t), Attack: &plan}
 	})
-	return time.Since(start), results, err
+	return time.Since(start), results, col.Report(), err
 }
 
 // BenchmarkSweepWorkers measures the sweep engine at 1 worker and at every
@@ -33,7 +36,7 @@ func BenchmarkSweepWorkers(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := sweepWorkload(w, 4); err != nil {
+				if _, _, _, err := sweepWorkload(w, 4); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -42,20 +45,22 @@ func BenchmarkSweepWorkers(b *testing.B) {
 }
 
 // TestBenchSweepRecord times the sweep at 1 worker and at every core and
-// writes a machine-readable speedup record to $BENCH_SWEEP_OUT (skipped
-// when unset). CI uploads the result as BENCH_sweep.json.
+// writes a machine-readable speedup record — per-stage cost breakdown
+// included — to $BENCH_SWEEP_OUT (skipped when unset). CI uploads the
+// result as BENCH_sweep.json and diffs it against the committed baseline
+// with cmd/benchdiff.
 func TestBenchSweepRecord(t *testing.T) {
 	out := os.Getenv("BENCH_SWEEP_OUT")
 	if out == "" {
 		t.Skip("set BENCH_SWEEP_OUT=path to record the sweep speedup")
 	}
 	const trials = 16
-	seqWall, seqRes, err := sweepWorkload(1, trials)
+	seqWall, seqRes, seqPerf, err := sweepWorkload(1, trials)
 	if err != nil {
 		t.Fatal(err)
 	}
 	workers := runtime.GOMAXPROCS(0)
-	parWall, parRes, err := sweepWorkload(workers, trials)
+	parWall, parRes, parPerf, err := sweepWorkload(workers, trials)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,37 +71,33 @@ func TestBenchSweepRecord(t *testing.T) {
 			t.Fatalf("trial %d diverged between worker counts", i)
 		}
 	}
-	rec := struct {
-		Benchmark    string  `json:"benchmark"`
-		Trials       int     `json:"trials"`
-		Workers      int     `json:"workers"`
-		Cores        int     `json:"cores"`
-		GoVersion    string  `json:"go_version"`
-		SequentialMS int64   `json:"sequential_ms"`
-		ParallelMS   int64   `json:"parallel_ms"`
-		Speedup      float64 `json:"speedup"`
-	}{
-		Benchmark:    "full-attack sweep",
-		Trials:       trials,
-		Workers:      workers,
-		Cores:        runtime.NumCPU(),
-		GoVersion:    runtime.Version(),
-		SequentialMS: seqWall.Milliseconds(),
-		ParallelMS:   parWall.Milliseconds(),
-		Speedup:      seqWall.Seconds() / parWall.Seconds(),
+	rec := &perf.BenchRecord{
+		Benchmark:        "full-attack sweep",
+		Trials:           trials,
+		Workers:          workers,
+		Cores:            runtime.NumCPU(),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		NumCPU:           runtime.NumCPU(),
+		GoVersion:        runtime.Version(),
+		SequentialMS:     seqWall.Milliseconds(),
+		ParallelMS:       parWall.Milliseconds(),
+		Speedup:          seqWall.Seconds() / parWall.Seconds(),
+		SequentialStages: seqPerf.BenchStages(),
+		ParallelStages:   parPerf.BenchStages(),
 	}
-	f, err := os.Create(out)
-	if err != nil {
+	if rec.SingleCore() {
+		rec.Note = "single-core box: parallel speedup is expected to be <=1x here and is not judged"
+	}
+	if err := rec.WriteFile(out); err != nil {
 		t.Fatal(err)
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rec); err != nil {
-		t.Fatal(err)
+	t.Logf("sweep %d trials: workers=1 %v, workers=%d %v (%.2fx, %d cores) -> %s",
+		trials, seqWall, workers, parWall, rec.Speedup, rec.NumCPU, out)
+	if rec.SingleCore() {
+		t.Logf("single-core box: speedup figure is informational only")
 	}
-	if err := f.Close(); err != nil {
-		t.Fatal(err)
+	if hot := seqPerf.BenchStages(); len(hot) > 0 {
+		t.Logf("hottest sequential stage: %s (%.0f ms, %.0f%% of accounted time)",
+			hot[0].Stage, hot[0].TotalMS, hot[0].Pct)
 	}
-	t.Logf("sweep %d trials: workers=1 %v, workers=%d %v (%.2fx) -> %s",
-		trials, seqWall, workers, parWall, rec.Speedup, out)
 }

@@ -1,0 +1,64 @@
+// Command benchdiff compares two sweep benchmark records (the committed
+// BENCH_sweep.json baseline vs a fresh TestBenchSweepRecord run) and
+// exits nonzero when performance regressed — the CI bench gate.
+//
+// The gate judges sequential per-trial cost: wall times normalized per
+// trial so trial-count changes don't read as regressions. Parallel
+// speedup is reported, and judged against -speedup-floor only on
+// multi-core machines (a single-core box cannot show a parallel win, so
+// the judgment is skipped there with a note).
+//
+// Usage:
+//
+//	benchdiff [-threshold PCT] [-speedup-floor X] old.json new.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"h2privacy/internal/perf"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 25,
+		"fail when sequential ms/trial regresses more than this percentage vs the baseline")
+	speedupFloor := flag.Float64("speedup-floor", 0,
+		"fail when parallel speedup falls below this on a multi-core machine (0 = report only)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] [-speedup-floor X] old.json new.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	old, err := perf.ReadBenchRecord(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := perf.ReadBenchRecord(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	d := perf.DiffBench(old, cur, *threshold, *speedupFloor)
+	fmt.Printf("benchdiff: %s vs %s\n", flag.Arg(0), flag.Arg(1))
+	fmt.Printf("  sequential ms/trial: %.1f -> %.1f (%+.1f%%, threshold %.0f%%)\n",
+		d.SeqPerTrialOldMS, d.SeqPerTrialNewMS, d.SeqRegressionPct, *threshold)
+	fmt.Printf("  parallel speedup:    %.2fx -> %.2fx\n", d.SpeedupOld, d.SpeedupNew)
+	for _, n := range d.Notes {
+		fmt.Printf("  note: %s\n", n)
+	}
+	if d.Failed {
+		fmt.Println("benchdiff: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

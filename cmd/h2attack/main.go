@@ -6,6 +6,7 @@
 //	         [-scenario NAME] [-adaptive] [-trace out.json]
 //	         [-trace-format chrome|jsonl|summary] [-timeline]
 //	         [-debug-addr :9090] [-hold 30s]
+//	         [-perf] [-perf-out perf.json] [-cpuprofile cpu.pprof] [-memprofile heap.pprof]
 //	h2attack -trials 50 [-parallel W]   (aggregate success over seeds N..N+49)
 //	h2attack -scenarios                 (list the fault-scenario catalog)
 package main
@@ -26,6 +27,7 @@ import (
 	"h2privacy/internal/metrics"
 	"h2privacy/internal/netsim"
 	"h2privacy/internal/obs"
+	"h2privacy/internal/perf"
 	"h2privacy/internal/trace"
 	"h2privacy/internal/website"
 )
@@ -50,6 +52,8 @@ func main() {
 	df.RegisterDebug(flag.CommandLine)
 	var cf cliutil.CheckFlags
 	cf.RegisterCheck(flag.CommandLine)
+	var pf cliutil.PerfFlags
+	pf.RegisterPerf(flag.CommandLine)
 	flag.Parse()
 
 	if *listScenarios {
@@ -114,6 +118,24 @@ func main() {
 		fatal(err)
 	}
 
+	// Any perf flag arms host-side cost attribution (and CPU/heap capture
+	// when requested); with -debug-addr the stage histograms also land in
+	// the live registry.
+	col := pf.NewCollector()
+	col.BeginExperiment("attack")
+	col.PublishTo(reg)
+	if err := pf.StartProfiles(os.Stderr, "h2attack"); err != nil {
+		fatal(err)
+	}
+	finishPerf := func() {
+		if err := pf.StopProfiles(os.Stderr, "h2attack"); err != nil {
+			fatal(err)
+		}
+		if err := pf.Report(col, os.Stderr, "h2attack"); err != nil {
+			fatal(err)
+		}
+	}
+
 	// -trials >1 switches to sweep mode: the same attack plan against
 	// seeds N..N+trials-1 over the experiment worker pool, reporting
 	// aggregate success instead of one trial's play-by-play. -pcap and
@@ -123,9 +145,10 @@ func main() {
 		if *pcapPath != "" || *timeline {
 			fmt.Fprintln(os.Stderr, "h2attack: -pcap and -timeline apply to single trials; ignoring with -trials >1")
 		}
-		if err := runSweep(*seed, *trials, *parallel, plan, *scenario, tracer, reg, rec); err != nil {
+		if err := runSweep(*seed, *trials, *parallel, plan, *scenario, tracer, reg, rec, col); err != nil {
 			fatal(err)
 		}
+		finishPerf()
 		if err := tf.Export(tracer, os.Stdout, "h2attack"); err != nil {
 			fatal(err)
 		}
@@ -137,7 +160,14 @@ func main() {
 	if rec != nil {
 		ck = check.New(*seed, 0, rec)
 	}
-	tb, err := core.NewTestbed(core.TrialConfig{Seed: *seed, Attack: &plan, Scenario: *scenario, Trace: tracer, Metrics: reg, Check: ck})
+	// Single-trial path: the testbed is assembled by hand (not through
+	// core.RunTrial), so the build stage is bracketed here; Run attributes
+	// the rest through cfg.Perf. With col nil, pw is the no-op handle.
+	pw := col.Worker()
+	tok := pw.BeginTrial()
+	sp := pw.Start(perf.StageBuild)
+	tb, err := core.NewTestbed(core.TrialConfig{Seed: *seed, Attack: &plan, Scenario: *scenario, Trace: tracer, Metrics: reg, Check: ck, Perf: pw})
+	sp.Stop()
 	if err != nil {
 		fatal(err)
 	}
@@ -145,6 +175,9 @@ func main() {
 		tb.Monitor.EnablePacketLog()
 	}
 	res := tb.Run()
+	pw.EndTrial(tok)
+	pw.Close()
+	finishPerf()
 	if *pcapPath != "" {
 		if err := writePcap(*pcapPath, tb); err != nil {
 			fatal(err)
@@ -217,7 +250,7 @@ func exitChecks(cf cliutil.CheckFlags, rec *check.Recorder, ds *obs.DebugServer,
 // runSweep is the -trials >1 path: n same-plan trials over the sweep
 // engine, aggregated exactly as table2 aggregates (HTML identified, ranks
 // correct, broken loads).
-func runSweep(seed int64, n, workers int, plan adversary.AttackPlan, scenario string, tracer *trace.Tracer, reg *obs.Registry, rec *check.Recorder) error {
+func runSweep(seed int64, n, workers int, plan adversary.AttackPlan, scenario string, tracer *trace.Tracer, reg *obs.Registry, rec *check.Recorder, col *perf.Collector) error {
 	opts := experiment.Options{
 		Trials:   n,
 		BaseSeed: seed,
@@ -225,6 +258,7 @@ func runSweep(seed int64, n, workers int, plan adversary.AttackPlan, scenario st
 		Trace:    tracer,
 		Metrics:  reg,
 		Check:    rec,
+		Perf:     col,
 		Progress: experiment.NewProgress(os.Stderr),
 	}
 	opts.Progress.Start("attack", n)

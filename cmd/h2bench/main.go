@@ -7,6 +7,7 @@
 //	h2bench [-trials N] [-seed S] table1 fig5 table2 …
 //	h2bench [-trace out.json] [-trace-format chrome|jsonl|summary] table2
 //	h2bench [-manifest run.json] [-debug-addr :9090] [-quiet] all
+//	h2bench [-perf] [-perf-out perf.json] [-cpuprofile cpu.pprof] [-memprofile heap.pprof] all
 //	h2bench -list
 package main
 
@@ -41,6 +42,8 @@ func run() int {
 	df.RegisterDebug(flag.CommandLine)
 	var cf cliutil.CheckFlags
 	cf.RegisterCheck(flag.CommandLine)
+	var pf cliutil.PerfFlags
+	pf.RegisterPerf(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: h2bench [flags] all|<experiment-id>...\nexperiments: %s\n", strings.Join(experiment.IDs(), " "))
 		flag.PrintDefaults()
@@ -80,6 +83,11 @@ func run() int {
 		opts.Metrics = obs.NewRegistry()
 		obs.PublishTrace(opts.Metrics, tracer)
 	}
+	// Any perf flag arms per-stage cost attribution; with a registry, the
+	// stage histograms are also scrapeable live on /metrics.
+	col := pf.NewCollector()
+	opts.Perf = col
+	col.PublishTo(opts.Metrics)
 	ds, err := df.Serve(opts.Metrics, tracer, os.Stderr, "h2bench")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "h2bench:", err)
@@ -101,6 +109,10 @@ func run() int {
 	if len(args) == 1 && args[0] == "all" {
 		args = experiment.IDs()
 	}
+	if err := pf.StartProfiles(os.Stderr, "h2bench"); err != nil {
+		fmt.Fprintln(os.Stderr, "h2bench:", err)
+		return 1
+	}
 	for _, id := range args {
 		runner, ok := experiment.Lookup(id)
 		if !ok {
@@ -108,6 +120,7 @@ func run() int {
 			return 2
 		}
 		opts.Progress.Start(id, experiment.PlannedTrials(id, opts))
+		opts.Perf.BeginExperiment(id)
 		rep, err := runner(opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "h2bench:", err)
@@ -126,12 +139,21 @@ func run() int {
 			rep.Render(os.Stdout)
 		}
 	}
+	if err := pf.StopProfiles(os.Stderr, "h2bench"); err != nil {
+		fmt.Fprintln(os.Stderr, "h2bench:", err)
+		return 1
+	}
+	if err := pf.Report(col, os.Stderr, "h2bench"); err != nil {
+		fmt.Fprintln(os.Stderr, "h2bench:", err)
+		return 1
+	}
 	if err := tf.Export(opts.Trace, os.Stderr, "h2bench"); err != nil {
 		fmt.Fprintln(os.Stderr, "h2bench:", err)
 		return 1
 	}
 	if manifest != nil {
 		manifest.Finish(opts.Metrics)
+		manifest.FinishPerf(col)
 		if err := manifest.WriteFile(*manifestPath); err != nil {
 			fmt.Fprintln(os.Stderr, "h2bench:", err)
 			return 1

@@ -1,9 +1,10 @@
 // Package cliutil factors the flag plumbing the repository's commands
 // share: the -trace/-trace-format pair with its export-on-exit receipt,
-// and the -debug-addr observability endpoint (metrics + pprof + live
-// trace download). Commands register the flags on their FlagSet, then ask
-// for a tracer / debug server after flag.Parse; everything stays inert
-// when the flags are unset.
+// the -debug-addr observability endpoint (metrics + pprof + live trace
+// download), and the -perf/-cpuprofile/-memprofile performance
+// observatory. Commands register the flags on their FlagSet, then ask
+// for a tracer / debug server / perf collector after flag.Parse;
+// everything stays inert when the flags are unset.
 package cliutil
 
 import (
@@ -11,10 +12,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"h2privacy/internal/check"
 	"h2privacy/internal/obs"
+	"h2privacy/internal/perf"
 	"h2privacy/internal/trace"
 )
 
@@ -148,6 +152,128 @@ func (cf *CheckFlags) Report(rec *check.Recorder, logw io.Writer, tool string) (
 		}
 	}
 	return rec.Total(), nil
+}
+
+// PerfFlags holds the performance-observatory flag set: -perf (per-stage
+// cost attribution), -perf-out (write the report as JSON), -cpuprofile
+// and -memprofile (pprof captures). Any of the four arms the collector —
+// profiling without attribution would lose the stage labels, and a
+// report path without -perf would write an empty report.
+type PerfFlags struct {
+	Enabled bool
+	OutPath string
+	CPUPath string
+	MemPath string
+
+	cpuFile *os.File
+}
+
+// RegisterPerf adds -perf, -perf-out, -cpuprofile and -memprofile to fs.
+func (pf *PerfFlags) RegisterPerf(fs *flag.FlagSet) {
+	fs.BoolVar(&pf.Enabled, "perf", false,
+		"attribute host-side cost per trial stage (build/run/capture/check/publish) and print the hot-stage table on exit")
+	fs.StringVar(&pf.OutPath, "perf-out", "",
+		"write the perf report (stage table, worker utilization) as JSON to this file; implies -perf")
+	fs.StringVar(&pf.CPUPath, "cpuprofile", "",
+		"write a CPU profile (pprof, stage-labeled) to this file; implies -perf")
+	fs.StringVar(&pf.MemPath, "memprofile", "",
+		"write a heap profile (pprof, post-GC) to this file on exit; implies -perf")
+}
+
+// Armed reports whether any perf flag was given.
+func (pf *PerfFlags) Armed() bool {
+	return pf.Enabled || pf.OutPath != "" || pf.CPUPath != "" || pf.MemPath != ""
+}
+
+// NewCollector returns a perf collector when any perf flag was given,
+// else nil (the zero-cost disabled path — see internal/perf). When a CPU
+// profile is being captured, goroutine stage labels are armed too, so
+// profile samples carry experiment/stage dimensions; without a profile
+// the labels would cost allocations for nothing and stay off.
+func (pf *PerfFlags) NewCollector() *perf.Collector {
+	if !pf.Armed() {
+		return nil
+	}
+	c := perf.NewCollector()
+	if pf.CPUPath != "" {
+		c.EnableLabels()
+	}
+	return c
+}
+
+// StartProfiles begins the CPU profile when -cpuprofile was given. Call
+// before the workload; pair with StopProfiles after it.
+func (pf *PerfFlags) StartProfiles(logw io.Writer, tool string) error {
+	if pf.CPUPath == "" {
+		return nil
+	}
+	f, err := os.Create(pf.CPUPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	pf.cpuFile = f
+	return nil
+}
+
+// StopProfiles stops the CPU profile and writes the heap profile (after a
+// forced GC, so the capture shows live heap rather than garbage),
+// printing a receipt per file. Safe to call when nothing was started.
+func (pf *PerfFlags) StopProfiles(logw io.Writer, tool string) error {
+	if pf.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := pf.cpuFile.Close()
+		pf.cpuFile = nil
+		if err != nil {
+			return err
+		}
+		if logw != nil {
+			fmt.Fprintf(logw, "%s: wrote CPU profile to %s\n", tool, pf.CPUPath)
+		}
+	}
+	if pf.MemPath != "" {
+		f, err := os.Create(pf.MemPath)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if logw != nil {
+			fmt.Fprintf(logw, "%s: wrote heap profile to %s\n", tool, pf.MemPath)
+		}
+	}
+	return nil
+}
+
+// Report prints the collector's hot-stage table to logw and, when
+// -perf-out was given, writes the full report as JSON with a receipt. A
+// nil collector (unarmed) reports nothing.
+func (pf *PerfFlags) Report(c *perf.Collector, logw io.Writer, tool string) error {
+	if c == nil {
+		return nil
+	}
+	rep := c.Report()
+	if logw != nil {
+		rep.WriteText(logw, 0)
+	}
+	if pf.OutPath != "" {
+		if err := rep.WriteFile(pf.OutPath); err != nil {
+			return err
+		}
+		if logw != nil {
+			fmt.Fprintf(logw, "%s: wrote perf report to %s\n", tool, pf.OutPath)
+		}
+	}
+	return nil
 }
 
 // DebugFlags holds -debug-addr.

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"h2privacy/internal/obs"
+	"h2privacy/internal/perf"
 	"h2privacy/internal/trace"
 )
 
@@ -122,5 +123,88 @@ func TestDebugFlagsDisarmed(t *testing.T) {
 	ds, err := df.Serve(obs.NewRegistry(), nil, io.Discard, "t")
 	if err != nil || ds != nil {
 		t.Fatalf("disarmed Serve = %v %v", ds, err)
+	}
+}
+
+func TestPerfFlagsDisarmed(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var pf PerfFlags
+	pf.RegisterPerf(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if pf.Armed() {
+		t.Fatal("armed with no perf flags")
+	}
+	if c := pf.NewCollector(); c != nil {
+		t.Fatal("collector handed out while disarmed")
+	}
+	// The whole lifecycle must be a silent no-op when disarmed.
+	if err := pf.StartProfiles(io.Discard, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.StopProfiles(io.Discard, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Report(nil, io.Discard, "x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfFlagsLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "heap.pprof")
+	out := filepath.Join(dir, "perf.json")
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var pf PerfFlags
+	pf.RegisterPerf(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem, "-perf-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if !pf.Armed() {
+		t.Fatal("not armed despite profile flags")
+	}
+	col := pf.NewCollector()
+	if col == nil {
+		t.Fatal("no collector despite armed flags")
+	}
+	if err := pf.StartProfiles(io.Discard, "x"); err != nil {
+		t.Fatal(err)
+	}
+	// A tiny workload so the collector has something to report.
+	w := col.Worker()
+	tok := w.BeginTrial()
+	sp := w.Start(perf.StageRun)
+	sp.Stop()
+	w.EndTrial(tok)
+	w.Close()
+	var log strings.Builder
+	if err := pf.StopProfiles(&log, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Report(col, &log, "x"); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem, out} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s not written: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", path)
+		}
+	}
+	for _, want := range []string{"wrote CPU profile", "wrote heap profile", "wrote perf report", "stage"} {
+		if !strings.Contains(log.String(), want) {
+			t.Fatalf("receipt log missing %q:\n%s", want, log.String())
+		}
+	}
+	rep, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rep), `"run"`) {
+		t.Fatalf("perf report JSON missing run stage: %s", rep)
 	}
 }

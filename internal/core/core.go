@@ -17,6 +17,7 @@ import (
 	"h2privacy/internal/metrics"
 	"h2privacy/internal/netsim"
 	"h2privacy/internal/obs"
+	"h2privacy/internal/perf"
 	"h2privacy/internal/predict"
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/tcpsim"
@@ -99,6 +100,14 @@ type TrialConfig struct {
 	// server scraping it sees the sweep advance live. Nil disables at zero
 	// cost — the unarmed instruments are nil no-ops.
 	Metrics *obs.Registry
+	// Perf, when non-nil, attributes the trial's host-side cost to stages:
+	// testbed construction, scheduler run, capture finalize, check finalize
+	// and metrics publication each book wall time and allocation deltas
+	// into the worker's collector. Host-clock only — it never touches the
+	// simulation, so results and traces stay byte-identical. Nil disables
+	// at zero cost (every span on a nil worker is a no-op). The handle is
+	// worker-scoped, not shared: sweeps hand each worker goroutine its own.
+	Perf *perf.Worker
 	// DeferMetrics suppresses the at-collection publication of the trial's
 	// outcome metrics (PublishTrialMetrics); the caller publishes the
 	// returned TrialResult itself. The parallel sweep engine uses this to
@@ -273,15 +282,19 @@ func NewTestbed(cfg TrialConfig) (*Testbed, error) {
 // Run starts both endpoints and executes the trial to quiescence or the
 // configured duration, returning the collected result.
 func (tb *Testbed) Run() *TrialResult {
+	sp := tb.cfg.Perf.Start(perf.StageRun)
 	tb.Server.Start()
 	tb.Browser.Start()
 	tb.Sched.RunUntil(tb.cfg.Duration)
+	sp.Stop()
 	return tb.collect()
 }
 
 // RunTrial assembles and runs one trial.
 func RunTrial(cfg TrialConfig) (*TrialResult, error) {
+	sp := cfg.Perf.Start(perf.StageBuild)
 	tb, err := NewTestbed(cfg)
+	sp.Stop()
 	if err != nil {
 		return nil, err
 	}
@@ -355,6 +368,10 @@ type TrialResult struct {
 }
 
 func (tb *Testbed) collect() *TrialResult {
+	// Capture finalize: monitor reads, DoM metrics, burst segmentation and
+	// prediction — everything between the scheduler stopping and the
+	// check/publish epilogues.
+	sp := tb.cfg.Perf.Start(perf.StageCapture)
 	res := &TrialResult{
 		Perm:               append([]int(nil), tb.Plan.Perm...),
 		TrueSeq:            tb.Plan.EmblemRequestOrder(),
@@ -392,7 +409,9 @@ func (tb *Testbed) collect() *TrialResult {
 	if tb.Injector != nil {
 		res.FaultLog = tb.Injector.Log()
 	}
+	sp.Stop()
 	if ck := tb.cfg.Check; ck.Enabled() {
+		csp := tb.cfg.Perf.Start(perf.StageCheck)
 		// Hand the checker each link's final stats for drift detection, then
 		// run the end-of-trial conservation checks and flush the report.
 		for _, dir := range []netsim.Direction{netsim.ClientToServer, netsim.ServerToClient} {
@@ -406,9 +425,12 @@ func (tb *Testbed) collect() *TrialResult {
 				st.BytesDelivered)
 		}
 		res.CheckViolations = ck.Finalize()
+		csp.Stop()
 	}
 	if !tb.cfg.DeferMetrics {
+		psp := tb.cfg.Perf.Start(perf.StagePublish)
 		PublishTrialMetrics(tb.cfg.Metrics, res)
+		psp.Stop()
 	}
 	return res
 }

@@ -14,6 +14,7 @@ import (
 
 	"h2privacy/internal/check"
 	"h2privacy/internal/obs"
+	"h2privacy/internal/perf"
 	"h2privacy/internal/trace"
 )
 
@@ -43,6 +44,14 @@ type Options struct {
 	// repro seed) flushing into this shared recorder. Nil runs unchecked at
 	// zero cost.
 	Check *check.Recorder
+	// Perf, when non-nil, attributes the sweep's host-side cost: each
+	// worker goroutine takes a perf.Worker handle, every trial body is
+	// bracketed for busy/queue-wait accounting, core.RunTrial splits into
+	// named stages, and the deferred publication drain is timed. Wall-clock
+	// only — it never feeds the reports or the registry's deterministic
+	// families, so same-seed output stays byte-identical at any worker
+	// count. Nil disables at zero cost (the nil-collector contract).
+	Perf *perf.Collector
 	// Metrics, when non-nil, receives every trial's per-trial metrics
 	// (core.TrialConfig.Metrics): the whole sweep accumulates into one
 	// registry, so a final snapshot summarizes the run and a live scrape
@@ -197,6 +206,7 @@ func RunAll(opts Options, w io.Writer) error {
 	}
 	for _, e := range registry {
 		opts.Progress.Start(e.id, PlannedTrials(e.id, opts))
+		opts.Perf.BeginExperiment(e.id)
 		rep, err := e.runner(opts)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", e.id, err)

@@ -5,9 +5,11 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"h2privacy/internal/obs"
+	"h2privacy/internal/perf"
 )
 
 // Manifest is a sweep's machine-readable run record: what was run (tool,
@@ -27,10 +29,20 @@ type Manifest struct {
 	// when Options.Workers is 0); stripped by StripWallClock so stripped
 	// manifests compare equal across worker counts — the determinism
 	// guarantee is precisely that Workers never changes anything else.
-	Workers int               `json:"workers,omitempty"`
-	Runs      []ManifestRun     `json:"runs"`
-	Metrics   *obs.Snapshot     `json:"metrics,omitempty"`
-	Extra     map[string]string `json:"extra,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// GoMaxProcs and NumCPU identify the host environment the wall times
+	// were measured on; machine-dependent, so stripped by StripWallClock.
+	GoMaxProcs int           `json:"gomaxprocs,omitempty"`
+	NumCPU     int           `json:"numcpu,omitempty"`
+	Runs       []ManifestRun `json:"runs"`
+	Metrics    *obs.Snapshot `json:"metrics,omitempty"`
+	// Perf is the run's host-side per-stage cost attribution when a
+	// perf.Collector was armed: where trial wall time and allocations went
+	// (build/run/capture/check/publish), the worker pool's busy/idle split
+	// and the deferred-publication wait. Wall-clock through and through;
+	// StripWallClock zeroes everything but the stage skeleton.
+	Perf  *perf.Report      `json:"perf,omitempty"`
+	Extra map[string]string `json:"extra,omitempty"`
 }
 
 // ManifestRun is one experiment's entry.
@@ -48,12 +60,14 @@ type ManifestRun struct {
 func NewManifest(tool string, opts Options) *Manifest {
 	opts = opts.withDefaults()
 	return &Manifest{
-		Tool:      tool,
-		GoVersion: runtime.Version(),
-		StartedAt: time.Now().UTC().Format(time.RFC3339),
-		Trials:    opts.Trials,
-		BaseSeed:  opts.BaseSeed,
-		Workers:   opts.workerCount(),
+		Tool:       tool,
+		GoVersion:  runtime.Version(),
+		StartedAt:  time.Now().UTC().Format(time.RFC3339),
+		Trials:     opts.Trials,
+		BaseSeed:   opts.BaseSeed,
+		Workers:    opts.workerCount(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 }
 
@@ -68,7 +82,8 @@ func (m *Manifest) Record(id, title string, trials, rows int, wall time.Duration
 	})
 }
 
-// Finish attaches the registry's final snapshot (nil registry → none).
+// Finish attaches the registry's final snapshot (nil registry → none) and,
+// when a perf collector was armed, its cost-attribution report.
 func (m *Manifest) Finish(reg *obs.Registry) {
 	if m == nil || reg == nil {
 		return
@@ -76,16 +91,38 @@ func (m *Manifest) Finish(reg *obs.Registry) {
 	m.Metrics = reg.Snapshot()
 }
 
+// FinishPerf attaches the perf collector's report (nil collector → none).
+func (m *Manifest) FinishPerf(c *perf.Collector) {
+	if m == nil || c == nil {
+		return
+	}
+	m.Perf = c.Report()
+}
+
 // StripWallClock zeroes the wall-clock and machine-dependent fields
-// (StartedAt, per-run WallMS, Workers), leaving only seed- and
-// virtual-time-derived content. Two same-seed runs stripped this way must
-// serialize byte-identically — at any worker count — the property the
-// manifest tests pin.
+// (StartedAt, per-run WallMS, Workers, GoMaxProcs/NumCPU, the perf report's
+// numbers) and drops the perf-published sweep_* metric families — whose
+// series are host wall times and process-global allocation samples — from
+// the snapshot, leaving only seed- and virtual-time-derived content. Two
+// same-seed runs stripped this way must serialize byte-identically — at any
+// worker count — the property the manifest tests pin.
 func (m *Manifest) StripWallClock() {
 	m.StartedAt = ""
 	m.Workers = 0
+	m.GoMaxProcs = 0
+	m.NumCPU = 0
 	for i := range m.Runs {
 		m.Runs[i].WallMS = 0
+	}
+	m.Perf.StripWallClock()
+	if m.Metrics != nil {
+		kept := m.Metrics.Families[:0]
+		for _, f := range m.Metrics.Families {
+			if !strings.HasPrefix(f.Name, perf.MetricsPrefix) {
+				kept = append(kept, f)
+			}
+		}
+		m.Metrics.Families = kept
 	}
 }
 

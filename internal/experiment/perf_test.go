@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"h2privacy/internal/adversary"
+	"h2privacy/internal/core"
+	"h2privacy/internal/obs"
+	"h2privacy/internal/perf"
+)
+
+// attackSweep runs a full-attack sweep with perf attribution and deferred
+// metrics publication armed — the configuration the observatory exists to
+// explain — and returns the collector's report.
+func attackSweep(t *testing.T, col *perf.Collector, reg *obs.Registry, workers, trials int) *perf.Report {
+	t.Helper()
+	opts := Options{Trials: trials, BaseSeed: 3, Workers: workers, Perf: col, Metrics: reg}
+	plan := adversary.DefaultPlan()
+	if _, err := opts.Sweep(trials, func(tr int) core.TrialConfig {
+		return core.TrialConfig{Seed: opts.BaseSeed + int64(tr), Attack: &plan}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return col.Report()
+}
+
+// TestPerfStageCoverage pins the attribution quality bar: on a 4-worker
+// full-attack sweep, the named trial stages must account for at least 90%
+// of the measured worker busy time (no large anonymous gap), and the
+// parallelization-overhead stages — queue wait and the deferred
+// publication drain — must actually have fired.
+func TestPerfStageCoverage(t *testing.T) {
+	col := perf.NewCollector()
+	reg := obs.NewRegistry()
+	col.PublishTo(reg)
+	rep := attackSweep(t, col, reg, 4, 8)
+
+	busy := rep.BusyMS()
+	accounted := rep.AccountedMS()
+	if busy <= 0 {
+		t.Fatalf("no worker busy time recorded: %+v", rep.Workers)
+	}
+	if accounted < 0.9*busy {
+		t.Fatalf("trial stages account for %.2f ms of %.2f ms busy (%.0f%%), want >=90%%",
+			accounted, busy, 100*accounted/busy)
+	}
+	qw, pd := rep.StageByName("queue_wait"), rep.StageByName("publish_drain")
+	if qw == nil || pd == nil {
+		t.Fatalf("overhead stages missing from report: %+v", rep.Stages)
+	}
+	if qw.Count == 0 {
+		t.Fatal("queue_wait never fired despite 4 workers")
+	}
+	if pd.Count == 0 {
+		t.Fatal("publish_drain never fired despite deferred metrics publication")
+	}
+	if qw.TotalMS+pd.TotalMS <= 0 {
+		t.Fatalf("no contention signal: queue_wait %.4f ms, publish_drain %.4f ms", qw.TotalMS, pd.TotalMS)
+	}
+	// The same accounting must have landed in the registry families the
+	// manifest and /metrics carry.
+	var promText strings.Builder
+	if err := reg.WritePrometheus(&promText); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sweep_stage_seconds", "sweep_stage_allocs", "sweep_worker_busy_seconds"} {
+		if !strings.Contains(promText.String(), want) {
+			t.Fatalf("registry exposition missing %s:\n%s", want, promText.String())
+		}
+	}
+}
+
+// TestDebugScrapeDuringSweep scrapes the debug server's /metrics and
+// /debug/vars concurrently with a 4-worker sweep publishing perf and
+// trial metrics — the live-observability path, raced under -race in CI.
+// Every mid-sweep exposition must already parse under the golden linter.
+func TestDebugScrapeDuringSweep(t *testing.T) {
+	col := perf.NewCollector()
+	reg := obs.NewRegistry()
+	col.PublishTo(reg)
+	ds := &obs.DebugServer{Registry: reg}
+	srv := httptest.NewServer(ds.Handler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	scrapes := make(chan int, 1)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stop:
+				scrapes <- n
+				return
+			default:
+			}
+			resp, err := http.Get(srv.URL + "/metrics")
+			if err != nil {
+				continue
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				continue
+			}
+			if _, err := obs.LintExposition(body); err != nil {
+				t.Errorf("mid-sweep exposition rejected: %v", err)
+				scrapes <- n
+				return
+			}
+			if resp, err := http.Get(srv.URL + "/debug/vars"); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			n++
+		}
+	}()
+
+	attackSweep(t, col, reg, 4, 8)
+	close(stop)
+	if n := <-scrapes; n == 0 {
+		t.Fatal("scraper never completed a scrape during the sweep")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"h2privacy/internal/check"
 	"h2privacy/internal/core"
+	"h2privacy/internal/perf"
 )
 
 // This file is the parallel sweep engine. Trials are independent by
@@ -64,13 +65,27 @@ func (o Options) workerCount() int {
 // trial index is returned; remaining workers stop picking up new trials
 // once any trial fails.
 func (o Options) ForEachTrial(n int, run func(t int) error) error {
+	return o.forEachTrial(n, func(_ *perf.Worker, t int) error { return run(t) })
+}
+
+// forEachTrial is ForEachTrial with perf plumbing: each pool goroutine (or
+// the sequential loop) takes its own perf.Worker handle, and every run call
+// is bracketed for busy-time and queue-wait accounting. run receives the
+// handle so core trials can attribute their stages to it. With a nil
+// o.Perf, all handles are nil and the brackets are zero-cost no-ops.
+func (o Options) forEachTrial(n int, run func(pw *perf.Worker, t int) error) error {
 	workers := o.workerCount()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		pw := o.Perf.Worker()
+		defer pw.Close()
 		for t := 0; t < n; t++ {
-			if err := run(t); err != nil {
+			tok := pw.BeginTrial()
+			err := run(pw, t)
+			pw.EndTrial(tok)
+			if err != nil {
 				return err
 			}
 		}
@@ -88,12 +103,17 @@ func (o Options) ForEachTrial(n int, run func(t int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			pw := o.Perf.Worker()
+			defer pw.Close()
 			for {
 				t := int(next.Add(1)) - 1
 				if t >= n || failed.Load() {
 					return
 				}
-				if err := run(t); err != nil {
+				tok := pw.BeginTrial()
+				err := run(pw, t)
+				pw.EndTrial(tok)
+				if err != nil {
 					failed.Store(true)
 					mu.Lock()
 					if t < errT {
@@ -116,8 +136,9 @@ func (o Options) ForEachTrial(n int, run func(t int) error) error {
 func (o Options) sweep(n, arity int, cfgs func(t int) []core.TrialConfig) ([]*core.TrialResult, error) {
 	armTrace := o.Trace.Enabled() && o.Trace.Len() == 0 && o.Trace.Dropped() == 0
 	out := make([]*core.TrialResult, n*arity)
-	err := o.ForEachTrial(n, func(t int) error {
+	err := o.forEachTrial(n, func(pw *perf.Worker, t int) error {
 		for j, cfg := range cfgs(t) {
+			cfg.Perf = pw
 			if armTrace && t == 0 && j == 0 {
 				cfg.Trace = o.Trace
 			}
@@ -144,9 +165,16 @@ func (o Options) sweep(n, arity int, cfgs func(t int) []core.TrialConfig) ([]*co
 		return nil, err
 	}
 	if o.Metrics != nil {
+		// The deferred in-order drain is the sweep's publication-path wait:
+		// results computed in parallel serialize here so registry snapshots
+		// stay byte-identical across worker counts. perf books it as its own
+		// stage — it is pure parallelization overhead the sequential inline
+		// path never pays.
+		sp := o.Perf.StartStage(perf.StagePublishDrain)
 		for _, res := range out {
 			core.PublishTrialMetrics(o.Metrics, res)
 		}
+		sp.Stop()
 	}
 	return out, nil
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"h2privacy/internal/obs"
+	"h2privacy/internal/perf"
 	"h2privacy/internal/trace"
 )
 
@@ -45,18 +46,22 @@ func TestSweepParallelMatchesSequential(t *testing.T) {
 	}
 }
 
-// manifestRun renders a few experiments with a manifest and a metrics
-// registry attached — exercising the deferred publication path — and
-// returns the wall-clock-stripped manifest JSON.
+// manifestRun renders a few experiments with a manifest, a metrics
+// registry and a perf collector attached — exercising the deferred
+// publication path and the perf-stripping path — and returns the
+// wall-clock-stripped manifest JSON.
 func manifestRun(t *testing.T, workers int) []byte {
 	t.Helper()
 	opts := Options{Trials: 3, BaseSeed: 5, Workers: workers}
 	opts.Metrics = obs.NewRegistry()
+	opts.Perf = perf.NewCollector()
+	opts.Perf.PublishTo(opts.Metrics)
 	opts.Progress = NewProgress(nil)
 	m := NewManifest("test", opts)
 	for _, id := range []string{"fig2", "table2"} {
 		runner, _ := Lookup(id)
 		opts.Progress.Start(id, PlannedTrials(id, opts))
+		opts.Perf.BeginExperiment(id)
 		rep, err := runner(opts)
 		if err != nil {
 			t.Fatalf("%s (workers=%d): %v", id, workers, err)
@@ -65,6 +70,7 @@ func manifestRun(t *testing.T, workers int) []byte {
 		m.Record(id, rep.Title, trials, len(rep.Rows), wall)
 	}
 	m.Finish(opts.Metrics)
+	m.FinishPerf(opts.Perf)
 	m.StripWallClock()
 	var buf bytes.Buffer
 	if err := m.WriteJSON(&buf); err != nil {
@@ -82,6 +88,18 @@ func TestSweepManifestDeterministic(t *testing.T) {
 	par := manifestRun(t, 4)
 	if !bytes.Equal(seq, par) {
 		t.Fatalf("stripped manifests differ:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", seq, par)
+	}
+	// The perf report survives stripping as a stage-name skeleton (proof the
+	// collector was armed), while every wall-clock figure and the sweep_*
+	// registry families are gone — they are host- and worker-count-dependent.
+	if !bytes.Contains(seq, []byte(`"perf"`)) || !bytes.Contains(seq, []byte(`"queue_wait"`)) {
+		t.Fatalf("stripped manifest lost the perf stage skeleton:\n%s", seq)
+	}
+	if bytes.Contains(seq, []byte(perf.MetricsPrefix)) {
+		t.Fatalf("stripped manifest still carries %s* metric families:\n%s", perf.MetricsPrefix, seq)
+	}
+	if bytes.Contains(seq, []byte(`"gomaxprocs"`)) {
+		t.Fatalf("stripped manifest still carries gomaxprocs:\n%s", seq)
 	}
 }
 

@@ -6,10 +6,24 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"sync"
 	"time"
 
 	"h2privacy/internal/trace"
 )
+
+// publishRuntimeVars registers the host-environment expvars that make a
+// /debug/vars scrape self-describing for performance work: any wall-time
+// figure scraped off this process is meaningless without knowing how many
+// cores it had. Guarded by a Once because expvar.Publish panics on
+// re-registration, and a process may build several DebugServers (tests
+// do).
+var publishRuntimeVars = sync.OnceFunc(func() {
+	expvar.Publish("gomaxprocs", expvar.Func(func() any { return runtime.GOMAXPROCS(0) }))
+	expvar.Publish("numcpu", expvar.Func(func() any { return runtime.NumCPU() }))
+	expvar.Publish("goversion", expvar.Func(func() any { return runtime.Version() }))
+})
 
 // DebugServer is the live observability endpoint the cmd tools expose
 // behind -debug-addr. It costs nothing unless started: the tools only
@@ -20,7 +34,7 @@ import (
 //
 //	/metrics       Prometheus text exposition (?format=json for canonical JSON)
 //	/healthz       liveness probe ("ok")
-//	/debug/vars    expvar (cmdline, memstats)
+//	/debug/vars    expvar (cmdline, memstats, gomaxprocs, numcpu, goversion)
 //	/debug/pprof/  pprof index, profile, heap, symbol, trace, …
 //	/debug/trace   live trace-ring download (?format=chrome|jsonl|summary)
 type DebugServer struct {
@@ -36,6 +50,7 @@ type DebugServer struct {
 // Handler returns the endpoint mux. Exposed for tests and for embedding
 // into an existing server.
 func (s *DebugServer) Handler() http.Handler {
+	publishRuntimeVars()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.serveMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {

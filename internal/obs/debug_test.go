@@ -75,6 +75,13 @@ func TestDebugServerEndpoints(t *testing.T) {
 	if code, body, _ = get(t, srv, "/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
 		t.Fatalf("/debug/vars = %d", code)
 	}
+	// The host-environment vars that contextualize any perf figure scraped
+	// off this process.
+	for _, want := range []string{`"gomaxprocs":`, `"numcpu":`, `"goversion":`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/debug/vars missing %s:\n%s", want, body)
+		}
+	}
 
 	if code, body, _ = get(t, srv, "/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
 		t.Fatalf("/debug/pprof/ = %d", code)

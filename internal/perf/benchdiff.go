@@ -1,0 +1,178 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchRecord is the schema of BENCH_sweep.json: the committed
+// sequential-vs-parallel sweep baseline plus the per-stage breakdown this
+// package attributes. Older baselines lack the gomaxprocs/numcpu/stage
+// fields; readers treat them as absent.
+type BenchRecord struct {
+	Benchmark    string  `json:"benchmark"`
+	Trials       int     `json:"trials"`
+	Workers      int     `json:"workers"`
+	Cores        int     `json:"cores"`
+	GoMaxProcs   int     `json:"gomaxprocs,omitempty"`
+	NumCPU       int     `json:"numcpu,omitempty"`
+	GoVersion    string  `json:"go_version"`
+	SequentialMS int64   `json:"sequential_ms"`
+	ParallelMS   int64   `json:"parallel_ms"`
+	Speedup      float64 `json:"speedup"`
+	// Note annotates the record ("single-core box: ..."); set by the bench
+	// recorder when the speedup figure is not meaningful.
+	Note string `json:"note,omitempty"`
+	// SequentialStages / ParallelStages carry each run's hot-stage
+	// breakdown, hottest first.
+	SequentialStages []BenchStage `json:"sequential_stages,omitempty"`
+	ParallelStages   []BenchStage `json:"parallel_stages,omitempty"`
+}
+
+// BenchStage is one stage's share of a bench run.
+type BenchStage struct {
+	Stage        string  `json:"stage"`
+	TotalMS      float64 `json:"total_ms"`
+	Pct          float64 `json:"pct"`
+	AllocObjects int64   `json:"alloc_objects"`
+}
+
+// BenchStages condenses a Report into the bench record's stage list,
+// hottest first, dropping all-zero stages.
+func (r *Report) BenchStages() []BenchStage {
+	if r == nil {
+		return nil
+	}
+	var out []BenchStage
+	for _, s := range r.Stages {
+		if s.Count == 0 && s.TotalMS == 0 {
+			continue
+		}
+		out = append(out, BenchStage{
+			Stage: s.Stage, TotalMS: s.TotalMS, Pct: s.PctOfAccounted,
+			AllocObjects: s.AllocObjects,
+		})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].TotalMS > out[j-1].TotalMS; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// effectiveCores resolves the record's core count: numcpu when recorded,
+// the legacy "cores" field otherwise.
+func (b *BenchRecord) effectiveCores() int {
+	if b.NumCPU > 0 {
+		return b.NumCPU
+	}
+	return b.Cores
+}
+
+// SingleCore reports whether the record was taken on a box where parallel
+// cannot beat sequential, making the speedup figure meaningless.
+func (b *BenchRecord) SingleCore() bool { return b.effectiveCores() <= 1 }
+
+// ReadBenchRecord loads a BENCH_sweep.json.
+func ReadBenchRecord(path string) (*BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec BenchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if rec.Trials <= 0 {
+		return nil, fmt.Errorf("perf: %s: trials must be positive, got %d", path, rec.Trials)
+	}
+	return &rec, nil
+}
+
+// WriteFile writes the record as indented JSON.
+func (b *BenchRecord) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// BenchDiff is the comparison of a new bench record against a committed
+// baseline — the CI regression gate's verdict.
+type BenchDiff struct {
+	// SeqPerTrialOldMS / SeqPerTrialNewMS normalize sequential wall time per
+	// trial, so baselines at different trial counts compare.
+	SeqPerTrialOldMS float64
+	SeqPerTrialNewMS float64
+	// SeqRegressionPct is the sequential per-trial change: positive =
+	// slower. The gate fails when it exceeds the threshold.
+	SeqRegressionPct float64
+	// SpeedupOld / SpeedupNew carry the parallel speedups for the report.
+	SpeedupOld, SpeedupNew float64
+	// SpeedupJudged is false when the speedup assertion was skipped
+	// (single-core box, or no floor configured); SpeedupOK is meaningful
+	// only when judged.
+	SpeedupJudged bool
+	SpeedupOK     bool
+	// Failed is the gate verdict; Notes explain it (and any skips).
+	Failed bool
+	Notes  []string
+}
+
+// DiffBench gates new against old: fail when sequential ms/trial regresses
+// by more than thresholdPct percent, and — only on multi-core boxes and
+// only when speedupFloor > 0 — when the parallel speedup falls below
+// speedupFloor. A single-core box cannot win with workers>1, so its
+// speedup judgment is skipped with a note, never failed.
+func DiffBench(old, new *BenchRecord, thresholdPct, speedupFloor float64) *BenchDiff {
+	d := &BenchDiff{
+		SeqPerTrialOldMS: float64(old.SequentialMS) / float64(old.Trials),
+		SeqPerTrialNewMS: float64(new.SequentialMS) / float64(new.Trials),
+		SpeedupOld:       old.Speedup,
+		SpeedupNew:       new.Speedup,
+	}
+	if d.SeqPerTrialOldMS > 0 {
+		d.SeqRegressionPct = 100 * (d.SeqPerTrialNewMS - d.SeqPerTrialOldMS) / d.SeqPerTrialOldMS
+	}
+	if d.SeqRegressionPct > thresholdPct {
+		d.Failed = true
+		d.Notes = append(d.Notes, fmt.Sprintf(
+			"sequential ms/trial regressed %.1f%% (%.2f -> %.2f ms), over the %.1f%% threshold",
+			d.SeqRegressionPct, d.SeqPerTrialOldMS, d.SeqPerTrialNewMS, thresholdPct))
+	} else {
+		d.Notes = append(d.Notes, fmt.Sprintf(
+			"sequential ms/trial: %.2f -> %.2f (%+.1f%%, threshold %.1f%%)",
+			d.SeqPerTrialOldMS, d.SeqPerTrialNewMS, d.SeqRegressionPct, thresholdPct))
+	}
+	switch {
+	case new.SingleCore():
+		d.Notes = append(d.Notes,
+			"single-core box: parallel cannot beat sequential; speedup judgment skipped")
+	case speedupFloor <= 0:
+		d.Notes = append(d.Notes, fmt.Sprintf(
+			"speedup %.2fx -> %.2fx (no floor configured; informational)",
+			old.Speedup, new.Speedup))
+	default:
+		d.SpeedupJudged = true
+		d.SpeedupOK = new.Speedup >= speedupFloor
+		if !d.SpeedupOK {
+			d.Failed = true
+			d.Notes = append(d.Notes, fmt.Sprintf(
+				"parallel speedup %.2fx below the %.2fx floor on a %d-core box",
+				new.Speedup, speedupFloor, new.effectiveCores()))
+		} else {
+			d.Notes = append(d.Notes, fmt.Sprintf(
+				"parallel speedup %.2fx meets the %.2fx floor", new.Speedup, speedupFloor))
+		}
+	}
+	return d
+}

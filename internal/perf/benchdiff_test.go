@@ -1,0 +1,160 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchRec(trials int, seqMS, parMS int64, cores int) *BenchRecord {
+	return &BenchRecord{
+		Benchmark: "full-attack sweep", Trials: trials, Workers: cores,
+		Cores: cores, NumCPU: cores, GoMaxProcs: cores,
+		SequentialMS: seqMS, ParallelMS: parMS,
+		Speedup: float64(seqMS) / float64(parMS),
+	}
+}
+
+func TestDiffBenchPassesWithinThreshold(t *testing.T) {
+	old := benchRec(16, 560, 690, 1)
+	cur := benchRec(16, 600, 700, 1)
+	d := DiffBench(old, cur, 25, 0)
+	if d.Failed {
+		t.Fatalf("7%% regression failed a 25%% gate: %+v", d)
+	}
+	if d.SeqRegressionPct < 6 || d.SeqRegressionPct > 8 {
+		t.Fatalf("regression pct = %.2f, want ~7.1", d.SeqRegressionPct)
+	}
+}
+
+func TestDiffBenchFailsOverThreshold(t *testing.T) {
+	old := benchRec(16, 560, 690, 1)
+	cur := benchRec(16, 900, 950, 1)
+	d := DiffBench(old, cur, 25, 0)
+	if !d.Failed {
+		t.Fatalf("60%% regression passed a 25%% gate: %+v", d)
+	}
+	if !strings.Contains(strings.Join(d.Notes, "\n"), "regressed") {
+		t.Fatalf("failure note missing: %v", d.Notes)
+	}
+}
+
+func TestDiffBenchNormalizesPerTrial(t *testing.T) {
+	// Same per-trial cost at different trial counts must not register as a
+	// regression.
+	old := benchRec(16, 560, 690, 1)
+	cur := benchRec(32, 1120, 1380, 1)
+	d := DiffBench(old, cur, 5, 0)
+	if d.Failed || d.SeqRegressionPct != 0 {
+		t.Fatalf("trial-count change misread as regression: %+v", d)
+	}
+}
+
+func TestDiffBenchSkipsSpeedupOnSingleCore(t *testing.T) {
+	old := benchRec(16, 560, 690, 1)
+	cur := benchRec(16, 560, 700, 1) // 0.8x "speedup" on one core
+	d := DiffBench(old, cur, 25, 1.0)
+	if d.Failed || d.SpeedupJudged {
+		t.Fatalf("single-core speedup was judged: %+v", d)
+	}
+	if !strings.Contains(strings.Join(d.Notes, "\n"), "single-core") {
+		t.Fatalf("skip note missing: %v", d.Notes)
+	}
+}
+
+func TestDiffBenchJudgesSpeedupOnMultiCore(t *testing.T) {
+	old := benchRec(16, 560, 690, 4)
+	slow := benchRec(16, 560, 700, 4) // parallel slower on 4 cores
+	d := DiffBench(old, slow, 25, 1.0)
+	if !d.SpeedupJudged || d.SpeedupOK || !d.Failed {
+		t.Fatalf("multi-core sub-1x speedup passed a 1.0 floor: %+v", d)
+	}
+	fast := benchRec(16, 560, 200, 4)
+	d = DiffBench(old, fast, 25, 1.0)
+	if !d.SpeedupJudged || !d.SpeedupOK || d.Failed {
+		t.Fatalf("2.8x speedup failed a 1.0 floor: %+v", d)
+	}
+}
+
+func TestDiffBenchLegacyBaselineWithoutNumCPU(t *testing.T) {
+	// The committed pre-perf baseline has only "cores"; it must still diff.
+	old := &BenchRecord{Benchmark: "full-attack sweep", Trials: 16, Workers: 1,
+		Cores: 1, SequentialMS: 566, ParallelMS: 690, Speedup: 0.82}
+	cur := benchRec(16, 570, 690, 1)
+	d := DiffBench(old, cur, 25, 1.0)
+	if d.Failed || d.SpeedupJudged {
+		t.Fatalf("legacy baseline mishandled: %+v", d)
+	}
+	if !old.SingleCore() {
+		t.Fatal("legacy cores=1 not recognized as single-core")
+	}
+}
+
+func TestBenchRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	rec := benchRec(16, 560, 690, 2)
+	rec.Note = "test record"
+	rec.SequentialStages = []BenchStage{{Stage: "run", TotalMS: 400, Pct: 71.4}}
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SequentialMS != 560 || got.Note != "test record" ||
+		len(got.SequentialStages) != 1 || got.SequentialStages[0].Stage != "run" {
+		t.Fatalf("round trip mangled record: %+v", got)
+	}
+}
+
+func TestReadBenchRecordRejectsBadTrials(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	rec := benchRec(16, 560, 690, 1)
+	rec.Trials = 0
+	// Write raw (WriteFile has no validation; the reader does).
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchRecord(path); err == nil {
+		t.Fatal("trials=0 record accepted")
+	}
+}
+
+// benchSink defeats dead-allocation elimination in TestBenchStagesHottestFirst.
+var benchSink [][]byte
+
+func TestBenchStagesHottestFirst(t *testing.T) {
+	c := NewCollector()
+	w := c.Worker()
+	tok := w.BeginTrial()
+	for i := 0; i < 2; i++ {
+		sp := w.Start(StageBuild)
+		sp.Stop()
+	}
+	sp := w.Start(StageRun)
+	sink := make([][]byte, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	benchSink = sink
+	sp.Stop()
+	w.EndTrial(tok)
+	w.Close()
+	stages := c.Report().BenchStages()
+	if len(stages) == 0 {
+		t.Fatal("no bench stages")
+	}
+	for i := 1; i < len(stages); i++ {
+		if stages[i].TotalMS > stages[i-1].TotalMS {
+			t.Fatalf("bench stages not hottest-first: %+v", stages)
+		}
+	}
+	for _, s := range stages {
+		if s.Stage == "run" && s.AllocObjects == 0 {
+			t.Fatal("run stage shows zero allocs despite 1000 slices")
+		}
+	}
+}

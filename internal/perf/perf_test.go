@@ -1,0 +1,263 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"h2privacy/internal/obs"
+)
+
+// TestDisabledPerfZeroAllocs pins the subsystem's core contract: with perf
+// disarmed (nil collector), every hook on the trial and sweep hot paths —
+// worker handles, trial brackets, stage spans, reports — is a
+// zero-allocation no-op.
+func TestDisabledPerfZeroAllocs(t *testing.T) {
+	var c *Collector
+	allocs := testing.AllocsPerRun(1000, func() {
+		w := c.Worker()
+		tok := w.BeginTrial()
+		sp := w.Start(StageBuild)
+		sp.Stop()
+		sp = w.Start(StageRun)
+		sp.Stop()
+		w.EndTrial(tok)
+		w.Close()
+		dsp := c.StartStage(StagePublishDrain)
+		dsp.Stop()
+		c.BeginExperiment("fig3")
+		c.EnableLabels()
+		c.PublishTo(nil)
+		_ = c.Report()
+		_ = c.Elapsed()
+		_ = c.Trials()
+		_ = c.StageTotal(StageRun)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled perf allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// BenchmarkPerfOverhead pairs with the zero-alloc test: the disabled arm
+// must be a few nanoseconds of nil checks; the armed arm prices the real
+// instrumentation (clock reads + runtime/metrics samples per span).
+func BenchmarkPerfOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		var c *Collector
+		w := c.Worker()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tok := w.BeginTrial()
+			sp := w.Start(StageRun)
+			sp.Stop()
+			w.EndTrial(tok)
+		}
+	})
+	b.Run("armed", func(b *testing.B) {
+		c := NewCollector()
+		w := c.Worker()
+		defer w.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tok := w.BeginTrial()
+			sp := w.Start(StageRun)
+			sp.Stop()
+			w.EndTrial(tok)
+		}
+	})
+	b.Run("armed+labels", func(b *testing.B) {
+		c := NewCollector()
+		c.EnableLabels()
+		w := c.Worker()
+		defer w.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tok := w.BeginTrial()
+			sp := w.Start(StageRun)
+			sp.Stop()
+			w.EndTrial(tok)
+		}
+	})
+}
+
+// TestCollectorAccounting drives a worker through spans and checks the
+// report's stage totals, worker split and percentages hold together.
+func TestCollectorAccounting(t *testing.T) {
+	c := NewCollector()
+	w := c.Worker()
+	for i := 0; i < 3; i++ {
+		tok := w.BeginTrial()
+		sp := w.Start(StageBuild)
+		time.Sleep(time.Millisecond)
+		sp.Stop()
+		sp = w.Start(StageRun)
+		time.Sleep(2 * time.Millisecond)
+		sp.Stop()
+		w.EndTrial(tok)
+	}
+	w.Close()
+	if got := c.Trials(); got != 3 {
+		t.Fatalf("Trials = %d, want 3", got)
+	}
+	rep := c.Report()
+	if rep == nil {
+		t.Fatal("armed collector reported nil")
+	}
+	if len(rep.Stages) != int(NumStages) {
+		t.Fatalf("report has %d stages, want %d", len(rep.Stages), NumStages)
+	}
+	build := rep.StageByName("build")
+	run := rep.StageByName("run")
+	if build == nil || run == nil {
+		t.Fatal("build/run stages missing")
+	}
+	if build.Count != 3 || run.Count != 3 {
+		t.Fatalf("stage counts build=%d run=%d, want 3/3", build.Count, run.Count)
+	}
+	if build.TotalMS < 2.5 || run.TotalMS < 5.5 {
+		t.Fatalf("stage totals too small: build=%.2fms run=%.2fms", build.TotalMS, run.TotalMS)
+	}
+	if run.TotalMS <= build.TotalMS {
+		t.Fatalf("run (%.2fms) should dominate build (%.2fms)", run.TotalMS, build.TotalMS)
+	}
+	qw := rep.StageByName("queue_wait")
+	if qw == nil || qw.Count != 3 {
+		t.Fatalf("queue_wait count = %v, want 3 brackets", qw)
+	}
+	if len(rep.Workers) != 1 {
+		t.Fatalf("report has %d workers, want 1", len(rep.Workers))
+	}
+	ws := rep.Workers[0]
+	if ws.Trials != 3 || ws.BusyMS < 8.5 {
+		t.Fatalf("worker stat %+v: want 3 trials, >=8.5ms busy", ws)
+	}
+	// Percentages over accounted time sum to ~100.
+	var pct float64
+	for _, s := range rep.Stages {
+		pct += s.PctOfAccounted
+	}
+	if pct < 99.0 || pct > 101.0 {
+		t.Fatalf("stage shares sum to %.2f%%, want ~100%%", pct)
+	}
+	// The trial stages dominate worker busy time in this synthetic run.
+	if acc := rep.AccountedMS(); acc < 0.9*rep.BusyMS() {
+		t.Fatalf("accounted %.2fms < 90%% of busy %.2fms", acc, rep.BusyMS())
+	}
+}
+
+// TestReportStripWallClock: stripped reports keep only the stage skeleton
+// and trial count, and two stripped same-shape reports render identically.
+func TestReportStripWallClock(t *testing.T) {
+	c := NewCollector()
+	w := c.Worker()
+	tok := w.BeginTrial()
+	sp := w.Start(StageRun)
+	time.Sleep(time.Millisecond)
+	sp.Stop()
+	w.EndTrial(tok)
+	w.Close()
+	rep := c.Report()
+	rep.StripWallClock()
+	if rep.GoMaxProcs != 0 || rep.NumCPU != 0 || rep.WallMS != 0 || rep.Workers != nil {
+		t.Fatalf("machine/wall fields survived strip: %+v", rep)
+	}
+	for _, s := range rep.Stages {
+		if s.Count != 0 || s.TotalMS != 0 || s.MeanUS != 0 ||
+			s.AllocObjects != 0 || s.AllocBytes != 0 || s.PctOfAccounted != 0 {
+			t.Fatalf("stage %s carries wall residue: %+v", s.Stage, s)
+		}
+	}
+	if rep.Trials != 1 {
+		t.Fatalf("trial count stripped too: %d", rep.Trials)
+	}
+}
+
+// TestPublishTo: publishing mirrors spans into the registry with the full
+// pre-created stage series set, under the sweep_ strippable prefix.
+func TestPublishTo(t *testing.T) {
+	c := NewCollector()
+	reg := obs.NewRegistry()
+	c.PublishTo(reg)
+	w := c.Worker()
+	tok := w.BeginTrial()
+	sp := w.Start(StageCapture)
+	sp.Stop()
+	w.EndTrial(tok)
+	w.Close()
+	snap := reg.Snapshot()
+	byName := map[string]obs.FamilySnap{}
+	for _, f := range snap.Families {
+		if !strings.HasPrefix(f.Name, MetricsPrefix) {
+			t.Fatalf("perf published family %q outside the %q prefix", f.Name, MetricsPrefix)
+		}
+		byName[f.Name] = f
+	}
+	sec, ok := byName["sweep_stage_seconds"]
+	if !ok {
+		t.Fatalf("sweep_stage_seconds missing; have %v", snap.Families)
+	}
+	if len(sec.Series) != int(NumStages) {
+		t.Fatalf("sweep_stage_seconds has %d series, want %d pre-created", len(sec.Series), NumStages)
+	}
+	var captured bool
+	for _, s := range sec.Series {
+		if len(s.LabelValues) == 1 && s.LabelValues[0] == "capture" && s.Count == 1 {
+			captured = true
+		}
+	}
+	if !captured {
+		t.Fatal("capture span not observed in sweep_stage_seconds")
+	}
+	for _, name := range []string{"sweep_stage_allocs", "sweep_worker_busy_seconds", "sweep_worker_idle_seconds"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("family %s missing", name)
+		}
+	}
+}
+
+// TestWriteText smoke-tests the human rendering: header, hottest-first
+// table, worker line.
+func TestWriteText(t *testing.T) {
+	c := NewCollector()
+	w := c.Worker()
+	tok := w.BeginTrial()
+	sp := w.Start(StageRun)
+	time.Sleep(2 * time.Millisecond)
+	sp.Stop()
+	sp = w.Start(StageBuild)
+	sp.Stop()
+	w.EndTrial(tok)
+	w.Close()
+	var buf bytes.Buffer
+	c.Report().WriteText(&buf, 3)
+	out := buf.String()
+	for _, want := range []string{"per-stage cost attribution", "stage", "run", "workers: 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text report missing %q:\n%s", want, out)
+		}
+	}
+	// Hottest first: "run" slept, so it precedes "build".
+	if strings.Index(out, "\n  run") > strings.Index(out, "\n  build") && strings.Contains(out, "\n  build") {
+		t.Fatalf("table not sorted hottest-first:\n%s", out)
+	}
+}
+
+// TestStageNames covers the enum's string round-trip.
+func TestStageNames(t *testing.T) {
+	names := StageNames()
+	if len(names) != int(NumStages) {
+		t.Fatalf("StageNames has %d entries, want %d", len(names), NumStages)
+	}
+	seen := map[string]bool{}
+	for s := Stage(0); s < NumStages; s++ {
+		n := s.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Fatalf("stage %d has bad/duplicate name %q", s, n)
+		}
+		seen[n] = true
+	}
+	if Stage(200).String() != "unknown" {
+		t.Fatal("out-of-range stage must name unknown")
+	}
+}

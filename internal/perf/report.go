@@ -1,0 +1,231 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Report is a point-in-time snapshot of a Collector: the machine it ran
+// on, where the run's wall time and allocations went by stage, and how the
+// worker pool spent its time. Everything in it is host wall-clock or
+// machine-dependent, so the manifest's StripWallClock zeroes all of it
+// except the stage names and trial count.
+type Report struct {
+	GoVersion string `json:"go_version"`
+	// GoMaxProcs/NumCPU/WallMS are omitempty so a stripped report drops
+	// them from the JSON entirely rather than carrying misleading zeros.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	NumCPU     int `json:"numcpu,omitempty"`
+	// Trials counts completed trial bodies (a paired sweep's base+variant
+	// pair is one body).
+	Trials int64 `json:"trials"`
+	// WallMS is the collector's lifetime at snapshot.
+	WallMS int64 `json:"wall_ms,omitempty"`
+	// Stages is every stage in lifecycle order (not hotness order — the
+	// text renderer sorts its top-N view).
+	Stages []StageStat `json:"stages"`
+	// Workers is the closed workers' busy/idle split, by worker id.
+	Workers []WorkerStat `json:"workers,omitempty"`
+}
+
+// StageStat is one stage's aggregate accounting.
+type StageStat struct {
+	Stage string `json:"stage"`
+	Count int64  `json:"count"`
+	// TotalMS is wall time summed over every span of this stage.
+	TotalMS float64 `json:"total_ms"`
+	// MeanUS is TotalMS/Count in microseconds (0 when Count is 0).
+	MeanUS float64 `json:"mean_us"`
+	// AllocObjects / AllocBytes are runtime/metrics deltas summed over the
+	// stage's spans — process-global sampling, exact at workers=1.
+	AllocObjects int64 `json:"alloc_objects"`
+	AllocBytes   int64 `json:"alloc_bytes"`
+	// PctOfAccounted is this stage's share of all accounted stage time.
+	PctOfAccounted float64 `json:"pct_of_accounted"`
+}
+
+// WorkerStat is one worker's busy/idle split.
+type WorkerStat struct {
+	ID     int     `json:"id"`
+	Trials int     `json:"trials"`
+	BusyMS float64 `json:"busy_ms"`
+	IdleMS float64 `json:"idle_ms"`
+}
+
+// Report snapshots the collector. Nil-safe: the nil collector reports nil.
+func (c *Collector) Report() *Report {
+	if c == nil {
+		return nil
+	}
+	r := &Report{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: gomaxprocs(),
+		NumCPU:     runtime.NumCPU(),
+		Trials:     c.trials.Load(),
+		WallMS:     time.Since(c.started).Milliseconds(),
+	}
+	var totalNs int64
+	for s := Stage(0); s < NumStages; s++ {
+		totalNs += c.stages[s].ns.Load()
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		agg := &c.stages[s]
+		count, ns := agg.count.Load(), agg.ns.Load()
+		st := StageStat{
+			Stage:        s.String(),
+			Count:        count,
+			TotalMS:      float64(ns) / float64(time.Millisecond),
+			AllocObjects: agg.allocObjs.Load(),
+			AllocBytes:   agg.allocBytes.Load(),
+		}
+		if count > 0 {
+			st.MeanUS = float64(ns) / float64(count) / float64(time.Microsecond)
+		}
+		if totalNs > 0 {
+			st.PctOfAccounted = 100 * float64(ns) / float64(totalNs)
+		}
+		r.Stages = append(r.Stages, st)
+	}
+	c.mu.Lock()
+	r.Workers = append([]WorkerStat(nil), c.workers...)
+	c.mu.Unlock()
+	sort.Slice(r.Workers, func(i, j int) bool { return r.Workers[i].ID < r.Workers[j].ID })
+	return r
+}
+
+// StripWallClock zeroes every wall-clock and machine-dependent field,
+// leaving only the stage skeleton and the (seed-determined) trial count —
+// the form that must serialize byte-identically at any worker count.
+func (r *Report) StripWallClock() {
+	if r == nil {
+		return
+	}
+	r.GoMaxProcs = 0
+	r.NumCPU = 0
+	r.WallMS = 0
+	r.Workers = nil
+	for i := range r.Stages {
+		s := &r.Stages[i]
+		s.Count = 0
+		s.TotalMS = 0
+		s.MeanUS = 0
+		s.AllocObjects = 0
+		s.AllocBytes = 0
+		s.PctOfAccounted = 0
+	}
+}
+
+// WriteJSON serializes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report as JSON to path.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteText renders the human report: a run header, the top-N hot-stage
+// table sorted by total time, and the worker pool's busy/idle split. topN
+// <= 0 shows every stage.
+func (r *Report) WriteText(w io.Writer, topN int) {
+	if r == nil {
+		return
+	}
+	fmt.Fprintf(w, "== perf: per-stage cost attribution ==\n")
+	fmt.Fprintf(w, "  %d trial(s) in %d ms wall — %s, gomaxprocs %d, numcpu %d\n",
+		r.Trials, r.WallMS, r.GoVersion, r.GoMaxProcs, r.NumCPU)
+
+	stages := append([]StageStat(nil), r.Stages...)
+	sort.SliceStable(stages, func(i, j int) bool { return stages[i].TotalMS > stages[j].TotalMS })
+	if topN > 0 && topN < len(stages) {
+		stages = stages[:topN]
+	}
+	fmt.Fprintf(w, "  %-14s %8s %12s %12s %14s %14s %7s\n",
+		"stage", "count", "total ms", "mean µs", "alloc objs", "alloc bytes", "share")
+	for _, s := range stages {
+		fmt.Fprintf(w, "  %-14s %8d %12.2f %12.1f %14d %14d %6.1f%%\n",
+			s.Stage, s.Count, s.TotalMS, s.MeanUS, s.AllocObjects, s.AllocBytes, s.PctOfAccounted)
+	}
+	if len(r.Workers) > 0 {
+		var busy, idle float64
+		for _, ws := range r.Workers {
+			busy += ws.BusyMS
+			idle += ws.IdleMS
+		}
+		fmt.Fprintf(w, "  workers: %d — busy %.1f ms, idle %.1f ms", len(r.Workers), busy, idle)
+		if busy+idle > 0 {
+			fmt.Fprintf(w, " (%.0f%% utilization)", 100*busy/(busy+idle))
+		}
+		fmt.Fprintln(w)
+	}
+	if r.GoMaxProcs > 1 {
+		fmt.Fprintln(w, "  note: alloc deltas sample process-global counters; per-stage allocation")
+		fmt.Fprintln(w, "        attribution is exact only at workers=1 (totals remain correct).")
+	}
+}
+
+// StageByName finds a stage entry (nil when absent) — convenience for
+// tests and the bench recorder.
+func (r *Report) StageByName(name string) *StageStat {
+	if r == nil {
+		return nil
+	}
+	for i := range r.Stages {
+		if r.Stages[i].Stage == name {
+			return &r.Stages[i]
+		}
+	}
+	return nil
+}
+
+// AccountedMS sums the named stages' total wall time; with no names it
+// sums the five trial stages (build/run/capture/check/publish) — the
+// numerator of the "stage breakdown covers >=90% of trial wall time"
+// acceptance check.
+func (r *Report) AccountedMS(names ...string) float64 {
+	if r == nil {
+		return 0
+	}
+	if len(names) == 0 {
+		names = []string{
+			StageBuild.String(), StageRun.String(), StageCapture.String(),
+			StageCheck.String(), StagePublish.String(),
+		}
+	}
+	var total float64
+	for _, n := range names {
+		if s := r.StageByName(n); s != nil {
+			total += s.TotalMS
+		}
+	}
+	return total
+}
+
+// BusyMS sums worker trial-body time — the denominator of the coverage
+// check (stage spans live inside trial bodies).
+func (r *Report) BusyMS() float64 {
+	if r == nil {
+		return 0
+	}
+	var total float64
+	for _, ws := range r.Workers {
+		total += ws.BusyMS
+	}
+	return total
+}
