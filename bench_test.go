@@ -10,6 +10,7 @@ import (
 	"h2privacy/internal/check"
 	"h2privacy/internal/core"
 	"h2privacy/internal/experiment"
+	"h2privacy/internal/flowseq"
 	"h2privacy/internal/h2"
 	"h2privacy/internal/hpack"
 	"h2privacy/internal/metrics"
@@ -381,5 +382,78 @@ func TestDisabledTraceZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled trace path allocates %.1f bytes-producing allocs per op, want 0", allocs)
+	}
+}
+
+// --- flowseq subsystem ---
+
+// BenchmarkFlowseqOverhead mirrors BenchmarkTraceOverhead for the flow
+// event-sequence analyzer: the record/frame hot paths with analytics off
+// (nil analyzer, the default for every benchmark above) and armed, plus a
+// fully analyzed attack trial against BenchmarkTrialFullAttack's baseline.
+func BenchmarkFlowseqOverhead(b *testing.B) {
+	b.Run("hooks-disabled", func(b *testing.B) {
+		var fl *flowseq.Analyzer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if fl.Enabled() {
+				fl.Record(i%2 == 0, 1500, 1460, false, false, false)
+			}
+			if fl.Enabled() {
+				fl.H2Frame(true, false, 0x0, 1, 1200, 0)
+			}
+		}
+	})
+	b.Run("hooks-armed", func(b *testing.B) {
+		fl := flowseq.New(0, flowseq.NewCollector())
+		fl.Request("obj", 1, "initial")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if fl.Enabled() {
+				fl.Record(i%2 == 0, 1500, 1460, false, false, false)
+			}
+			if fl.Enabled() {
+				fl.H2Frame(true, false, 0x0, 1, 1200, 0)
+			}
+		}
+		if ff := fl.Finalize(); len(ff.Streams) != 1 {
+			b.Fatal("armed analyzer tracked nothing")
+		}
+	})
+	b.Run("trial-analyzed", func(b *testing.B) {
+		plan := adversary.DefaultPlan()
+		col := flowseq.NewCollector()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := core.RunTrial(core.TrialConfig{Seed: int64(i), Attack: &plan,
+				Flows: flowseq.New(i, col)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Features == nil || len(res.Features.Streams) == 0 {
+				b.Fatal("analyzed trial extracted nothing")
+			}
+		}
+	})
+}
+
+// TestDisabledFlowseqZeroAllocs pins the flowseq contract: a nil
+// *flowseq.Analyzer (the default everywhere) makes every hook a
+// nil-receiver no-op, so a feature-capable build runs the simulation with
+// zero extra allocations when -features is off.
+func TestDisabledFlowseqZeroAllocs(t *testing.T) {
+	var fl *flowseq.Analyzer
+	if fl.Enabled() {
+		t.Fatal("nil analyzer reported enabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		fl.Record(true, 1500, 1460, false, false, false)
+		fl.H2Frame(true, true, 0x0, 1, 1200, 0)
+		fl.H2Frame(true, false, 0x1, 1, 30, 0x4)
+		fl.Request("obj", 1, "initial")
+		fl.ObjectDone("obj", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled flowseq path allocates %.1f allocs per op, want 0", allocs)
 	}
 }

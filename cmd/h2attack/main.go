@@ -5,6 +5,7 @@
 //	h2attack [-seed N] [-jitter1 50ms] [-jitter3 80ms] [-drop 0.8] [-bw 800]
 //	         [-scenario NAME] [-adaptive] [-trace out.json]
 //	         [-trace-format chrome|jsonl|summary] [-timeline]
+//	         [-features] [-features-out features.csv]
 //	         [-debug-addr :9090] [-hold 30s]
 //	         [-perf] [-perf-out perf.json] [-cpuprofile cpu.pprof] [-memprofile heap.pprof]
 //	h2attack -trials 50 [-parallel W]   (aggregate success over seeds N..N+49)
@@ -24,6 +25,7 @@ import (
 	"h2privacy/internal/cliutil"
 	"h2privacy/internal/core"
 	"h2privacy/internal/experiment"
+	"h2privacy/internal/flowseq"
 	"h2privacy/internal/metrics"
 	"h2privacy/internal/netsim"
 	"h2privacy/internal/obs"
@@ -54,6 +56,8 @@ func main() {
 	cf.RegisterCheck(flag.CommandLine)
 	var pf cliutil.PerfFlags
 	pf.RegisterPerf(flag.CommandLine)
+	var ffl cliutil.FeatureFlags
+	ffl.RegisterFeatures(flag.CommandLine)
 	flag.Parse()
 
 	if *listScenarios {
@@ -113,7 +117,12 @@ func main() {
 		reg = obs.NewRegistry()
 		obs.PublishTrace(reg, tracer)
 	}
-	ds, err := df.Serve(reg, tracer, os.Stderr, "h2attack")
+	// -features/-features-out arm flowseq event-sequence analytics; with
+	// -debug-addr the collector is forced so /debug/flows serves live burst
+	// tables and the flow_* families land in the registry.
+	fcol := ffl.NewCollector(df.Armed())
+	fcol.PublishTo(reg)
+	ds, err := df.Serve(reg, tracer, fcol, os.Stderr, "h2attack")
 	if err != nil {
 		fatal(err)
 	}
@@ -145,11 +154,14 @@ func main() {
 		if *pcapPath != "" || *timeline {
 			fmt.Fprintln(os.Stderr, "h2attack: -pcap and -timeline apply to single trials; ignoring with -trials >1")
 		}
-		if err := runSweep(*seed, *trials, *parallel, plan, *scenario, tracer, reg, rec, col); err != nil {
+		if err := runSweep(*seed, *trials, *parallel, plan, *scenario, tracer, reg, rec, col, fcol); err != nil {
 			fatal(err)
 		}
 		finishPerf()
 		if err := tf.Export(tracer, os.Stdout, "h2attack"); err != nil {
+			fatal(err)
+		}
+		if err := ffl.Export(fcol, os.Stdout, "h2attack"); err != nil {
 			fatal(err)
 		}
 		exitChecks(cf, rec, ds, *hold)
@@ -163,10 +175,14 @@ func main() {
 	// Single-trial path: the testbed is assembled by hand (not through
 	// core.RunTrial), so the build stage is bracketed here; Run attributes
 	// the rest through cfg.Perf. With col nil, pw is the no-op handle.
+	var fl *flowseq.Analyzer
+	if fcol != nil {
+		fl = flowseq.New(0, fcol)
+	}
 	pw := col.Worker()
 	tok := pw.BeginTrial()
 	sp := pw.Start(perf.StageBuild)
-	tb, err := core.NewTestbed(core.TrialConfig{Seed: *seed, Attack: &plan, Scenario: *scenario, Trace: tracer, Metrics: reg, Check: ck, Perf: pw})
+	tb, err := core.NewTestbed(core.TrialConfig{Seed: *seed, Attack: &plan, Scenario: *scenario, Trace: tracer, Metrics: reg, Check: ck, Flows: fl, Perf: pw})
 	sp.Stop()
 	if err != nil {
 		fatal(err)
@@ -185,6 +201,9 @@ func main() {
 		fmt.Printf("wrote %d observed packets to %s\n\n", len(tb.Monitor.Packets()), *pcapPath)
 	}
 	if err := tf.Export(tracer, os.Stdout, "h2attack"); err != nil {
+		fatal(err)
+	}
+	if err := ffl.Export(fcol, os.Stdout, "h2attack"); err != nil {
 		fatal(err)
 	}
 
@@ -250,7 +269,7 @@ func exitChecks(cf cliutil.CheckFlags, rec *check.Recorder, ds *obs.DebugServer,
 // runSweep is the -trials >1 path: n same-plan trials over the sweep
 // engine, aggregated exactly as table2 aggregates (HTML identified, ranks
 // correct, broken loads).
-func runSweep(seed int64, n, workers int, plan adversary.AttackPlan, scenario string, tracer *trace.Tracer, reg *obs.Registry, rec *check.Recorder, col *perf.Collector) error {
+func runSweep(seed int64, n, workers int, plan adversary.AttackPlan, scenario string, tracer *trace.Tracer, reg *obs.Registry, rec *check.Recorder, col *perf.Collector, fcol *flowseq.Collector) error {
 	opts := experiment.Options{
 		Trials:   n,
 		BaseSeed: seed,
@@ -259,6 +278,7 @@ func runSweep(seed int64, n, workers int, plan adversary.AttackPlan, scenario st
 		Metrics:  reg,
 		Check:    rec,
 		Perf:     col,
+		Features: fcol,
 		Progress: experiment.NewProgress(os.Stderr),
 	}
 	opts.Progress.Start("attack", n)

@@ -7,6 +7,7 @@
 //	h2bench [-trials N] [-seed S] table1 fig5 table2 …
 //	h2bench [-trace out.json] [-trace-format chrome|jsonl|summary] table2
 //	h2bench [-manifest run.json] [-debug-addr :9090] [-quiet] all
+//	h2bench [-features] [-features-out features.csv] table2
 //	h2bench [-perf] [-perf-out perf.json] [-cpuprofile cpu.pprof] [-memprofile heap.pprof] all
 //	h2bench -list
 package main
@@ -44,6 +45,8 @@ func run() int {
 	cf.RegisterCheck(flag.CommandLine)
 	var pf cliutil.PerfFlags
 	pf.RegisterPerf(flag.CommandLine)
+	var ffl cliutil.FeatureFlags
+	ffl.RegisterFeatures(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: h2bench [flags] all|<experiment-id>...\nexperiments: %s\n", strings.Join(experiment.IDs(), " "))
 		flag.PrintDefaults()
@@ -88,7 +91,13 @@ func run() int {
 	col := pf.NewCollector()
 	opts.Perf = col
 	col.PublishTo(opts.Metrics)
-	ds, err := df.Serve(opts.Metrics, tracer, os.Stderr, "h2bench")
+	// -features/-features-out arm flowseq analytics on every trial; with
+	// -debug-addr the collector is forced so /debug/flows serves live burst
+	// tables mid-sweep and the flow_* families land in the registry.
+	fcol := ffl.NewCollector(df.Armed())
+	opts.Features = fcol
+	fcol.PublishTo(opts.Metrics)
+	ds, err := df.Serve(opts.Metrics, tracer, fcol, os.Stderr, "h2bench")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "h2bench:", err)
 		return 1
@@ -151,9 +160,16 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "h2bench:", err)
 		return 1
 	}
+	if err := ffl.Export(fcol, os.Stderr, "h2bench"); err != nil {
+		fmt.Fprintln(os.Stderr, "h2bench:", err)
+		return 1
+	}
 	if manifest != nil {
 		manifest.Finish(opts.Metrics)
 		manifest.FinishPerf(col)
+		if ffl.Armed() {
+			manifest.FinishFeatures(fcol, ffl.OutPath)
+		}
 		if err := manifest.WriteFile(*manifestPath); err != nil {
 			fmt.Fprintln(os.Stderr, "h2bench:", err)
 			return 1

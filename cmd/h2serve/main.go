@@ -3,7 +3,7 @@
 // Poke it with examples/realtcp's client or any same-stack client.
 //
 //	h2serve [-addr 127.0.0.1:8443] [-trace out.json] [-trace-format chrome|jsonl|summary]
-//	        [-debug-addr :9090]
+//	        [-features] [-features-out features.jsonl] [-debug-addr :9090]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 
 	"h2privacy/internal/check"
 	"h2privacy/internal/cliutil"
+	"h2privacy/internal/flowseq"
 	"h2privacy/internal/h2"
 	"h2privacy/internal/h2/h2sync"
 	"h2privacy/internal/obs"
@@ -30,14 +31,16 @@ func main() {
 	df.RegisterDebug(flag.CommandLine)
 	var cf cliutil.CheckFlags
 	cf.RegisterCheck(flag.CommandLine)
+	var ffl cliutil.FeatureFlags
+	ffl.RegisterFeatures(flag.CommandLine)
 	flag.Parse()
-	if err := run(*addr, tf, df, cf); err != nil {
+	if err := run(*addr, tf, df, cf, ffl); err != nil {
 		fmt.Fprintln(os.Stderr, "h2serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, tf cliutil.TraceFlags, df cliutil.DebugFlags, cf cliutil.CheckFlags) error {
+func run(addr string, tf cliutil.TraceFlags, df cliutil.DebugFlags, cf cliutil.CheckFlags, ffl cliutil.FeatureFlags) error {
 	site := website.ISideWith()
 	// Real-TCP serving has no virtual clock and one goroutine per stream,
 	// so the tracer stamps wall time and takes the mutex path. The trace
@@ -58,12 +61,31 @@ func run(addr string, tf cliutil.TraceFlags, df cliutil.DebugFlags, cf cliutil.C
 		ck = check.New(0, 0, rec)
 		ck.Concurrent()
 	}
-	if tf.Armed() || cf.Armed() {
+	// -features/-features-out arm flowseq analytics on the server's frames
+	// (forced by -debug-addr so /debug/flows serves live). One concurrent
+	// analyzer covers the whole process lifetime: real connections share it,
+	// stamped with wall time and the listen address as the flow ID. Here the
+	// server's connection is the wired endpoint (the testbed wires the
+	// browser's), so direction still resolves correctly.
+	fcol := ffl.NewCollector(df.Armed())
+	var fl *flowseq.Analyzer
+	if fcol != nil {
+		fl = flowseq.New(0, fcol)
+		fl.Concurrent()
+		fl.SetClock(flowseq.WallClock())
+		fl.SetFlow(addr)
+	}
+	if tf.Armed() || cf.Armed() || ffl.Armed() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			<-sig
 			if err := tf.Export(tracer, os.Stderr, "h2serve"); err != nil {
+				fmt.Fprintln(os.Stderr, "h2serve:", err)
+				os.Exit(1)
+			}
+			fl.Finalize()
+			if err := ffl.Export(fcol, os.Stderr, "h2serve"); err != nil {
 				fmt.Fprintln(os.Stderr, "h2serve:", err)
 				os.Exit(1)
 			}
@@ -85,7 +107,8 @@ func run(addr string, tf cliutil.TraceFlags, df cliutil.DebugFlags, cf cliutil.C
 		mRequests = reg.CounterVec("h2privacy_server_requests_total",
 			"Requests served, by response status.", "status")
 	}
-	ds, err := df.Serve(reg, tracer, os.Stderr, "h2serve")
+	fcol.PublishTo(reg)
+	ds, err := df.Serve(reg, tracer, fcol, os.Stderr, "h2serve")
 	if err != nil {
 		return err
 	}
@@ -93,7 +116,7 @@ func run(addr string, tf cliutil.TraceFlags, df cliutil.DebugFlags, cf cliutil.C
 		defer ds.Close()
 	}
 	srv := &h2sync.Server{
-		Config: h2.Config{Tracer: tracer, TraceName: "server", Check: ck},
+		Config: h2.Config{Tracer: tracer, TraceName: "server", Check: ck, Flows: fl},
 		Handler: func(w *h2sync.ResponseWriter, r *h2sync.Request) {
 			obj := site.Lookup(r.Path)
 			if obj == nil {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"h2privacy/internal/check"
+	"h2privacy/internal/flowseq"
 	"h2privacy/internal/netsim"
 	"h2privacy/internal/tcpsim"
 	"h2privacy/internal/tlsrec"
@@ -132,6 +133,7 @@ type Monitor struct {
 
 	tr    *trace.Tracer
 	ctGET *trace.Counter
+	fl    *flowseq.Analyzer
 }
 
 var _ netsim.Tap = (*Monitor)(nil)
@@ -170,6 +172,12 @@ func (m *Monitor) SetTracer(tr *trace.Tracer) {
 	m.tr = tr
 	m.ctGET = tr.Counter(trace.LayerMonitor, "gets")
 }
+
+// SetFlows arms the flowseq record feed: every parsed record streams into
+// the analyzer's wire-side burst tables and clean-slate span detector as
+// it is observed. Nil (the default) keeps the tap feature-free at zero
+// cost.
+func (m *Monitor) SetFlows(fl *flowseq.Analyzer) { m.fl = fl }
 
 // SetChecker arms reassembly invariant checks on both direction streams:
 // taint arrays stay parallel to the byte buffer, the reassembled stream has
@@ -255,6 +263,10 @@ func (m *Monitor) Observe(ev netsim.PacketEvent) {
 			}
 		}
 		m.records = append(m.records, rec)
+		if m.fl.Enabled() {
+			m.fl.Record(rec.Dir == netsim.ClientToServer, rec.WireLen, rec.PlainLen,
+				rec.IsGET, rec.IsControl, rec.Tainted)
+		}
 		if rec.IsGET {
 			m.ctGET.Inc()
 			if m.tr.Enabled() {

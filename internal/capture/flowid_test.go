@@ -1,0 +1,60 @@
+package capture
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"h2privacy/internal/netsim"
+	"h2privacy/internal/tcpsim"
+	"h2privacy/internal/trace"
+)
+
+// TestFlowIDJoinsExportedViews pins FlowID() as the shared join key across
+// the three views of the simulated connection: the 5-tuple WritePcap
+// synthesizes into exported packets, the "flow" metadata core.NewTestbed
+// stamps into the Chrome trace's otherData, and (by construction) every
+// flowseq feature row's flow column. If the synthesized addressing ever
+// drifts from the string, joining a feature CSV against a pcap in
+// Wireshark silently stops matching — so the test rebuilds the ID from
+// the exported packet bytes themselves.
+func TestFlowIDJoinsExportedViews(t *testing.T) {
+	recs := []PacketRecord{
+		{Time: time.Second, Dir: netsim.ClientToServer, Action: netsim.ActionForwarded,
+			Seg: &tcpsim.Segment{Flags: tcpsim.FlagACK, Seq: 1, Ack: 1, Payload: []byte("req")}},
+	}
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	// First record's frame: 24-byte global header + 16-byte record header.
+	frame := buf.Bytes()[24+16:]
+	// Ethernet is 14 bytes; IPv4 src/dst live at IP header offsets 12/16,
+	// TCP ports at the first 4 bytes after the 20-byte IP header.
+	src := frame[26:30]
+	dst := frame[30:34]
+	srcPort := binary.BigEndian.Uint16(frame[34:36])
+	dstPort := binary.BigEndian.Uint16(frame[36:38])
+	fromWire := fmt.Sprintf("%d.%d.%d.%d:%d-%d.%d.%d.%d:%d",
+		src[0], src[1], src[2], src[3], srcPort,
+		dst[0], dst[1], dst[2], dst[3], dstPort)
+	if fromWire != FlowID() {
+		t.Fatalf("pcap addressing %q != FlowID() %q", fromWire, FlowID())
+	}
+
+	// The Chrome-trace view: the testbed stamps the same ID into the
+	// trace's otherData via SetMeta("flow", capture.FlowID()).
+	tr := trace.New(nil, trace.Config{})
+	tr.SetMeta("flow", FlowID())
+	var chrome bytes.Buffer
+	if err := tr.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%q:%q", "flow", FlowID())
+	if !strings.Contains(chrome.String(), want) {
+		t.Fatalf("Chrome trace otherData missing %s:\n%s", want, chrome.String())
+	}
+}

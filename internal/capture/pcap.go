@@ -42,6 +42,18 @@ var (
 	serverM  = [6]byte{0x02, 0, 0, 0, 0, 1}
 )
 
+// FlowID returns the canonical identifier of the (single) simulated flow,
+// built from the same synthesized 5-tuple WritePcap stamps into exported
+// packets. It is the shared join key across the three views of one
+// connection: the pcap's addressing, the Chrome-trace metadata
+// (core.NewTestbed stamps it via trace.Tracer.SetMeta) and every flowseq
+// feature row's "flow" column.
+func FlowID() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d-%d.%d.%d.%d:%d",
+		clientIP[0], clientIP[1], clientIP[2], clientIP[3], clientPort,
+		serverIP[0], serverIP[1], serverIP[2], serverIP[3], serverPort)
+}
+
 // WritePcap serializes the packet log as a classic libpcap capture
 // (Ethernet + IPv4 + TCP, checksums zeroed) that Wireshark and tshark can
 // open — the artifact the paper's monitor produced. Only forwarded

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"h2privacy/internal/check"
+	"h2privacy/internal/flowseq"
 	"h2privacy/internal/obs"
 	"h2privacy/internal/perf"
 	"h2privacy/internal/trace"
@@ -276,6 +277,80 @@ func (pf *PerfFlags) Report(c *perf.Collector, logw io.Writer, tool string) erro
 	return nil
 }
 
+// FeatureFlags holds the -features / -features-out pair: the flowseq
+// event-sequence analytics (per-stream timelines, burst tables, size/gap
+// features, clean-slate spans).
+type FeatureFlags struct {
+	Enabled bool
+	OutPath string
+}
+
+// RegisterFeatures adds -features and -features-out to fs.
+func (ff *FeatureFlags) RegisterFeatures(fs *flag.FlagSet) {
+	fs.BoolVar(&ff.Enabled, "features", false,
+		"extract per-stream flow features (timelines, burst tables, clean-slate spans) and print them on exit")
+	fs.StringVar(&ff.OutPath, "features-out", "",
+		"write the feature rows to this file (.csv → stream CSV, else JSONL with stream/burst/span tables); implies -features extraction")
+}
+
+// Armed reports whether either feature flag was given.
+func (ff *FeatureFlags) Armed() bool { return ff.Enabled || ff.OutPath != "" }
+
+// NewCollector returns a flowseq collector when a feature flag was given or
+// force is set — commands force one when -debug-addr is up, so
+// /debug/flows serves live burst tables even without an export. Nil when
+// extraction is unwanted (the zero-cost disabled path: every downstream
+// analyzer stays nil). The collector's receipt is published as the
+// "features" expvar on /debug/vars.
+func (ff *FeatureFlags) NewCollector(force bool) *flowseq.Collector {
+	if !ff.Armed() && !force {
+		return nil
+	}
+	col := flowseq.NewCollector()
+	out := ff.OutPath
+	obs.PublishFeaturesVar(func() any { return col.Receipt(out) })
+	return col
+}
+
+// Export prints the burst tables to logw when -features was given and
+// writes the feature rows to -features-out when set (.csv → the stream
+// CSV, anything else → the three-table JSONL), with a receipt line. A nil
+// collector is a no-op.
+func (ff *FeatureFlags) Export(col *flowseq.Collector, logw io.Writer, tool string) error {
+	if col == nil {
+		return nil
+	}
+	if ff.Enabled && logw != nil {
+		if err := col.WriteTable(logw); err != nil {
+			return err
+		}
+	}
+	if ff.OutPath == "" {
+		return nil
+	}
+	format := flowseq.FormatJSONL
+	if strings.HasSuffix(ff.OutPath, ".csv") {
+		format = flowseq.FormatCSV
+	}
+	f, err := os.Create(ff.OutPath)
+	if err != nil {
+		return err
+	}
+	if err := col.WriteFlows(f, format); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if logw != nil {
+		r := col.Receipt(ff.OutPath)
+		fmt.Fprintf(logw, "%s: wrote %d stream / %d burst / %d span feature rows (schema %d, %s) to %s\n",
+			tool, r.StreamRows, r.BurstRows, r.SpanRows, r.Schema, format, ff.OutPath)
+	}
+	return nil
+}
+
 // DebugFlags holds -debug-addr.
 type DebugFlags struct {
 	Addr string
@@ -284,26 +359,30 @@ type DebugFlags struct {
 // RegisterDebug adds -debug-addr to fs.
 func (df *DebugFlags) RegisterDebug(fs *flag.FlagSet) {
 	fs.StringVar(&df.Addr, "debug-addr", "",
-		"serve /metrics, /healthz, /debug/pprof and /debug/trace on this address (e.g. :9090; empty disables)")
+		"serve /metrics, /healthz, /debug/pprof, /debug/trace and /debug/flows on this address (e.g. :9090; empty disables)")
 }
 
 // Armed reports whether -debug-addr was given.
 func (df *DebugFlags) Armed() bool { return df.Addr != "" }
 
 // Serve starts the debug HTTP server on -debug-addr with the given
-// registry and tracer, printing the resolved endpoint to logw. Returns
-// nil, nil when the flag is unset; the caller Closes the server on exit.
-func (df *DebugFlags) Serve(reg *obs.Registry, tr *trace.Tracer, logw io.Writer, tool string) (*obs.DebugServer, error) {
+// registry, tracer and flow source (nil flows → /debug/flows 404s with a
+// hint), printing the resolved endpoint to logw. Returns nil, nil when the
+// flag is unset; the caller Closes the server on exit.
+func (df *DebugFlags) Serve(reg *obs.Registry, tr *trace.Tracer, flows *flowseq.Collector, logw io.Writer, tool string) (*obs.DebugServer, error) {
 	if !df.Armed() {
 		return nil, nil
 	}
 	ds := &obs.DebugServer{Registry: reg, Tracer: tr}
+	if flows != nil {
+		ds.Flows = flows
+	}
 	addr, err := ds.Start(df.Addr)
 	if err != nil {
 		return nil, err
 	}
 	if logw != nil {
-		fmt.Fprintf(logw, "%s: debug endpoints on http://%s/ (/metrics /healthz /debug/pprof /debug/trace)\n",
+		fmt.Fprintf(logw, "%s: debug endpoints on http://%s/ (/metrics /healthz /debug/pprof /debug/trace /debug/flows)\n",
 			tool, addr)
 	}
 	return ds, nil

@@ -96,7 +96,7 @@ func TestDebugFlagsServe(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Counter("x_total", "").Inc()
 	var log strings.Builder
-	ds, err := df.Serve(reg, nil, &log, "testtool")
+	ds, err := df.Serve(reg, nil, nil, &log, "testtool")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestDebugFlagsServe(t *testing.T) {
 
 func TestDebugFlagsDisarmed(t *testing.T) {
 	var df DebugFlags
-	ds, err := df.Serve(obs.NewRegistry(), nil, io.Discard, "t")
+	ds, err := df.Serve(obs.NewRegistry(), nil, nil, io.Discard, "t")
 	if err != nil || ds != nil {
 		t.Fatalf("disarmed Serve = %v %v", ds, err)
 	}

@@ -14,6 +14,7 @@ import (
 	"h2privacy/internal/capture"
 	"h2privacy/internal/check"
 	"h2privacy/internal/endpoint"
+	"h2privacy/internal/flowseq"
 	"h2privacy/internal/metrics"
 	"h2privacy/internal/netsim"
 	"h2privacy/internal/obs"
@@ -92,6 +93,13 @@ type TrialConfig struct {
 	// Recorder at collection (TrialResult.CheckViolations). Nil disables at
 	// zero cost — every hook is a nil-receiver no-op.
 	Check *check.Checker
+	// Flows, when non-nil, arms the flowseq event-sequence analyzer: the
+	// monitor feeds it wire records, the browser's HTTP/2 connection feeds
+	// it frames, and the browser annotates streams with object IDs and
+	// request kinds. Finalized features land on TrialResult.Features and —
+	// via PublishTrialMetrics — in the flow_* metric families. Nil disables
+	// at zero cost (every hook is a nil-receiver no-op).
+	Flows *flowseq.Analyzer
 	// Metrics, when non-nil, receives the trial's aggregate metrics: the
 	// adversary's live intervention counters and phase state, and the
 	// per-trial outcome counters/histograms published at collection (GETs,
@@ -170,6 +178,22 @@ func NewTestbed(cfg TrialConfig) (*Testbed, error) {
 		cfg.Server.H2.Check = cfg.Check
 		cfg.Browser.H2.Check = cfg.Check
 	}
+	if cfg.Flows.Enabled() {
+		// Clock from this trial's scheduler, flow ID from the synthesized
+		// pcap 5-tuple (the shared join key with the exported capture and
+		// Chrome-trace metadata). Only the browser's connection feeds frames
+		// — wiring both endpoints would double-count every frame.
+		cfg.Flows.SetClock(sched)
+		cfg.Flows.SetFlow(capture.FlowID())
+		cfg.Browser.H2.Flows = cfg.Flows
+		cfg.Browser.Flows = cfg.Flows
+	}
+	if cfg.Trace.Enabled() {
+		// Stamp the trace with the same flow identifier the pcap export and
+		// the flowseq feature rows carry, so all three views of one
+		// connection join on it.
+		cfg.Trace.SetMeta("flow", capture.FlowID())
+	}
 
 	var err error
 	tb.Path, err = netsim.NewPath(sched, rng.Fork(), netsim.PathConfig{Link: cfg.Link, Tracer: cfg.Trace, Check: cfg.Check})
@@ -188,6 +212,9 @@ func NewTestbed(cfg TrialConfig) (*Testbed, error) {
 	}
 	if cfg.Check.Enabled() {
 		tb.Monitor.SetChecker(cfg.Check)
+	}
+	if cfg.Flows.Enabled() {
+		tb.Monitor.SetFlows(cfg.Flows)
 	}
 	if cfg.Metrics != nil {
 		tb.Controller.SetMetrics(cfg.Metrics)
@@ -365,6 +392,10 @@ type TrialResult struct {
 	// TrialConfig.Check was armed (including end-of-trial conservation
 	// checks); zero otherwise.
 	CheckViolations int
+	// Features carries the flowseq analyzer's finalized per-stream
+	// timelines, burst tables and clean-slate spans when TrialConfig.Flows
+	// was armed; nil otherwise.
+	Features *flowseq.FlowFeatures
 }
 
 func (tb *Testbed) collect() *TrialResult {
@@ -409,6 +440,9 @@ func (tb *Testbed) collect() *TrialResult {
 	if tb.Injector != nil {
 		res.FaultLog = tb.Injector.Log()
 	}
+	if tb.cfg.Flows.Enabled() {
+		res.Features = tb.cfg.Flows.Finalize()
+	}
 	sp.Stop()
 	if ck := tb.cfg.Check; ck.Enabled() {
 		csp := tb.cfg.Perf.Start(perf.StageCheck)
@@ -449,6 +483,7 @@ func PublishTrialMetrics(reg *obs.Registry, res *TrialResult) {
 	if reg == nil || res == nil {
 		return
 	}
+	flowseq.PublishFeatures(reg, res.Features)
 	reg.Counter("h2privacy_trials_total", "Page-load trials completed.").Inc()
 	if res.Broken {
 		reg.Counter("h2privacy_trials_broken_total", "Trials whose page load broke.").Inc()

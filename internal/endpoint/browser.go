@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"h2privacy/internal/flowseq"
 	"h2privacy/internal/h2"
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/tcpsim"
@@ -52,6 +53,10 @@ type BrowserConfig struct {
 	// Tracer, when non-nil, arms browser-layer tracing (requests, resets,
 	// completions).
 	Tracer *trace.Tracer
+	// Flows, when non-nil, receives request/object-done annotations so the
+	// flowseq analyzer can label per-stream features with object IDs and
+	// request kinds. Set H2.Flows on the same config to feed it frames.
+	Flows *flowseq.Analyzer
 }
 
 func (c BrowserConfig) withDefaults() BrowserConfig {
@@ -174,6 +179,7 @@ type Browser struct {
 	finished     bool
 
 	tr *trace.Tracer
+	fl *flowseq.Analyzer
 }
 
 // NewBrowser builds the browser endpoint over its TCP connection.
@@ -194,6 +200,7 @@ func NewBrowser(sched *simtime.Scheduler, rng *simtime.Rand, tcp *tcpsim.Conn, s
 	b.resetWait = b.cfg.ResetTimeout
 	b.retryWait = b.cfg.RetryTimeout
 	b.tr = b.cfg.Tracer
+	b.fl = b.cfg.Flows
 	st, err := newStack(tcp, true, rng, b.cfg.H2, func(err error) { b.break_(err.Error()) })
 	if err != nil {
 		return nil, err
@@ -354,6 +361,9 @@ func (b *Browser) request(f *fetch, kind RequestKind) {
 			trace.Str("object", f.obj.ID), trace.Num("stream", int64(s.ID())),
 			trace.Str("kind", kind.String()))
 	}
+	if b.fl.Enabled() {
+		b.fl.Request(f.obj.ID, s.ID(), kind.String())
+	}
 	b.armRetry(f)
 }
 
@@ -405,6 +415,9 @@ func (b *Browser) onPush(promised *h2.Stream, fields []h2.HeaderField) {
 		StreamID: promised.ID(),
 		Kind:     RequestPushed,
 	})
+	if b.fl.Enabled() {
+		b.fl.Request(obj.ID, promised.ID(), RequestPushed.String())
+	}
 }
 
 // onResponseEvent handles headers/data arriving for a stream.
@@ -427,6 +440,9 @@ func (b *Browser) onResponseEvent(s *h2.Stream, n int, endStream bool) {
 		if b.tr.Enabled() {
 			b.tr.Emit(trace.LayerBrowser, "object-done",
 				trace.Str("object", f.obj.ID), trace.Num("stream", int64(s.ID())))
+		}
+		if b.fl.Enabled() {
+			b.fl.ObjectDone(f.obj.ID, s.ID())
 		}
 		// Cancel sibling duplicate streams; the object is in. Sorted
 		// order keeps the RST sequence (and so the whole wire trace)

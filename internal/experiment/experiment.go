@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"h2privacy/internal/check"
+	"h2privacy/internal/flowseq"
 	"h2privacy/internal/obs"
 	"h2privacy/internal/perf"
 	"h2privacy/internal/trace"
@@ -44,6 +45,15 @@ type Options struct {
 	// repro seed) flushing into this shared recorder. Nil runs unchecked at
 	// zero cost.
 	Check *check.Recorder
+	// Features, when non-nil, arms flowseq event-sequence analytics on every
+	// trial of the sweep: each trial gets its own flowseq.Analyzer (keyed by
+	// the flat trial index) finalizing into this shared collector, so the
+	// run's per-stream timelines, burst tables and clean-slate spans can be
+	// exported (CSV/JSONL) and served live at /debug/flows. The flow_*
+	// metric families publish through the same deferred in-order drain as
+	// the trial outcome metrics, so registry snapshots and exports stay
+	// byte-identical at any worker count. Nil runs unanalyzed at zero cost.
+	Features *flowseq.Collector
 	// Perf, when non-nil, attributes the sweep's host-side cost: each
 	// worker goroutine takes a perf.Worker handle, every trial body is
 	// bracketed for busy/queue-wait accounting, core.RunTrial splits into

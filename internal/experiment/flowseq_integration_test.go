@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"h2privacy/internal/adversary"
+	"h2privacy/internal/core"
+	"h2privacy/internal/flowseq"
+	"h2privacy/internal/obs"
+	"h2privacy/internal/perf"
+)
+
+// featureSweep runs a full-attack sweep with flowseq feature extraction
+// armed at the given worker count and returns the collector plus the
+// registry the flow_* families were published into.
+func featureSweep(t *testing.T, workers, trials int) (*flowseq.Collector, *obs.Registry) {
+	t.Helper()
+	fcol := flowseq.NewCollector()
+	reg := obs.NewRegistry()
+	fcol.PublishTo(reg)
+	opts := Options{Trials: trials, BaseSeed: 3, Workers: workers, Metrics: reg, Features: fcol}
+	plan := adversary.DefaultPlan()
+	if _, err := opts.Sweep(trials, func(tr int) core.TrialConfig {
+		return core.TrialConfig{Seed: opts.BaseSeed + int64(tr), Attack: &plan}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return fcol, reg
+}
+
+// TestFeatureExportByteIdenticalAcrossWorkers pins the determinism half of
+// the flowseq contract at the sweep level: the CSV and JSONL feature
+// exports, and the registry snapshot carrying the flow_* families, must be
+// byte-identical whether the sweep ran sequentially or on a 4-worker pool.
+func TestFeatureExportByteIdenticalAcrossWorkers(t *testing.T) {
+	type snap struct {
+		csv, jsonl, metrics []byte
+	}
+	take := func(workers int) snap {
+		fcol, reg := featureSweep(t, workers, 4)
+		var csv, jsonl bytes.Buffer
+		if err := fcol.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		if err := fcol.WriteJSONL(&jsonl); err != nil {
+			t.Fatal(err)
+		}
+		var metrics bytes.Buffer
+		if err := reg.WritePrometheus(&metrics); err != nil {
+			t.Fatal(err)
+		}
+		return snap{csv.Bytes(), jsonl.Bytes(), metrics.Bytes()}
+	}
+	seq, par := take(1), take(4)
+	if !bytes.Equal(seq.csv, par.csv) {
+		t.Errorf("feature CSV differs between workers=1 and workers=4:\n--- seq ---\n%s\n--- par ---\n%s", seq.csv, par.csv)
+	}
+	if !bytes.Equal(seq.jsonl, par.jsonl) {
+		t.Errorf("feature JSONL differs between workers=1 and workers=4:\n--- seq ---\n%s\n--- par ---\n%s", seq.jsonl, par.jsonl)
+	}
+	if !bytes.Equal(seq.metrics, par.metrics) {
+		t.Errorf("flow_* exposition differs between workers=1 and workers=4:\n--- seq ---\n%s\n--- par ---\n%s", seq.metrics, par.metrics)
+	}
+	// The run must have produced real rows, or the equality above is vacuous.
+	if !bytes.Contains(seq.csv, []byte("serialized")) && !bytes.Contains(seq.csv, []byte("multiplexed")) {
+		t.Fatalf("feature CSV carries no classified streams:\n%s", seq.csv)
+	}
+}
+
+// TestFlowScrapeDuringSweep scrapes /metrics and /debug/flows concurrently
+// with a 4-worker sweep feeding a shared flowseq collector — the live
+// observability path for feature extraction, raced under -race in CI.
+// Every mid-sweep exposition must parse under the golden linter (the
+// flow_* families included), and /debug/flows must serve burst tables.
+func TestFlowScrapeDuringSweep(t *testing.T) {
+	fcol := flowseq.NewCollector()
+	reg := obs.NewRegistry()
+	fcol.PublishTo(reg)
+	pcol := perf.NewCollector()
+	pcol.PublishTo(reg)
+	ds := &obs.DebugServer{Registry: reg, Flows: fcol}
+	srv := httptest.NewServer(ds.Handler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	scrapes := make(chan int, 1)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stop:
+				scrapes <- n
+				return
+			default:
+			}
+			resp, err := http.Get(srv.URL + "/metrics")
+			if err != nil {
+				continue
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				continue
+			}
+			if _, err := obs.LintExposition(body); err != nil {
+				t.Errorf("mid-sweep exposition rejected: %v", err)
+				scrapes <- n
+				return
+			}
+			if !strings.Contains(string(body), "flow_records_observed_total") {
+				t.Errorf("mid-sweep exposition missing flow_* families:\n%s", body)
+				scrapes <- n
+				return
+			}
+			if resp, err := http.Get(srv.URL + "/debug/flows"); err == nil {
+				fb, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("/debug/flows = %d %q", resp.StatusCode, fb)
+					scrapes <- n
+					return
+				}
+			}
+			n++
+		}
+	}()
+
+	opts := Options{Trials: 8, BaseSeed: 3, Workers: 4, Metrics: reg, Features: fcol, Perf: pcol}
+	plan := adversary.DefaultPlan()
+	if _, err := opts.Sweep(opts.Trials, func(tr int) core.TrialConfig {
+		return core.TrialConfig{Seed: opts.BaseSeed + int64(tr), Attack: &plan}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	if n := <-scrapes; n == 0 {
+		t.Fatal("scraper never completed a scrape during the sweep")
+	}
+
+	// After the sweep the burst tables must actually be live on the wire.
+	resp, err := http.Get(srv.URL + "/debug/flows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "burst") {
+		t.Fatalf("/debug/flows after sweep = %d, want burst tables:\n%s", resp.StatusCode, body)
+	}
+}

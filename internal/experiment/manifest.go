@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"h2privacy/internal/flowseq"
 	"h2privacy/internal/obs"
 	"h2privacy/internal/perf"
 )
@@ -41,8 +42,13 @@ type Manifest struct {
 	// (build/run/capture/check/publish), the worker pool's busy/idle split
 	// and the deferred-publication wait. Wall-clock through and through;
 	// StripWallClock zeroes everything but the stage skeleton.
-	Perf  *perf.Report      `json:"perf,omitempty"`
-	Extra map[string]string `json:"extra,omitempty"`
+	Perf *perf.Report `json:"perf,omitempty"`
+	// Features is the flowseq receipt when feature extraction was armed:
+	// schema version, per-table row counts and the export path. Derived
+	// entirely from virtual time and event counts, so StripWallClock keeps
+	// it — same-seed runs must agree on it at any worker count.
+	Features *flowseq.Receipt  `json:"features,omitempty"`
+	Extra    map[string]string `json:"extra,omitempty"`
 }
 
 // ManifestRun is one experiment's entry.
@@ -97,6 +103,16 @@ func (m *Manifest) FinishPerf(c *perf.Collector) {
 		return
 	}
 	m.Perf = c.Report()
+}
+
+// FinishFeatures attaches the flowseq collector's receipt (nil collector →
+// none); path names where the feature rows were exported, "" if unsaved.
+func (m *Manifest) FinishFeatures(c *flowseq.Collector, path string) {
+	if m == nil || c == nil {
+		return
+	}
+	r := c.Receipt(path)
+	m.Features = &r
 }
 
 // StripWallClock zeroes the wall-clock and machine-dependent fields

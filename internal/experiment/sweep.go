@@ -7,6 +7,7 @@ import (
 
 	"h2privacy/internal/check"
 	"h2privacy/internal/core"
+	"h2privacy/internal/flowseq"
 	"h2privacy/internal/perf"
 )
 
@@ -151,6 +152,12 @@ func (o Options) sweep(n, arity int, cfgs func(t int) []core.TrialConfig) ([]*co
 				// the experiment) so the recorder's repro line names the seed
 				// that actually reproduces this trial.
 				cfg.Check = check.New(cfg.Seed, t*arity+j, o.Check)
+			}
+			if o.Features != nil && cfg.Flows == nil {
+				// One analyzer per trial, keyed by the flat trial index so the
+				// collector's export sorts into the sequential order whatever
+				// worker finished first.
+				cfg.Flows = flowseq.New(t*arity+j, o.Features)
 			}
 			res, err := core.RunTrial(cfg)
 			o.Progress.Tick()

@@ -1,0 +1,188 @@
+package flowseq
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Export formats served by WriteFlows (and the /debug/flows endpoint's
+// ?format= parameter).
+const (
+	FormatTable = "table"
+	FormatJSONL = "jsonl"
+	FormatCSV   = "csv"
+)
+
+// csvHeader is the stream-feature CSV schema (SchemaVersion). Millisecond
+// columns are formatted from integer nanoseconds with microsecond
+// precision — pure integer math, so exports are byte-stable; empty cell =
+// the event never happened.
+var csvHeader = []string{
+	"trial", "flow", "stream", "object", "kind", "label", "end", "delivered",
+	"request_ms", "headers_ms", "first_byte_ms", "last_byte_ms", "end_ms",
+	"bytes", "data_frames", "interleaved_frames",
+	"bursts", "burst_bytes", "max_gap_ms", "mean_gap_ms",
+}
+
+// WriteCSV writes the per-stream feature table — the classifier feed —
+// sorted by (trial, stream). Byte-identical at any sweep worker count.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# flowseq stream features, schema %d\n", SchemaVersion)
+	bw.WriteString(strings.Join(csvHeader, ","))
+	bw.WriteByte('\n')
+	for _, ff := range c.sorted() {
+		for i := range ff.Streams {
+			s := &ff.Streams[i]
+			bursts := make([]string, len(s.BurstBytes))
+			for j, b := range s.BurstBytes {
+				bursts[j] = strconv.Itoa(b)
+			}
+			meanGap := int64(-1)
+			if s.GapSumNS > 0 && s.Bursts > 1 {
+				meanGap = s.GapSumNS / int64(s.Bursts-1)
+			}
+			row := []string{
+				strconv.Itoa(s.Trial), s.Flow, strconv.FormatUint(uint64(s.Stream), 10),
+				s.Object, s.Kind, s.Label, s.End, boolCell(s.Delivered),
+				fmtMS(s.RequestNS), fmtMS(s.HeadersNS), fmtMS(s.FirstByteNS),
+				fmtMS(s.LastByteNS), fmtMS(s.EndNS),
+				strconv.Itoa(s.Bytes), strconv.Itoa(s.DataFrames), strconv.Itoa(s.Interleaved),
+				strconv.Itoa(s.Bursts), strings.Join(bursts, ";"),
+				fmtMS(s.MaxGapNS), fmtMS(meanGap),
+			}
+			bw.WriteString(strings.Join(row, ","))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL writes every table — a meta line, then stream, burst and
+// span rows tagged by "table" — sorted by trial index. Byte-identical at
+// any sweep worker count.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	meta := struct {
+		Table string `json:"table"`
+		Receipt
+	}{Table: "meta", Receipt: c.Receipt("")}
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	for _, ff := range c.sorted() {
+		for i := range ff.Streams {
+			row := struct {
+				Table string `json:"table"`
+				*StreamFeature
+			}{"stream", &ff.Streams[i]}
+			if err := enc.Encode(row); err != nil {
+				return err
+			}
+		}
+		for i := range ff.Bursts {
+			row := struct {
+				Table string `json:"table"`
+				*Burst
+			}{"burst", &ff.Bursts[i]}
+			if err := enc.Encode(row); err != nil {
+				return err
+			}
+		}
+		for i := range ff.Spans {
+			row := struct {
+				Table string `json:"table"`
+				*Span
+			}{"span", &ff.Spans[i]}
+			if err := enc.Encode(row); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTable writes the human-readable per-flow burst tables — what
+// /debug/flows serves mid-sweep and -features prints on exit.
+func (c *Collector) WriteTable(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	flows := c.sorted()
+	r := c.Receipt("")
+	fmt.Fprintf(bw, "flowseq: %d flow(s) finalized, %d stream rows, %d burst rows, %d span rows (schema %d)\n",
+		r.Trials, r.StreamRows, r.BurstRows, r.SpanRows, r.Schema)
+	for _, ff := range flows {
+		serialized, multiplexed := 0, 0
+		for i := range ff.Streams {
+			switch ff.Streams[i].Label {
+			case "serialized":
+				serialized++
+			case "multiplexed":
+				multiplexed++
+			}
+		}
+		fmt.Fprintf(bw, "\n== trial %d  flow %s ==\n", ff.Trial, ff.Flow)
+		fmt.Fprintf(bw, "  %d GETs, %d control records, %d tainted records; %d streams (%d serialized, %d multiplexed); %d clean-slate span(s)\n",
+			ff.GETs, ff.Control, ff.Tainted, len(ff.Streams), serialized, multiplexed, len(ff.Spans))
+		if len(ff.Bursts) > 0 {
+			fmt.Fprintf(bw, "  %-4s %-5s %12s %12s %9s %7s %10s %10s\n",
+				"dir", "burst", "start", "end", "gap", "records", "wire B", "body B")
+			for i := range ff.Bursts {
+				b := &ff.Bursts[i]
+				fmt.Fprintf(bw, "  %-4s %-5d %12s %12s %9s %7d %10d %10d\n",
+					b.Dir, b.Index, fmtMS(b.StartNS)+"ms", fmtMS(b.EndNS)+"ms",
+					gapCell(b.GapNS), b.Records, b.Wire, b.Body)
+			}
+		}
+		for i := range ff.Spans {
+			sp := &ff.Spans[i]
+			fmt.Fprintf(bw, "  clean-slate span %d: %sms → %sms, %d reset-volley records\n",
+				sp.Index, fmtMS(sp.StartNS), fmtMS(sp.EndNS), sp.Resets)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFlows dispatches on format ("" and "table" → burst tables, "jsonl"
+// or "json" → JSONL, "csv" → stream CSV). It implements obs.FlowSource,
+// backing the DebugServer's /debug/flows endpoint.
+func (c *Collector) WriteFlows(w io.Writer, format string) error {
+	switch format {
+	case "", FormatTable:
+		return c.WriteTable(w)
+	case FormatJSONL, "json":
+		return c.WriteJSONL(w)
+	case FormatCSV:
+		return c.WriteCSV(w)
+	default:
+		return fmt.Errorf("flowseq: unknown format %q (want table, jsonl or csv)", format)
+	}
+}
+
+// fmtMS renders nanoseconds as milliseconds with microsecond precision
+// using integer math only; negative (unset) renders empty.
+func fmtMS(ns int64) string {
+	if ns < 0 {
+		return ""
+	}
+	us := ns / 1e3
+	return fmt.Sprintf("%d.%03d", us/1e3, us%1e3)
+}
+
+func gapCell(ns int64) string {
+	if ns < 0 {
+		return "-"
+	}
+	return fmtMS(ns) + "ms"
+}
+
+func boolCell(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}

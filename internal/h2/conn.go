@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"h2privacy/internal/check"
+	"h2privacy/internal/flowseq"
 	"h2privacy/internal/hpack"
 	"h2privacy/internal/trace"
 )
@@ -46,6 +47,12 @@ type Config struct {
 	// shadows, and dynamic-table size agreement. The endpoint name follows
 	// TraceName's defaulting.
 	Check *check.Checker
+	// Flows, when non-nil, feeds every frame sent and received to the
+	// flowseq event-sequence analyzer (per-stream timelines, burst and
+	// interleaving features). Wire exactly one endpoint per flow — the
+	// testbed wires the browser's connection, h2serve the server's —
+	// because the analyzer resolves direction from this endpoint's role.
+	Flows *flowseq.Analyzer
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +168,8 @@ type Conn struct {
 
 	ck     *check.Checker // nil unless invariant checks are armed
 	ckName string
+
+	fl *flowseq.Analyzer // nil unless flow-sequence analytics are armed
 }
 
 // NewConn builds an endpoint. out transmits wire bytes (one call per
@@ -227,6 +236,7 @@ func NewConn(isClient bool, cfg Config, out func([]byte)) (*Conn, error) {
 		}
 		c.ck.H2Register(c.ckName, isClient, cfg.InitialWindowSize)
 	}
+	c.fl = cfg.Flows
 	return c, nil
 }
 
@@ -473,6 +483,9 @@ func (c *Conn) emitFrame(t FrameType, streamID uint32, build func([]byte) []byte
 			aux = (uint32(p[0])<<24 | uint32(p[1])<<16 | uint32(p[2])<<8 | uint32(p[3])) & 0x7fffffff
 		}
 		c.ck.H2FrameSent(c.ckName, uint8(t), streamID, len(b)-FrameHeaderSize, b[4], aux)
+	}
+	if c.fl.Enabled() {
+		c.fl.H2Frame(c.isClient, true, uint8(t), streamID, len(b)-FrameHeaderSize, b[4])
 	}
 	c.out(b)
 }

@@ -97,6 +97,9 @@ func (c *Conn) processFrame(f *Frame) error {
 		}
 		c.ck.H2FrameRecv(c.ckName, uint8(t), f.Header.StreamID, f.Header.Length, uint8(f.Header.Flags), aux)
 	}
+	if c.fl.Enabled() {
+		c.fl.H2Frame(c.isClient, false, uint8(t), f.Header.StreamID, f.Header.Length, uint8(f.Header.Flags))
+	}
 
 	// While a header block is being continued, only CONTINUATION on the
 	// same stream is legal (§6.10).

@@ -3,11 +3,13 @@ package obs
 import (
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"h2privacy/internal/trace"
@@ -25,6 +27,39 @@ var publishRuntimeVars = sync.OnceFunc(func() {
 	expvar.Publish("goversion", expvar.Func(func() any { return runtime.Version() }))
 })
 
+// featuresVar holds the current feature-receipt callback behind the single
+// registered "features" expvar: expvar.Publish panics on re-registration,
+// but tests (and successive tool runs in one process) re-arm feature
+// extraction, so the registered Func indirects through a swappable pointer.
+var (
+	featuresVar     atomic.Value // of func() any
+	featuresVarOnce sync.Once
+)
+
+// PublishFeaturesVar exposes fn's value as the "features" expvar — the
+// /debug/vars receipt for flowseq feature extraction (schema version, row
+// counts, export path). Call it each time a feature collector is armed;
+// the latest fn wins.
+func PublishFeaturesVar(fn func() any) {
+	featuresVar.Store(fn)
+	featuresVarOnce.Do(func() {
+		expvar.Publish("features", expvar.Func(func() any {
+			if fn, ok := featuresVar.Load().(func() any); ok {
+				return fn()
+			}
+			return nil
+		}))
+	})
+}
+
+// FlowSource serves live flowseq feature state — implemented by
+// *flowseq.Collector (whose WriteFlows renders burst tables, JSONL or CSV).
+// Declared here so obs need not import flowseq: the dependency points the
+// other way (flowseq publishes into obs registries).
+type FlowSource interface {
+	WriteFlows(w io.Writer, format string) error
+}
+
 // DebugServer is the live observability endpoint the cmd tools expose
 // behind -debug-addr. It costs nothing unless started: the tools only
 // construct one when the flag is set, and nothing in this package runs at
@@ -37,11 +72,14 @@ var publishRuntimeVars = sync.OnceFunc(func() {
 //	/debug/vars    expvar (cmdline, memstats, gomaxprocs, numcpu, goversion)
 //	/debug/pprof/  pprof index, profile, heap, symbol, trace, …
 //	/debug/trace   live trace-ring download (?format=chrome|jsonl|summary)
+//	/debug/flows   live flowseq burst tables (?format=table|jsonl|csv)
 type DebugServer struct {
 	// Registry backs /metrics. A nil registry serves an empty exposition.
 	Registry *Registry
 	// Tracer backs /debug/trace; nil → 404 with a hint.
 	Tracer *trace.Tracer
+	// Flows backs /debug/flows; nil → 404 with a hint.
+	Flows FlowSource
 
 	ln  net.Listener
 	srv *http.Server
@@ -64,6 +102,7 @@ func (s *DebugServer) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/debug/trace", s.serveTrace)
+	mux.HandleFunc("/debug/flows", s.serveFlows)
 	return mux
 }
 
@@ -121,4 +160,27 @@ func (s *DebugServer) serveTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	_ = s.Tracer.WriteFormat(w, format)
+}
+
+func (s *DebugServer) serveFlows(w http.ResponseWriter, r *http.Request) {
+	if s.Flows == nil {
+		http.Error(w, "feature extraction not armed (run with -features or -features-out)", http.StatusNotFound)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "table":
+		format = "table"
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (want table, jsonl or csv)", format), http.StatusBadRequest)
+		return
+	}
+	if err := s.Flows.WriteFlows(w, format); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }

@@ -83,7 +83,15 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		writeAttrList(bw, ev, `"seq":`+strconv.FormatUint(ev.Seq, 10))
 		bw.WriteString("}}")
 	}
-	fmt.Fprintf(bw, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":%d}}\n", t.Dropped())
+	fmt.Fprintf(bw, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":%d", t.Dropped())
+	metas := t.Metas()
+	for i := 0; i+1 < len(metas); i += 2 {
+		bw.WriteByte(',')
+		writeJSONString(bw, metas[i])
+		bw.WriteByte(':')
+		writeJSONString(bw, metas[i+1])
+	}
+	bw.WriteString("}}\n")
 	return bw.Flush()
 }
 

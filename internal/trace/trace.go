@@ -162,7 +162,11 @@ type Tracer struct {
 
 	counters []*Counter
 	histos   []*Histo
+	metas    []metaKV // trace-wide metadata, exported by WriteChromeTrace
 }
+
+// metaKV is one trace-wide metadata pair (e.g. the canonical flow ID).
+type metaKV struct{ key, val string }
 
 // New builds a tracer stamping events from the given clock.
 func New(clock Clock, cfg Config) *Tracer {
@@ -193,6 +197,44 @@ func (t *Tracer) SetClock(clock Clock) {
 		return
 	}
 	t.clock = clock
+}
+
+// SetMeta attaches a trace-wide metadata pair, exported in the Chrome
+// trace's otherData block (last write per key wins). core.NewTestbed
+// stamps the canonical flow ID here so the Chrome view joins against the
+// pcap export and the flowseq feature rows. No-op on nil.
+func (t *Tracer) SetMeta(key, val string) {
+	if t == nil {
+		return
+	}
+	if t.mu != nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	}
+	for i := range t.metas {
+		if t.metas[i].key == key {
+			t.metas[i].val = val
+			return
+		}
+	}
+	t.metas = append(t.metas, metaKV{key, val})
+}
+
+// Metas returns the trace-wide metadata pairs in insertion order as
+// alternating key, value strings.
+func (t *Tracer) Metas() []string {
+	if t == nil {
+		return nil
+	}
+	if t.mu != nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	}
+	out := make([]string, 0, 2*len(t.metas))
+	for _, kv := range t.metas {
+		out = append(out, kv.key, kv.val)
+	}
+	return out
 }
 
 // Emit records one event stamped with the clock's current time. Calling it
