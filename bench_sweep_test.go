@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
@@ -85,6 +86,9 @@ func TestBenchSweepRecord(t *testing.T) {
 		SequentialStages: seqPerf.BenchStages(),
 		ParallelStages:   parPerf.BenchStages(),
 	}
+	// Pin the headline allocs/trial at top level (derived from the stage
+	// table) so benchdiff and humans read it without summing stages.
+	rec.AllocsPerTrial = rec.SeqAllocsPerTrial()
 	if rec.SingleCore() {
 		rec.Note = "single-core box: parallel speedup is expected to be <=1x here and is not judged"
 	}
@@ -99,5 +103,43 @@ func TestBenchSweepRecord(t *testing.T) {
 	if hot := seqPerf.BenchStages(); len(hot) > 0 {
 		t.Logf("hottest sequential stage: %s (%.0f ms, %.0f%% of accounted time)",
 			hot[0].Stage, hot[0].TotalMS, hot[0].Pct)
+	}
+	t.Logf("sequential allocs/trial: %.0f", rec.AllocsPerTrial)
+}
+
+// TestAllocBudgetPerTrial is the allocation-budget regression gate: it
+// runs a small sequential attack sweep with stage attribution armed and
+// fails when the attributed allocations per trial exceed
+// $ALLOC_BUDGET_PER_TRIAL (skipped when unset — allocation counts vary a
+// few percent with Go version, so the budget is pinned where the toolchain
+// is, in CI). The budget guards the arena/pool overhaul: a change that
+// quietly reintroduces per-trial allocation churn blows it long before the
+// wall-clock gate would notice.
+func TestAllocBudgetPerTrial(t *testing.T) {
+	budgetStr := os.Getenv("ALLOC_BUDGET_PER_TRIAL")
+	if budgetStr == "" {
+		t.Skip("set ALLOC_BUDGET_PER_TRIAL=N to gate allocations per trial")
+	}
+	budget, err := strconv.ParseFloat(budgetStr, 64)
+	if err != nil || budget <= 0 {
+		t.Fatalf("bad ALLOC_BUDGET_PER_TRIAL %q: %v", budgetStr, err)
+	}
+	const trials = 8
+	_, _, rep, err := sweepWorkload(1, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, s := range rep.BenchStages() {
+		total += s.AllocObjects
+		t.Logf("stage %-16s %10d alloc objects (%.0f/trial)",
+			s.Stage, s.AllocObjects, float64(s.AllocObjects)/trials)
+	}
+	perTrial := float64(total) / trials
+	t.Logf("attributed allocations: %.0f/trial (budget %.0f)", perTrial, budget)
+	if perTrial > budget {
+		t.Fatalf("allocations per trial %.0f exceed the %.0f budget — "+
+			"per-trial churn crept back in (see DESIGN.md trial memory lifecycle)",
+			perTrial, budget)
 	}
 }

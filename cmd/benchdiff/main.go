@@ -3,14 +3,18 @@
 // exits nonzero when performance regressed — the CI bench gate.
 //
 // The gate judges sequential per-trial cost: wall times normalized per
-// trial so trial-count changes don't read as regressions. Parallel
-// speedup is reported, and judged against -speedup-floor only on
-// multi-core machines (a single-core box cannot show a parallel win, so
-// the judgment is skipped there with a note).
+// trial so trial-count changes don't read as regressions. It also judges
+// allocation counts (-alloc-threshold): total and per-stage sequential
+// allocs/trial vs the baseline — allocations are near-deterministic, so
+// this gate runs far tighter than the wall-clock one and catches pooling
+// regressions that noisy CI timing would hide. Parallel speedup is
+// reported, and judged against -speedup-floor only on multi-core machines
+// (a single-core box cannot show a parallel win, so the judgment is
+// skipped there with a note).
 //
 // Usage:
 //
-//	benchdiff [-threshold PCT] [-speedup-floor X] old.json new.json
+//	benchdiff [-threshold PCT] [-alloc-threshold PCT] [-speedup-floor X] old.json new.json
 package main
 
 import (
@@ -24,10 +28,12 @@ import (
 func main() {
 	threshold := flag.Float64("threshold", 25,
 		"fail when sequential ms/trial regresses more than this percentage vs the baseline")
+	allocThreshold := flag.Float64("alloc-threshold", 0,
+		"fail when sequential allocs/trial (total or any stage) regresses more than this percentage vs the baseline (0 = report only)")
 	speedupFloor := flag.Float64("speedup-floor", 0,
 		"fail when parallel speedup falls below this on a multi-core machine (0 = report only)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] [-speedup-floor X] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] [-alloc-threshold PCT] [-speedup-floor X] old.json new.json")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -43,11 +49,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	d := perf.DiffBench(old, cur, *threshold, *speedupFloor)
+	d := perf.DiffBench(old, cur, *threshold, *speedupFloor, *allocThreshold)
 	fmt.Printf("benchdiff: %s vs %s\n", flag.Arg(0), flag.Arg(1))
 	fmt.Printf("  sequential ms/trial: %.1f -> %.1f (%+.1f%%, threshold %.0f%%)\n",
 		d.SeqPerTrialOldMS, d.SeqPerTrialNewMS, d.SeqRegressionPct, *threshold)
 	fmt.Printf("  parallel speedup:    %.2fx -> %.2fx\n", d.SpeedupOld, d.SpeedupNew)
+	if d.AllocsPerTrialOld > 0 || d.AllocsPerTrialNew > 0 {
+		fmt.Printf("  seq allocs/trial:    %.0f -> %.0f (%+.1f%%)\n",
+			d.AllocsPerTrialOld, d.AllocsPerTrialNew, d.AllocRegressionPct)
+	}
 	for _, n := range d.Notes {
 		fmt.Printf("  note: %s\n", n)
 	}

@@ -38,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "trial seed (drives the volunteer's ranking too)")
 	trials := flag.Int("trials", 1, "number of trials; >1 sweeps seeds N..N+trials-1 and prints an aggregate summary")
 	parallel := flag.Int("parallel", 0, "worker pool for -trials >1 (0 = GOMAXPROCS, 1 = sequential)")
+	noPool := flag.Bool("no-pool", false, "disable per-worker trial buffer recycling in sweep mode (diagnostic; output is byte-identical either way)")
 	jitter1 := flag.Duration("jitter1", 50*time.Millisecond, "phase-1 per-GET jitter")
 	jitter3 := flag.Duration("jitter3", 80*time.Millisecond, "phase-3 per-GET jitter")
 	drop := flag.Float64("drop", 0.8, "server→client drop rate during the reset phase")
@@ -154,7 +155,7 @@ func main() {
 		if *pcapPath != "" || *timeline {
 			fmt.Fprintln(os.Stderr, "h2attack: -pcap and -timeline apply to single trials; ignoring with -trials >1")
 		}
-		if err := runSweep(*seed, *trials, *parallel, plan, *scenario, tracer, reg, rec, col, fcol); err != nil {
+		if err := runSweep(*seed, *trials, *parallel, *noPool, plan, *scenario, tracer, reg, rec, col, fcol); err != nil {
 			fatal(err)
 		}
 		finishPerf()
@@ -269,11 +270,12 @@ func exitChecks(cf cliutil.CheckFlags, rec *check.Recorder, ds *obs.DebugServer,
 // runSweep is the -trials >1 path: n same-plan trials over the sweep
 // engine, aggregated exactly as table2 aggregates (HTML identified, ranks
 // correct, broken loads).
-func runSweep(seed int64, n, workers int, plan adversary.AttackPlan, scenario string, tracer *trace.Tracer, reg *obs.Registry, rec *check.Recorder, col *perf.Collector, fcol *flowseq.Collector) error {
+func runSweep(seed int64, n, workers int, noPool bool, plan adversary.AttackPlan, scenario string, tracer *trace.Tracer, reg *obs.Registry, rec *check.Recorder, col *perf.Collector, fcol *flowseq.Collector) error {
 	opts := experiment.Options{
 		Trials:   n,
 		BaseSeed: seed,
 		Workers:  workers,
+		NoPool:   noPool,
 		Trace:    tracer,
 		Metrics:  reg,
 		Check:    rec,

@@ -33,6 +33,7 @@ func run() int {
 	trials := flag.Int("trials", 100, "trials per configuration point")
 	seed := flag.Int64("seed", 1, "base seed")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential); output is byte-identical at any setting")
+	noPool := flag.Bool("no-pool", false, "disable per-worker trial buffer recycling (diagnostic; output is byte-identical either way)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	manifestPath := flag.String("manifest", "", "write a run manifest (options, per-experiment wall time, metrics snapshot) to this JSON file")
@@ -61,7 +62,7 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
-	opts := experiment.Options{Trials: *trials, BaseSeed: *seed, Workers: *parallel}
+	opts := experiment.Options{Trials: *trials, BaseSeed: *seed, Workers: *parallel, NoPool: *noPool}
 	rec := cf.NewRecorder()
 	if rec != nil {
 		// An experiment derives per-variant seeds internally, so the repro

@@ -9,6 +9,7 @@
 package capture
 
 import (
+	"slices"
 	"time"
 
 	"h2privacy/internal/check"
@@ -225,8 +226,13 @@ func (m *Monitor) Observe(ev netsim.PacketEvent) {
 		st.Retransmits++
 	}
 	if m.logPackets {
+		// Deep-copy the segment: with trial pooling armed, the original is
+		// zeroed and reused as soon as its packet's last delivery fires,
+		// while the packet log must outlive the whole trial.
+		cp := *seg
+		cp.Payload = append([]byte(nil), seg.Payload...)
 		m.packets = append(m.packets, PacketRecord{
-			Time: ev.Now, Dir: ev.Pkt.Dir, Seg: seg, Action: ev.Action,
+			Time: ev.Now, Dir: ev.Pkt.Dir, Seg: &cp, Action: ev.Action,
 		})
 	}
 	switch ev.Action {
@@ -290,8 +296,11 @@ type dirStream struct {
 	synSeen bool
 	nextSeq uint64
 	ooo     map[uint64]oooChunk
-	buf     []byte // contiguous unparsed record bytes
+	buf     []byte // reassembled record bytes; [off:] is still unparsed
 	taint   []bool // parallel to buf: byte arrived via a retransmission
+	off     int    // parsed prefix of buf/taint, reclaimed on append
+
+	evs []RecordEvent // parse() scratch, reused per push
 
 	ck    *check.Checker
 	ckDir uint8
@@ -339,13 +348,26 @@ func (d *dirStream) ingest(seq uint64, payload []byte, tainted bool) {
 }
 
 func (d *dirStream) append(fresh []byte, tainted bool) {
+	// Reclaim the parsed prefix first: reslicing forward in parse() would
+	// strand the consumed capacity and reallocate every buffer cycle.
+	if d.off > 0 {
+		n := copy(d.buf, d.buf[d.off:])
+		d.buf = d.buf[:n]
+		copy(d.taint, d.taint[d.off:])
+		d.taint = d.taint[:n]
+		d.off = 0
+	}
 	d.buf = append(d.buf, fresh...)
-	for i := 0; i < len(fresh); i++ {
-		d.taint = append(d.taint, tainted)
+	// Bulk-extend the taint array instead of one append per byte; recycled
+	// capacity may hold stale flags, so every new slot is set explicitly.
+	old := len(d.taint)
+	d.taint = slices.Grow(d.taint, len(fresh))[:old+len(fresh)]
+	for i := old; i < len(d.taint); i++ {
+		d.taint[i] = tainted
 	}
 	d.nextSeq += uint64(len(fresh))
 	if d.ck.Enabled() {
-		d.ck.CaptureAppend(d.ckDir, len(fresh), len(d.buf), len(d.taint), d.nextSeq)
+		d.ck.CaptureAppend(d.ckDir, len(fresh), len(d.buf)-d.off, len(d.taint)-d.off, d.nextSeq)
 	}
 }
 
@@ -375,24 +397,26 @@ func (d *dirStream) drain() {
 	}
 }
 
-// parse cuts complete TLS records off the front of buf.
+// parse cuts complete TLS records off the front of buf. The returned slice
+// is scratch reused by the next push; the caller consumes it synchronously.
 func (d *dirStream) parse() []RecordEvent {
-	var out []RecordEvent
+	out := d.evs[:0]
 	for {
-		hdr, ok := tlsrec.ParseHeader(d.buf)
+		rest := d.buf[d.off:]
+		hdr, ok := tlsrec.ParseHeader(rest)
 		if !ok {
-			return out
+			break
 		}
 		total := tlsrec.HeaderSize + hdr.Length
-		if len(d.buf) < total {
-			return out
+		if len(rest) < total {
+			break
 		}
 		plain := 0
 		if hdr.Type == tlsrec.ContentApplicationData && hdr.Length >= tlsrec.SealOverhead {
 			plain = hdr.Length - tlsrec.SealOverhead
 		}
 		tainted := false
-		for _, tb := range d.taint[:total] {
+		for _, tb := range d.taint[d.off : d.off+total] {
 			if tb {
 				tainted = true
 				break
@@ -404,10 +428,11 @@ func (d *dirStream) parse() []RecordEvent {
 			PlainLen: plain,
 			Tainted:  tainted,
 		})
-		d.buf = d.buf[total:]
-		d.taint = d.taint[total:]
+		d.off += total
 		if d.ck.Enabled() {
-			d.ck.CaptureRecord(d.ckDir, total, len(d.buf))
+			d.ck.CaptureRecord(d.ckDir, total, len(d.buf)-d.off)
 		}
 	}
+	d.evs = out
+	return out
 }

@@ -19,6 +19,7 @@ import (
 	"h2privacy/internal/netsim"
 	"h2privacy/internal/obs"
 	"h2privacy/internal/perf"
+	"h2privacy/internal/pool"
 	"h2privacy/internal/predict"
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/tcpsim"
@@ -45,6 +46,14 @@ type TrialConfig struct {
 	Link netsim.LinkConfig
 	// TCP tunes the transport endpoints.
 	TCP tcpsim.Config
+	// Pool, when non-nil, arms trial-scoped allocation recycling: segment
+	// structs, payload buffers and netsim packets are rented from the arena
+	// and recycled as their last scheduled delivery fires, instead of being
+	// left to the garbage collector. Workers own one arena each and Reset it
+	// between trials, so buffers are reused across a whole sweep. Pooling
+	// changes where bytes live, never their contents — results, traces and
+	// exports stay byte-identical with it on or off, at any worker count.
+	Pool *pool.Arena
 	// Server and Browser tune the applications.
 	Server  endpoint.ServerConfig
 	Browser endpoint.BrowserConfig
@@ -153,6 +162,9 @@ func NewTestbed(cfg TrialConfig) (*Testbed, error) {
 	}
 	if cfg.Duration == 0 {
 		cfg.Duration = 120 * time.Second
+	}
+	if cfg.Pool != nil && cfg.TCP.Pool == nil {
+		cfg.TCP.Pool = cfg.Pool
 	}
 	sched := simtime.NewScheduler()
 	rng := simtime.NewRand(cfg.Seed)
@@ -480,26 +492,69 @@ func (tb *Testbed) collect() *TrialResult {
 // bits) and the phase gauge is last-writer-wins. Nil registry or result
 // is a no-op.
 func PublishTrialMetrics(reg *obs.Registry, res *TrialResult) {
-	if reg == nil || res == nil {
+	(&TrialPublisher{reg: reg}).Publish(res)
+}
+
+// TrialPublisher publishes trial outcomes into one registry, caching the
+// resolved instrument handles so a sweep's publication drain pays the
+// name-lookup cost once instead of once per trial. Families that only
+// exist conditionally (broken trials, completed page loads, attacked
+// trials) are resolved on first use, preserving the registry-snapshot
+// byte-identity of the uncached path: a family a sweep never needed never
+// appears in the export. The zero value with a nil registry is a no-op.
+type TrialPublisher struct {
+	reg *obs.Registry
+
+	trials, gets, resets, dupGets, serverTasks *obs.Counter
+	retransC2S, retransS2C                     *obs.Counter
+	broken                                     *obs.Counter   // lazy: only broken trials create it
+	pageLoad                                   *obs.Histogram // lazy: only completed loads create it
+
+	attackTrials *obs.Counter // lazy block: only attacked trials create these
+	cleanSlate   *obs.Counter
+	phaseVec     *obs.HistogramVec
+	outcomeVec   *obs.CounterVec
+	phaseGauge   *obs.Gauge
+}
+
+// NewTrialPublisher returns a publisher bound to reg (nil → no-op).
+func NewTrialPublisher(reg *obs.Registry) *TrialPublisher {
+	return &TrialPublisher{reg: reg}
+}
+
+// Publish records one completed trial. See PublishTrialMetrics for the
+// ordering contract; callers publishing a parallel sweep must invoke it in
+// trial-index order.
+func (p *TrialPublisher) Publish(res *TrialResult) {
+	if p == nil || p.reg == nil || res == nil {
 		return
 	}
+	reg := p.reg
 	flowseq.PublishFeatures(reg, res.Features)
-	reg.Counter("h2privacy_trials_total", "Page-load trials completed.").Inc()
-	if res.Broken {
-		reg.Counter("h2privacy_trials_broken_total", "Trials whose page load broke.").Inc()
+	if p.trials == nil {
+		p.trials = reg.Counter("h2privacy_trials_total", "Page-load trials completed.")
+		p.gets = reg.Counter("h2privacy_monitor_gets_total", "GET requests classified at the gateway monitor.")
+		retrans := reg.CounterVec("h2privacy_tcp_retransmits_observed_total",
+			"Retransmitted TCP segments observed at the gateway, by direction.", "dir")
+		p.retransC2S = retrans.With("c2s")
+		p.retransS2C = retrans.With("s2c")
+		p.resets = reg.Counter("h2privacy_browser_resets_total", "Browser stall-triggered stream-reset cycles.")
+		p.dupGets = reg.Counter("h2privacy_browser_duplicate_gets_total", "Browser duplicate (retried) GET requests.")
+		p.serverTasks = reg.Counter("h2privacy_server_tasks_total", "Stream-serving tasks executed by the server (duplicates included).")
 	}
-	reg.Counter("h2privacy_monitor_gets_total", "GET requests classified at the gateway monitor.").
-		Add(int64(res.GETs))
-	retrans := reg.CounterVec("h2privacy_tcp_retransmits_observed_total",
-		"Retransmitted TCP segments observed at the gateway, by direction.", "dir")
-	retrans.With("c2s").Add(int64(res.RetransC2S))
-	retrans.With("s2c").Add(int64(res.RetransS2C))
-	reg.Counter("h2privacy_browser_resets_total", "Browser stall-triggered stream-reset cycles.").
-		Add(int64(res.Resets))
-	reg.Counter("h2privacy_browser_duplicate_gets_total", "Browser duplicate (retried) GET requests.").
-		Add(int64(res.AppRetries))
-	reg.Counter("h2privacy_server_tasks_total", "Stream-serving tasks executed by the server (duplicates included).").
-		Add(int64(res.ServerTasks))
+	p.trials.Inc()
+	if res.Broken {
+		if p.broken == nil {
+			p.broken = reg.Counter("h2privacy_trials_broken_total", "Trials whose page load broke.")
+		}
+		p.broken.Inc()
+	}
+	p.gets.Add(int64(res.GETs))
+	p.retransC2S.Add(int64(res.RetransC2S))
+	p.retransS2C.Add(int64(res.RetransS2C))
+	p.resets.Add(int64(res.Resets))
+	p.dupGets.Add(int64(res.AppRetries))
+	p.serverTasks.Add(int64(res.ServerTasks))
 
 	// Page-load completion time: the last object's virtual completion.
 	var last time.Duration
@@ -509,9 +564,12 @@ func PublishTrialMetrics(reg *obs.Registry, res *TrialResult) {
 		}
 	}
 	if last > 0 {
-		reg.Histogram("h2privacy_page_load_seconds",
-			"Virtual time from trial start to the last completed object.",
-			obs.DurationBuckets).Observe(last.Seconds())
+		if p.pageLoad == nil {
+			p.pageLoad = reg.Histogram("h2privacy_page_load_seconds",
+				"Virtual time from trial start to the last completed object.",
+				obs.DurationBuckets)
+		}
+		p.pageLoad.Observe(last.Seconds())
 	}
 
 	if !res.Attacked {
@@ -520,26 +578,34 @@ func PublishTrialMetrics(reg *obs.Registry, res *TrialResult) {
 	// Staged-attack trials additionally record the clean-slate outcome —
 	// did the reset cycle leave the quiz HTML serialized and identified —
 	// and how long each phase of the attack ran in virtual time.
-	reg.Counter("h2privacy_attack_trials_total", "Trials run with the full staged adversary.").Inc()
-	if res.ObjectSuccess(website.TargetID) {
-		reg.Counter("h2privacy_attack_clean_slate_success_total",
-			"Attack trials where the target transmitted serialized after the reset and was identified.").Inc()
+	if p.attackTrials == nil {
+		p.attackTrials = reg.Counter("h2privacy_attack_trials_total", "Trials run with the full staged adversary.")
+		p.phaseVec = reg.HistogramVec("h2privacy_adversary_phase_seconds",
+			"Virtual-time duration of each attack phase.", obs.DurationBuckets, "phase")
+		p.outcomeVec = reg.CounterVec("h2privacy_attack_outcome_total",
+			"Attack trials by terminal outcome classification.", "outcome")
+		p.phaseGauge = reg.Gauge("h2privacy_adversary_phase", adversary.PhaseGaugeHelp())
 	}
-	phases := reg.HistogramVec("h2privacy_adversary_phase_seconds",
-		"Virtual-time duration of each attack phase.", obs.DurationBuckets, "phase")
+	p.attackTrials.Inc()
+	if res.ObjectSuccess(website.TargetID) {
+		// Lazy like the broken counter: the success family only exists in
+		// an export if some attacked trial actually succeeded.
+		if p.cleanSlate == nil {
+			p.cleanSlate = reg.Counter("h2privacy_attack_clean_slate_success_total",
+				"Attack trials where the target transmitted serialized after the reset and was identified.")
+		}
+		p.cleanSlate.Inc()
+	}
 	for _, span := range res.PhaseSpans {
-		phases.With(span.Phase.String()).Observe(span.Duration.Seconds())
+		p.phaseVec.With(span.Phase.String()).Observe(span.Duration.Seconds())
 	}
 	// Every attacked trial ends in exactly one classified outcome.
-	reg.CounterVec("h2privacy_attack_outcome_total",
-		"Attack trials by terminal outcome classification.", "outcome").
-		With(res.Outcome.String()).Inc()
+	p.outcomeVec.With(res.Outcome.String()).Inc()
 	// Deterministically re-stamp the live phase gauge the driver maintains:
 	// under a worker pool its last live Set is whichever trial finished
 	// last, so the deferred in-order publication pins the final snapshot to
 	// trial n-1's terminal phase — the same value a sequential run leaves.
-	reg.Gauge("h2privacy_adversary_phase", adversary.PhaseGaugeHelp()).
-		Set(float64(res.FinalPhase))
+	p.phaseGauge.Set(float64(res.FinalPhase))
 }
 
 // ObjectSuccess reports the paper's success criterion for one object: its

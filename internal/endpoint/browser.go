@@ -2,7 +2,7 @@ package endpoint
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"h2privacy/internal/flowseq"
@@ -501,7 +501,7 @@ func sortedStreamIDs(m map[uint32]int) []uint32 {
 	for id := range m {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 

@@ -181,25 +181,36 @@ func (s *Server) TasksServed() int { return s.tasksServed }
 func (s *Server) H2Stats() h2.ConnStats { return s.stack.h2c.Stats() }
 
 // instrumentOutput wraps the h2 output path to record each DATA frame's
-// position in the ordered application byte stream.
+// position in the ordered application byte stream. Only the 9-byte header
+// (plus the pad-length octet) is examined: a full ParseFrame per frame
+// would allocate a decoded Frame just to read its length.
 func (s *Server) instrumentOutput() {
 	s.stack.tapH2Out = func(frame []byte) {
-		f, err := h2.ParseFrame(frame)
-		if err != nil || f.Header.Type != h2.FrameData {
+		hdr, ok := h2.ParseFrameHeader(frame)
+		if !ok || hdr.Type != h2.FrameData {
 			return
 		}
-		t := s.tasks[f.Header.StreamID]
+		t := s.tasks[hdr.StreamID]
 		if t == nil {
 			return
+		}
+		// Payload length minus padding (one pad-length octet plus the pad
+		// bytes) — the same arithmetic the full decoder's stripPadding does.
+		dataLen := hdr.Length
+		if hdr.Flags.Has(h2.FlagPadded) && hdr.Length >= 1 {
+			dataLen -= 1 + int(frame[h2.FrameHeaderSize])
+			if dataLen < 0 {
+				return // malformed; the peer's decoder would reject it
+			}
 		}
 		s.txLog = append(s.txLog, metrics.TxSpan{
 			Instance: t.instance,
 			ObjectID: t.obj.ID,
 			Offset:   s.payloadOff,
-			Len:      len(f.Data),
+			Len:      dataLen,
 			At:       s.sched.Now(),
 		})
-		s.payloadOff += int64(len(f.Data))
+		s.payloadOff += int64(dataLen)
 	}
 }
 

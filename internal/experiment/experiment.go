@@ -73,6 +73,22 @@ type Options struct {
 	Progress *Progress
 	// NoProgress suppresses RunAll's default stderr progress reporter.
 	NoProgress bool
+	// NoPool disables trial-scoped buffer recycling. By default every
+	// sweep worker owns a pool.Arena that trials reuse (tcpsim payload
+	// buffers and segment graphs come from it and return to it when the
+	// netsim graph releases them), reset between trials; pooling changes
+	// where bytes live, never their contents, so reports, CSVs, manifests
+	// and registry snapshots stay byte-identical with pooling on or off
+	// at any worker count (pool_identity_test.go pins this). Set NoPool
+	// to fall back to plain GC-allocated trials when diagnosing a
+	// suspected reuse bug.
+	NoPool bool
+	// PoolPoison arms arena buffer poisoning (every recycled buffer is
+	// filled with 0xDB before reuse), so any consumer holding a stale
+	// reference reads deterministic garbage instead of silently correct
+	// bytes. Diagnostic; the pooled-identity tests run sweeps poisoned to
+	// prove no such consumer exists. Ignored with NoPool.
+	PoolPoison bool
 	// Manifest, when non-nil, collects per-experiment accounting in RunAll
 	// (callers running experiments by hand use Manifest.Record directly).
 	Manifest *Manifest

@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"h2privacy/internal/adversary"
+	"h2privacy/internal/check"
+	"h2privacy/internal/core"
+	"h2privacy/internal/obs"
+	"h2privacy/internal/website"
+)
+
+// pooledSweepFingerprint runs an attack sweep under the given pooling
+// regime and serializes everything observable: per-trial outcomes plus the
+// full deferred-published metrics registry in Prometheus text form. The
+// arena changes where bytes live, never their contents, so every variant
+// of this fingerprint must be byte-identical for the same seed.
+func pooledSweepFingerprint(t *testing.T, workers int, noPool, poison bool) []byte {
+	t.Helper()
+	plan := adversary.DefaultPlan()
+	opts := Options{
+		Trials: 8, BaseSeed: 4242, Workers: workers,
+		NoPool: noPool, PoolPoison: poison,
+		Metrics: obs.NewRegistry(),
+	}
+	results, err := opts.Sweep(opts.Trials, func(tr int) core.TrialConfig {
+		return core.TrialConfig{Seed: opts.BaseSeed + int64(tr), Attack: &plan}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for i, res := range results {
+		fmt.Fprintf(&buf, "trial %d: outcome=%v resets=%d gets=%d html=%v rank0=%v broken=%v\n",
+			i, res.Outcome, res.Resets, res.GETs,
+			res.ObjectSuccess(website.TargetID), res.SequenceRankCorrect(0), res.Broken)
+	}
+	if err := opts.Metrics.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPooledSweepByteIdenticalAcrossWorkers pins the tentpole guarantee:
+// with per-worker arenas armed (the default), a sweep's trial outcomes and
+// registry snapshot are byte-identical between the sequential engine and a
+// 4-worker pool — recycling is worker-local and trials stay independent.
+func TestPooledSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	seq := pooledSweepFingerprint(t, 1, false, false)
+	par := pooledSweepFingerprint(t, 4, false, false)
+	if len(seq) == 0 {
+		t.Fatal("empty fingerprint")
+	}
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("pooled sweep differs across worker counts:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", seq, par)
+	}
+}
+
+// TestPoolingPreservesOutput proves pooling itself is invisible: the same
+// sweep with arenas disabled (NoPool) produces the identical fingerprint.
+func TestPoolingPreservesOutput(t *testing.T) {
+	pooled := pooledSweepFingerprint(t, 4, false, false)
+	plain := pooledSweepFingerprint(t, 4, true, false)
+	if !bytes.Equal(pooled, plain) {
+		t.Fatalf("pooled sweep differs from unpooled:\n--- pooled ---\n%s\n--- no-pool ---\n%s", pooled, plain)
+	}
+}
+
+// TestPoisonedPoolPreservesOutput is the stale-reference hunt: with
+// poisoning armed, every buffer returned to the arena is filled with 0xDB
+// before it can be handed out again, so any consumer that kept a payload
+// or scratch slice past its contract reads deterministic garbage and the
+// fingerprint diverges. Identical output proves no such consumer exists.
+func TestPoisonedPoolPreservesOutput(t *testing.T) {
+	plain := pooledSweepFingerprint(t, 4, true, false)
+	poisoned := pooledSweepFingerprint(t, 4, false, true)
+	if !bytes.Equal(plain, poisoned) {
+		t.Fatalf("poisoned pooled sweep diverged — a consumer is holding a recycled buffer:\n--- no-pool ---\n%s\n--- poisoned ---\n%s", plain, poisoned)
+	}
+}
+
+// TestPooledSweepCheckClean runs the invariant checker over poisoned
+// pooled trials at 4 workers: every layer's always-on invariants (capture
+// taint accounting, TCP sequence sanity, h2 stream-state rules, ...) must
+// hold exactly as they do unpooled.
+func TestPooledSweepCheckClean(t *testing.T) {
+	plan := adversary.DefaultPlan()
+	rec := check.NewRecorder()
+	opts := Options{
+		Trials: 8, BaseSeed: 4242, Workers: 4,
+		PoolPoison: true, Check: rec,
+	}
+	_, err := opts.Sweep(opts.Trials, func(tr int) core.TrialConfig {
+		return core.TrialConfig{Seed: opts.BaseSeed + int64(tr), Attack: &plan}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rec.Total(); n != 0 {
+		t.Fatalf("pooled trials violated %d invariants:\n%s", n, rec.Report())
+	}
+}

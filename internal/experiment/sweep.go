@@ -9,6 +9,7 @@ import (
 	"h2privacy/internal/core"
 	"h2privacy/internal/flowseq"
 	"h2privacy/internal/perf"
+	"h2privacy/internal/pool"
 )
 
 // This file is the parallel sweep engine. Trials are independent by
@@ -66,15 +67,31 @@ func (o Options) workerCount() int {
 // trial index is returned; remaining workers stop picking up new trials
 // once any trial fails.
 func (o Options) ForEachTrial(n int, run func(t int) error) error {
-	return o.forEachTrial(n, func(_ *perf.Worker, t int) error { return run(t) })
+	return o.forEachTrial(n, func(_ *perf.Worker, _ *pool.Arena, t int) error { return run(t) })
 }
 
-// forEachTrial is ForEachTrial with perf plumbing: each pool goroutine (or
-// the sequential loop) takes its own perf.Worker handle, and every run call
-// is bracketed for busy-time and queue-wait accounting. run receives the
-// handle so core trials can attribute their stages to it. With a nil
-// o.Perf, all handles are nil and the brackets are zero-cost no-ops.
-func (o Options) forEachTrial(n int, run func(pw *perf.Worker, t int) error) error {
+// workerArena builds one worker's trial-scoped buffer arena, or nil when
+// pooling is disabled — the arena type is nil-safe, so a nil handle simply
+// means every Bytes call falls back to make and every Put is dropped.
+func (o Options) workerArena() *pool.Arena {
+	if o.NoPool {
+		return nil
+	}
+	a := pool.New()
+	a.SetPoison(o.PoolPoison)
+	return a
+}
+
+// forEachTrial is ForEachTrial with perf and pool plumbing: each pool
+// goroutine (or the sequential loop) takes its own perf.Worker handle and
+// its own pool.Arena, and every run call is bracketed for busy-time and
+// queue-wait accounting. run receives both so core trials can attribute
+// their stages and draw their buffers per worker — arenas are strictly
+// worker-local, so recycling never crosses goroutines and needs no locks.
+// The arena is Reset between trials (free lists survive — that is the
+// point — only per-trial stats clear). With a nil o.Perf all perf handles
+// are nil no-ops; with o.NoPool all arenas are nil no-ops.
+func (o Options) forEachTrial(n int, run func(pw *perf.Worker, arena *pool.Arena, t int) error) error {
 	workers := o.workerCount()
 	if workers > n {
 		workers = n
@@ -82,9 +99,11 @@ func (o Options) forEachTrial(n int, run func(pw *perf.Worker, t int) error) err
 	if workers <= 1 {
 		pw := o.Perf.Worker()
 		defer pw.Close()
+		arena := o.workerArena()
 		for t := 0; t < n; t++ {
+			arena.Reset()
 			tok := pw.BeginTrial()
-			err := run(pw, t)
+			err := run(pw, arena, t)
 			pw.EndTrial(tok)
 			if err != nil {
 				return err
@@ -106,13 +125,15 @@ func (o Options) forEachTrial(n int, run func(pw *perf.Worker, t int) error) err
 			defer wg.Done()
 			pw := o.Perf.Worker()
 			defer pw.Close()
+			arena := o.workerArena()
 			for {
 				t := int(next.Add(1)) - 1
 				if t >= n || failed.Load() {
 					return
 				}
+				arena.Reset()
 				tok := pw.BeginTrial()
-				err := run(pw, t)
+				err := run(pw, arena, t)
 				pw.EndTrial(tok)
 				if err != nil {
 					failed.Store(true)
@@ -137,9 +158,15 @@ func (o Options) forEachTrial(n int, run func(pw *perf.Worker, t int) error) err
 func (o Options) sweep(n, arity int, cfgs func(t int) []core.TrialConfig) ([]*core.TrialResult, error) {
 	armTrace := o.Trace.Enabled() && o.Trace.Len() == 0 && o.Trace.Dropped() == 0
 	out := make([]*core.TrialResult, n*arity)
-	err := o.forEachTrial(n, func(pw *perf.Worker, t int) error {
+	err := o.forEachTrial(n, func(pw *perf.Worker, arena *pool.Arena, t int) error {
 		for j, cfg := range cfgs(t) {
 			cfg.Perf = pw
+			if cfg.Pool == nil {
+				// Worker-local arena: both trials of a pair share it (the
+				// second reuses what the first released), and Reset at the
+				// next claim recycles it for the following trial.
+				cfg.Pool = arena
+			}
 			if armTrace && t == 0 && j == 0 {
 				cfg.Trace = o.Trace
 			}
@@ -178,8 +205,12 @@ func (o Options) sweep(n, arity int, cfgs func(t int) []core.TrialConfig) ([]*co
 		// stage — it is pure parallelization overhead the sequential inline
 		// path never pays.
 		sp := o.Perf.StartStage(perf.StagePublishDrain)
+		// One publisher for the whole drain: instrument handles resolve
+		// once instead of once per trial, so the drain stops hammering the
+		// registry's lookup lock n times per family.
+		pub := core.NewTrialPublisher(o.Metrics)
 		for _, res := range out {
-			core.PublishTrialMetrics(o.Metrics, res)
+			pub.Publish(res)
 		}
 		sp.Stop()
 	}

@@ -162,6 +162,15 @@ type Conn struct {
 
 	stats ConnStats
 
+	// Per-frame scratch, reused across calls. scratchFrame backs the Feed
+	// parse loop (the public FrameReader.Next still allocates); wbuf backs
+	// emitFrame's serialization (consumers seal or copy synchronously);
+	// hencBuf backs header-block encoding, kept separate from wbuf because
+	// a block spans multiple emitFrame calls when CONTINUATION splits it.
+	scratchFrame Frame
+	wbuf         []byte
+	hencBuf      []byte
+
 	tr        *trace.Tracer
 	traceName string
 	ctStall   *trace.Counter
@@ -174,6 +183,8 @@ type Conn struct {
 
 // NewConn builds an endpoint. out transmits wire bytes (one call per
 // frame, which the TLS layer seals as one record) and must be non-nil.
+// The slice passed to out is scratch the connection reuses for the next
+// frame: consumers that keep the bytes past the callback must copy them.
 func NewConn(isClient bool, cfg Config, out func([]byte)) (*Conn, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -332,7 +343,8 @@ func (c *Conn) Push(parent *Stream, fields []HeaderField) (*Stream, error) {
 	c.nextStreamID += 2
 	promised := c.newStream(id)
 	promised.state = StreamReservedLocal
-	block := c.henc.Encode(nil, fields)
+	block := c.henc.Encode(c.hencBuf[:0], fields)
+	c.hencBuf = block
 	if c.ck.Enabled() {
 		c.ck.HpackEncoded(c.ckName, c.henc.DynamicTableSize())
 	}
@@ -418,7 +430,8 @@ func (c *Conn) isPeerInitiated(id uint32) bool {
 // sendHeaderBlock HPACK-encodes fields and emits HEADERS (+CONTINUATION as
 // needed).
 func (c *Conn) sendHeaderBlock(streamID uint32, fields []HeaderField, endStream bool, prio PriorityParam) {
-	block := c.henc.Encode(nil, fields)
+	block := c.henc.Encode(c.hencBuf[:0], fields)
+	c.hencBuf = block
 	if c.ck.Enabled() {
 		c.ck.HpackEncoded(c.ckName, c.henc.DynamicTableSize())
 	}
@@ -465,10 +478,13 @@ func (c *Conn) padFor(n int) int {
 
 // emitFrame serializes one frame through build and transmits it. streamID
 // is the stream the frame belongs to (0 for connection-level frames); it
-// only feeds the trace.
+// only feeds the trace. The emitted slice is scratch reused by the next
+// frame: out consumers (the TLS layer, taps) copy what they keep, as the
+// NewConn contract requires.
 func (c *Conn) emitFrame(t FrameType, streamID uint32, build func([]byte) []byte) {
 	c.stats.FramesSent[t]++
-	b := build(nil)
+	b := build(c.wbuf[:0])
+	c.wbuf = b
 	if c.tr.Enabled() {
 		c.tr.Emit(trace.LayerH2, "send",
 			trace.Str("ep", c.traceName), trace.Str("type", t.String()),

@@ -23,11 +23,13 @@ func newWirePair(t *testing.T, clientCfg, serverCfg Config) *wirePair {
 	t.Helper()
 	w := &wirePair{t: t}
 	var err error
-	w.client, err = NewConn(true, clientCfg, func(b []byte) { w.toServer = append(w.toServer, b) })
+	// The emitted slice is scratch the Conn reuses per frame; queueing it
+	// for a later pump means copying, like the real transports do.
+	w.client, err = NewConn(true, clientCfg, func(b []byte) { w.toServer = append(w.toServer, append([]byte(nil), b...)) })
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.server, err = NewConn(false, serverCfg, func(b []byte) { w.toClient = append(w.toClient, b) })
+	w.server, err = NewConn(false, serverCfg, func(b []byte) { w.toClient = append(w.toClient, append([]byte(nil), b...)) })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,7 +33,10 @@ func (c *Conn) Feed(b []byte) error {
 	}
 	c.reader.Feed(b)
 	for {
-		f, err := c.reader.Next()
+		// Parse into the connection's scratch frame: zero allocations in
+		// steady state. processFrame's handlers copy any payload they keep,
+		// so reuse on the next iteration is safe.
+		ok, err := c.reader.nextInto(&c.scratchFrame)
 		if err != nil {
 			var se StreamError
 			if errors.As(err, &se) {
@@ -46,10 +49,10 @@ func (c *Conn) Feed(b []byte) error {
 			}
 			return c.connError(ConnectionError{ErrCodeProtocol, err.Error()})
 		}
-		if f == nil {
+		if !ok {
 			return nil
 		}
-		if err := c.processFrame(f); err != nil {
+		if err := c.processFrame(&c.scratchFrame); err != nil {
 			var ce ConnectionError
 			if errors.As(err, &ce) {
 				return c.connError(ce)

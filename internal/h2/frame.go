@@ -82,6 +82,16 @@ func (h FrameHeader) String() string {
 	return fmt.Sprintf("%v len=%d flags=%#x stream=%d", h.Type, h.Length, uint8(h.Flags), h.StreamID)
 }
 
+// ParseFrameHeader decodes just the fixed 9-byte header, reporting false
+// when b is too short. Instrumentation that only needs type, length and
+// stream id uses it to skip the full (allocating) payload decode.
+func ParseFrameHeader(b []byte) (FrameHeader, bool) {
+	if len(b) < FrameHeaderSize {
+		return FrameHeader{}, false
+	}
+	return parseFrameHeader(b), true
+}
+
 // parseFrameHeader decodes the 9-byte header. b must be ≥ 9 bytes.
 func parseFrameHeader(b []byte) FrameHeader {
 	return FrameHeader{

@@ -51,8 +51,11 @@ func ParseFrame(b []byte) (*Frame, error) {
 
 // FrameReader incrementally parses a frame stream (after the connection
 // preface). Feed bytes in any fragmentation; Next pops parsed frames.
+// Not reentrant: do not call Feed or Next from inside a frame callback
+// that is still holding a previous frame's payload.
 type FrameReader struct {
-	buf []byte
+	buf []byte // transport bytes; [off:] is still unparsed
+	off int    // parsed prefix of buf, reclaimed once drained
 	// MaxFrameSize is the largest payload this endpoint advertised
 	// (frames above it are a FRAME_SIZE_ERROR).
 	MaxFrameSize int
@@ -64,57 +67,99 @@ func NewFrameReader() *FrameReader {
 }
 
 // Feed appends transport bytes.
-func (r *FrameReader) Feed(b []byte) { r.buf = append(r.buf, b...) }
+func (r *FrameReader) Feed(b []byte) {
+	// Reclaim the parsed prefix first: reslicing forward instead would
+	// strand the consumed capacity and reallocate every buffer cycle.
+	if r.off > 0 {
+		n := copy(r.buf, r.buf[r.off:])
+		r.buf = r.buf[:n]
+		r.off = 0
+	}
+	r.buf = append(r.buf, b...)
+}
 
 // Buffered reports unparsed bytes held.
-func (r *FrameReader) Buffered() int { return len(r.buf) }
+func (r *FrameReader) Buffered() int { return len(r.buf) - r.off }
 
 // Next returns the next complete frame, nil when more bytes are needed, or
-// an error that must be treated as a connection error.
+// an error that must be treated as a connection error. The frame is freshly
+// allocated and the caller owns it.
 func (r *FrameReader) Next() (*Frame, error) {
-	if len(r.buf) < FrameHeaderSize {
+	f := &Frame{}
+	ok, err := r.nextInto(f)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
 		return nil, nil
 	}
-	hdr := parseFrameHeader(r.buf)
+	return f, nil
+}
+
+// nextInto parses the next complete frame into f, reusing its capacity, and
+// reports whether one was available. Conn.Feed drives it with a scratch
+// frame so steady-state parsing allocates nothing; the frame (and its
+// payload slices into the read buffer) is valid until the next nextInto or
+// Feed call.
+func (r *FrameReader) nextInto(f *Frame) (bool, error) {
+	if r.off > 0 && r.off == len(r.buf) {
+		r.buf = r.buf[:0]
+		r.off = 0
+	}
+	rest := r.buf[r.off:]
+	if len(rest) < FrameHeaderSize {
+		return false, nil
+	}
+	hdr := parseFrameHeader(rest)
 	if hdr.Length > r.MaxFrameSize {
-		return nil, ConnectionError{ErrCodeFrameSize, fmt.Sprintf("frame length %d exceeds %d", hdr.Length, r.MaxFrameSize)}
+		return false, ConnectionError{ErrCodeFrameSize, fmt.Sprintf("frame length %d exceeds %d", hdr.Length, r.MaxFrameSize)}
 	}
-	if len(r.buf) < FrameHeaderSize+hdr.Length {
-		return nil, nil
+	if len(rest) < FrameHeaderSize+hdr.Length {
+		return false, nil
 	}
-	payload := r.buf[FrameHeaderSize : FrameHeaderSize+hdr.Length]
-	frame, err := decodePayload(hdr, payload)
+	payload := rest[FrameHeaderSize : FrameHeaderSize+hdr.Length]
 	// Consume the frame bytes even on error: the caller will tear the
 	// connection down anyway.
-	r.buf = r.buf[FrameHeaderSize+hdr.Length:]
-	return frame, err
+	r.off += FrameHeaderSize + hdr.Length
+	err := decodePayloadInto(f, hdr, payload)
+	return true, err
 }
 
 func decodePayload(hdr FrameHeader, payload []byte) (*Frame, error) {
-	f := &Frame{Header: hdr}
+	f := &Frame{}
+	if err := decodePayloadInto(f, hdr, payload); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// decodePayloadInto decodes into f, reusing f.Settings' capacity. Payload
+// slices (Data) alias the input buffer; callers that outlive it must copy.
+func decodePayloadInto(f *Frame, hdr FrameHeader, payload []byte) error {
+	*f = Frame{Header: hdr, Settings: f.Settings[:0]}
 	switch hdr.Type {
 	case FrameData:
 		if hdr.StreamID == 0 {
-			return nil, ConnectionError{ErrCodeProtocol, "DATA on stream 0"}
+			return ConnectionError{ErrCodeProtocol, "DATA on stream 0"}
 		}
 		data, pad, err := stripPadding(hdr, payload)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		f.Data, f.PadLength = data, pad
 
 	case FrameHeaders:
 		if hdr.StreamID == 0 {
-			return nil, ConnectionError{ErrCodeProtocol, "HEADERS on stream 0"}
+			return ConnectionError{ErrCodeProtocol, "HEADERS on stream 0"}
 		}
 		data, pad, err := stripPadding(hdr, payload)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		f.PadLength = pad
 		if hdr.Flags.Has(FlagPriority) {
 			if len(data) < 5 {
-				return nil, ConnectionError{ErrCodeFrameSize, "HEADERS priority block truncated"}
+				return ConnectionError{ErrCodeFrameSize, "HEADERS priority block truncated"}
 			}
 			f.Priority = parsePriority(data)
 			data = data[5:]
@@ -123,34 +168,34 @@ func decodePayload(hdr FrameHeader, payload []byte) (*Frame, error) {
 
 	case FramePriority:
 		if hdr.StreamID == 0 {
-			return nil, ConnectionError{ErrCodeProtocol, "PRIORITY on stream 0"}
+			return ConnectionError{ErrCodeProtocol, "PRIORITY on stream 0"}
 		}
 		if len(payload) != 5 {
-			return nil, StreamError{hdr.StreamID, ErrCodeFrameSize, "PRIORITY length != 5"}
+			return StreamError{hdr.StreamID, ErrCodeFrameSize, "PRIORITY length != 5"}
 		}
 		f.Priority = parsePriority(payload)
 
 	case FrameRSTStream:
 		if hdr.StreamID == 0 {
-			return nil, ConnectionError{ErrCodeProtocol, "RST_STREAM on stream 0"}
+			return ConnectionError{ErrCodeProtocol, "RST_STREAM on stream 0"}
 		}
 		if len(payload) != 4 {
-			return nil, ConnectionError{ErrCodeFrameSize, "RST_STREAM length != 4"}
+			return ConnectionError{ErrCodeFrameSize, "RST_STREAM length != 4"}
 		}
 		f.ErrCode = ErrCode(binary.BigEndian.Uint32(payload))
 
 	case FrameSettings:
 		if hdr.StreamID != 0 {
-			return nil, ConnectionError{ErrCodeProtocol, "SETTINGS on non-zero stream"}
+			return ConnectionError{ErrCodeProtocol, "SETTINGS on non-zero stream"}
 		}
 		if hdr.Flags.Has(FlagAck) {
 			if len(payload) != 0 {
-				return nil, ConnectionError{ErrCodeFrameSize, "SETTINGS ACK with payload"}
+				return ConnectionError{ErrCodeFrameSize, "SETTINGS ACK with payload"}
 			}
-			return f, nil
+			return nil
 		}
 		if len(payload)%6 != 0 {
-			return nil, ConnectionError{ErrCodeFrameSize, "SETTINGS length not multiple of 6"}
+			return ConnectionError{ErrCodeFrameSize, "SETTINGS length not multiple of 6"}
 		}
 		for i := 0; i < len(payload); i += 6 {
 			f.Settings = append(f.Settings, Setting{
@@ -161,34 +206,34 @@ func decodePayload(hdr FrameHeader, payload []byte) (*Frame, error) {
 
 	case FramePushPromise:
 		if hdr.StreamID == 0 {
-			return nil, ConnectionError{ErrCodeProtocol, "PUSH_PROMISE on stream 0"}
+			return ConnectionError{ErrCodeProtocol, "PUSH_PROMISE on stream 0"}
 		}
 		data, pad, err := stripPadding(hdr, payload)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		f.PadLength = pad
 		if len(data) < 4 {
-			return nil, ConnectionError{ErrCodeFrameSize, "PUSH_PROMISE truncated"}
+			return ConnectionError{ErrCodeFrameSize, "PUSH_PROMISE truncated"}
 		}
 		f.PromisedStreamID = binary.BigEndian.Uint32(data) & 0x7fffffff
 		f.Data = data[4:]
 
 	case FramePing:
 		if hdr.StreamID != 0 {
-			return nil, ConnectionError{ErrCodeProtocol, "PING on non-zero stream"}
+			return ConnectionError{ErrCodeProtocol, "PING on non-zero stream"}
 		}
 		if len(payload) != 8 {
-			return nil, ConnectionError{ErrCodeFrameSize, "PING length != 8"}
+			return ConnectionError{ErrCodeFrameSize, "PING length != 8"}
 		}
 		copy(f.PingData[:], payload)
 
 	case FrameGoAway:
 		if hdr.StreamID != 0 {
-			return nil, ConnectionError{ErrCodeProtocol, "GOAWAY on non-zero stream"}
+			return ConnectionError{ErrCodeProtocol, "GOAWAY on non-zero stream"}
 		}
 		if len(payload) < 8 {
-			return nil, ConnectionError{ErrCodeFrameSize, "GOAWAY truncated"}
+			return ConnectionError{ErrCodeFrameSize, "GOAWAY truncated"}
 		}
 		f.LastStreamID = binary.BigEndian.Uint32(payload) & 0x7fffffff
 		f.ErrCode = ErrCode(binary.BigEndian.Uint32(payload[4:8]))
@@ -196,13 +241,13 @@ func decodePayload(hdr FrameHeader, payload []byte) (*Frame, error) {
 
 	case FrameWindowUpdate:
 		if len(payload) != 4 {
-			return nil, ConnectionError{ErrCodeFrameSize, "WINDOW_UPDATE length != 4"}
+			return ConnectionError{ErrCodeFrameSize, "WINDOW_UPDATE length != 4"}
 		}
 		f.WindowIncrement = binary.BigEndian.Uint32(payload) & 0x7fffffff
 
 	case FrameContinuation:
 		if hdr.StreamID == 0 {
-			return nil, ConnectionError{ErrCodeProtocol, "CONTINUATION on stream 0"}
+			return ConnectionError{ErrCodeProtocol, "CONTINUATION on stream 0"}
 		}
 		f.Data = payload
 
@@ -210,7 +255,7 @@ func decodePayload(hdr FrameHeader, payload []byte) (*Frame, error) {
 		// Unknown frame types are ignored by the caller (§4.1); parse
 		// succeeds with just the header.
 	}
-	return f, nil
+	return nil
 }
 
 func parsePriority(b []byte) PriorityParam {
@@ -260,10 +305,14 @@ func AppendData(dst []byte, streamID uint32, data []byte, endStream bool, pad in
 	}
 	dst = append(dst, data...)
 	if pad > 0 {
-		dst = append(dst, make([]byte, pad)...)
+		dst = append(dst, zeroPad[:pad]...)
 	}
 	return dst
 }
+
+// zeroPad supplies DATA padding bytes (pad is capped at 255) without a
+// per-frame allocation.
+var zeroPad [255]byte
 
 // AppendHeaders writes a HEADERS frame carrying a (complete) header-block
 // fragment. Callers needing CONTINUATION splitting use appendHeaderBlock.

@@ -21,16 +21,18 @@ func harvestFrames(tb testing.TB) [][]byte {
 	var toServer, toClient [][]byte
 	client, err := NewConn(true, Config{Check: ck, TraceName: "client", EnablePush: true},
 		func(b []byte) {
-			frames = append(frames, append([]byte(nil), b...))
-			toServer = append(toServer, b)
+			cp := append([]byte(nil), b...) // b is per-frame scratch
+			frames = append(frames, cp)
+			toServer = append(toServer, cp)
 		})
 	if err != nil {
 		tb.Fatal(err)
 	}
 	server, err := NewConn(false, Config{Check: ck, TraceName: "server", PadData: func(int) int { return 16 }},
 		func(b []byte) {
-			frames = append(frames, append([]byte(nil), b...))
-			toClient = append(toClient, b)
+			cp := append([]byte(nil), b...) // b is per-frame scratch
+			frames = append(frames, cp)
+			toClient = append(toClient, cp)
 		})
 	if err != nil {
 		tb.Fatal(err)

@@ -25,6 +25,7 @@ type CrossTraffic struct {
 	size    int
 	stopped bool
 	sent    int
+	tickEv  func(any) // onTick bound once; rescheduled via AfterArg
 }
 
 // NewCrossTraffic builds a generator producing roughly rateBps of load in
@@ -34,6 +35,7 @@ func NewCrossTraffic(sched *simtime.Scheduler, rng *simtime.Rand, path *Path, ra
 		pktSize = 1200
 	}
 	ct := &CrossTraffic{sched: sched, rng: rng, path: path, size: pktSize}
+	ct.tickEv = ct.onTick
 	if rateBps > 0 {
 		gap := time.Duration(float64(pktSize*8) / rateBps * float64(time.Second))
 		ct.meanGap = gap
@@ -57,11 +59,15 @@ func (ct *CrossTraffic) Stop() { ct.stopped = true }
 // Sent reports how many background packets were injected.
 func (ct *CrossTraffic) Sent() int { return ct.sent }
 
+func (ct *CrossTraffic) onTick(dir any) { ct.tick(dir.(Direction)) }
+
 func (ct *CrossTraffic) tick(dir Direction) {
 	if ct.stopped {
 		return
 	}
 	ct.path.Send(dir, ct.size, Background{})
 	ct.sent++
-	ct.sched.After(ct.rng.Exponential(ct.meanGap), func() { ct.tick(dir) })
+	// AfterArg with a pre-bound method value: Direction values are tiny
+	// ints, so boxing them into any stays allocation-free.
+	ct.sched.AfterArg(ct.rng.Exponential(ct.meanGap), ct.tickEv, dir)
 }

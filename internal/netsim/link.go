@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"h2privacy/internal/check"
+	"h2privacy/internal/pool"
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/trace"
 )
@@ -108,6 +109,19 @@ type Link struct {
 
 	ck    *check.Checker // nil unless invariant checks are armed
 	ckDir uint8          // check.DirC2S / check.DirS2C, resolved once
+
+	// Packet recycling (see SetRecycle). deliverEv/txDoneEv are the
+	// link's delivery and queue-drain callbacks bound once as method
+	// values, so the Send hot path schedules them through AtArg without
+	// building a closure per packet. pktFree recycles Packet structs and
+	// release hands the payload back to its owner (tcpsim's segment
+	// pool) once the last scheduled reference has fired — refcounted,
+	// because netem-style duplication delivers the same packet twice.
+	deliverEv func(any)
+	txDoneEv  func(any)
+	recycle   bool
+	release   func(payload any)
+	pktFree   pool.FreeList[Packet]
 }
 
 // NewLink builds a link for one direction. deliver may be set later with
@@ -119,7 +133,28 @@ func NewLink(sched *simtime.Scheduler, rng *simtime.Rand, dir Direction, cfg Lin
 	if nextID == nil {
 		nextID = new(uint64)
 	}
-	return &Link{sched: sched, rng: rng, dir: dir, cfg: cfg, nextID: nextID}, nil
+	l := &Link{sched: sched, rng: rng, dir: dir, cfg: cfg, nextID: nextID}
+	// Bound once: the Send hot path schedules these through AtArg, so a
+	// forwarded packet costs zero closure allocations.
+	l.deliverEv = l.onDeliver
+	l.txDoneEv = l.onTxDone
+	return l, nil
+}
+
+// SetRecycle arms packet-struct recycling: once every scheduled
+// reference to a forwarded packet has fired (or a packet is dropped at
+// the middlebox), release is called with its payload — the transport
+// returns segment buffers to its pool there — and the Packet struct
+// itself is free-listed for the next Send. release may be nil to
+// recycle only the structs. Callers (taps, processors, delivery
+// handlers) must not retain *Packet or the payload past their callback
+// once recycling is armed; everything in the trial object graph obeys
+// that already (the capture monitor deep-copies when its packet log is
+// on). Direct Link/Path users that keep packet pointers — several
+// netsim tests do — simply leave recycling off.
+func (l *Link) SetRecycle(release func(payload any)) {
+	l.recycle = true
+	l.release = release
 }
 
 // SetDeliver installs the receiving endpoint's handler.
@@ -205,7 +240,8 @@ func (l *Link) Send(size int, payload any) {
 		panic(fmt.Sprintf("netsim: non-positive packet size %d", size))
 	}
 	now := l.sched.Now()
-	pkt := &Packet{ID: *l.nextID, Dir: l.dir, Size: size, Payload: payload, SentAt: now}
+	pkt := l.pktFree.Get() // zeroed; allocates until recycling feeds the list
+	pkt.ID, pkt.Dir, pkt.Size, pkt.Payload, pkt.SentAt = *l.nextID, l.dir, size, payload, now
 	*l.nextID++
 	l.stats.Sent++
 	l.ck.LinkOffered(l.ckDir, size)
@@ -224,6 +260,7 @@ func (l *Link) Send(size int, payload any) {
 			l.ck.LinkDropped(l.ckDir, size, check.DropPolicy)
 			l.traceDrop(pkt, "policy")
 			l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedPolicy})
+			l.discard(pkt)
 			return
 		}
 		extra += v.ExtraDelay
@@ -235,6 +272,7 @@ func (l *Link) Send(size int, payload any) {
 		l.ck.LinkDropped(l.ckDir, size, check.DropFault)
 		l.traceDrop(pkt, "fault")
 		l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedFault})
+		l.discard(pkt)
 		return
 	}
 
@@ -257,6 +295,7 @@ func (l *Link) Send(size int, payload any) {
 			l.traceDrop(pkt, "loss")
 			l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedLoss})
 		}
+		l.discard(pkt)
 		return
 	}
 
@@ -266,6 +305,7 @@ func (l *Link) Send(size int, payload any) {
 		l.ck.LinkDropped(l.ckDir, size, check.DropQueue)
 		l.traceDrop(pkt, "queue")
 		l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedQueue})
+		l.discard(pkt)
 		return
 	}
 
@@ -278,18 +318,13 @@ func (l *Link) Send(size int, payload any) {
 	txEnd := txStart + txTime
 	l.busyUntil = txEnd
 	l.queuedBytes += size
-	l.sched.At(txEnd, func() { l.queuedBytes -= size })
+	pkt.refs = 2 // queue-drain + delivery; a duplicate adds a third
+	l.sched.AtArg(txEnd, l.txDoneEv, pkt)
 
 	arrival := txEnd + l.cfg.PropDelay + l.propExtra + l.naturalJitter() + extra
 	l.ck.LinkForwarded(l.ckDir, size, false)
 	l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionForwarded, Arrival: arrival})
-	l.sched.At(arrival, func() {
-		l.stats.Delivered++
-		l.stats.BytesDelivered += int64(size)
-		l.ck.LinkDelivered(l.ckDir, size)
-		l.traceDequeue(pkt)
-		l.deliver(pkt)
-	})
+	l.sched.AtArg(arrival, l.deliverEv, pkt)
 	// netem-style duplication: a second copy whose independent jitter draw
 	// goes through the same ReorderProb gate as the primary, and whose
 	// delivery updates the same stats the primary does.
@@ -297,14 +332,59 @@ func (l *Link) Send(size int, payload any) {
 		dupArrival := txEnd + l.cfg.PropDelay + l.propExtra + l.naturalJitter() + extra
 		l.stats.Duplicated++
 		l.ck.LinkForwarded(l.ckDir, size, true)
-		l.sched.At(dupArrival, func() {
-			l.stats.Delivered++
-			l.stats.BytesDelivered += int64(size)
-			l.ck.LinkDelivered(l.ckDir, size)
-			l.traceDequeue(pkt)
-			l.deliver(pkt)
-		})
+		pkt.refs++
+		l.sched.AtArg(dupArrival, l.deliverEv, pkt)
 	}
+}
+
+// onTxDone fires when the packet's last bit leaves the serialization
+// queue: the queued-byte budget is returned and one scheduler reference
+// on the packet is dropped.
+func (l *Link) onTxDone(v any) {
+	pkt := v.(*Packet)
+	l.queuedBytes -= pkt.Size
+	l.unref(pkt)
+}
+
+// onDeliver fires at a packet's arrival time (primary or duplicate
+// copy) and hands it to the endpoint.
+func (l *Link) onDeliver(v any) {
+	pkt := v.(*Packet)
+	l.stats.Delivered++
+	l.stats.BytesDelivered += int64(pkt.Size)
+	l.ck.LinkDelivered(l.ckDir, pkt.Size)
+	l.traceDequeue(pkt)
+	l.deliver(pkt)
+	l.unref(pkt)
+}
+
+// unref drops one scheduler reference; the last one recycles the packet
+// (and its payload, through the release hook). A no-op on links without
+// recycling armed.
+func (l *Link) unref(pkt *Packet) {
+	if !l.recycle {
+		return
+	}
+	pkt.refs--
+	if pkt.refs > 0 {
+		return
+	}
+	if l.release != nil {
+		l.release(pkt.Payload)
+	}
+	l.pktFree.Put(pkt)
+}
+
+// discard recycles a packet dropped at the middlebox (never scheduled,
+// so no references are pending). A no-op without recycling.
+func (l *Link) discard(pkt *Packet) {
+	if !l.recycle {
+		return
+	}
+	if l.release != nil {
+		l.release(pkt.Payload)
+	}
+	l.pktFree.Put(pkt)
 }
 
 // naturalJitter draws one per-packet natural delay, honoring the netem

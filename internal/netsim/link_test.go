@@ -376,3 +376,99 @@ func TestLinkDuplicateStatsAndReorderGate(t *testing.T) {
 		}
 	}
 }
+
+// TestRecycleReusesPacketsAndReleasesPayloads pins the recycling
+// contract: with SetRecycle armed, a delivered (or dropped) packet's
+// payload reaches the release hook exactly once — duplicates share one
+// packet, so one release — and the struct is reused by a later Send.
+func TestRecycleReusesPacketsAndReleasesPayloads(t *testing.T) {
+	sched := simtime.NewScheduler()
+	l, err := NewLink(sched, simtime.NewRand(7), ClientToServer, LinkConfig{BandwidthBps: 1e9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var released []any
+	l.SetRecycle(func(p any) { released = append(released, p) })
+	delivered := 0
+	l.SetDeliver(func(p *Packet) { delivered++ })
+
+	l.Send(100, "a")
+	sched.Run()
+	if delivered != 1 || len(released) != 1 || released[0] != "a" {
+		t.Fatalf("delivered=%d released=%v", delivered, released)
+	}
+	if l.pktFree.Len() != 1 {
+		t.Fatalf("free list len = %d after delivery, want 1", l.pktFree.Len())
+	}
+
+	// A middlebox drop releases immediately, without scheduling.
+	l.AddProcessor(ProcessorFunc(func(time.Duration, *Packet) Verdict { return Verdict{Drop: true} }))
+	l.Send(100, "b")
+	if len(released) != 2 || released[1] != "b" {
+		t.Fatalf("drop did not release: %v", released)
+	}
+	if l.pktFree.Len() != 1 {
+		t.Fatalf("free list len = %d after drop, want 1 (struct recycled synchronously)", l.pktFree.Len())
+	}
+}
+
+// TestRecycleDuplicateSingleRelease forces duplication and checks the
+// shared packet is released once, after the second delivery.
+func TestRecycleDuplicateSingleRelease(t *testing.T) {
+	sched := simtime.NewScheduler()
+	l, err := NewLink(sched, simtime.NewRand(7), ClientToServer,
+		LinkConfig{BandwidthBps: 1e9, DuplicateProb: 0.999999}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	releases, delivered := 0, 0
+	l.SetRecycle(func(any) { releases++ })
+	l.SetDeliver(func(p *Packet) { delivered++ })
+	l.Send(100, "dup")
+	sched.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered = %d, want 2 (duplicate)", delivered)
+	}
+	if releases != 1 {
+		t.Fatalf("releases = %d, want exactly 1 for the shared packet", releases)
+	}
+}
+
+// TestRecycleIdenticalOutcome runs the same jittery, lossy workload with
+// and without recycling and requires identical stats and arrival times —
+// recycling changes where structs live, never what the link does.
+func TestRecycleIdenticalOutcome(t *testing.T) {
+	run := func(recycle bool) (LinkStats, []time.Duration) {
+		sched := simtime.NewScheduler()
+		l, err := NewLink(sched, simtime.NewRand(99), ClientToServer, LinkConfig{
+			BandwidthBps: 1e6, NaturalJitter: 3 * time.Millisecond,
+			LossProb: 0.2, DuplicateProb: 0.1, QueueLimit: 4000,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recycle {
+			l.SetRecycle(nil)
+		}
+		var arrivals []time.Duration
+		l.SetDeliver(func(p *Packet) { arrivals = append(arrivals, sched.Now()) })
+		for i := 0; i < 200; i++ {
+			l.Send(1000, Background{})
+		}
+		sched.Run()
+		return l.Stats(), arrivals
+	}
+	s1, a1 := run(false)
+	s2, a2 := run(true)
+	if s1 != s2 {
+		t.Fatalf("stats diverge: %+v vs %+v", s1, s2)
+	}
+	if len(a1) != len(a2) {
+		t.Fatalf("arrival counts diverge: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("arrival %d diverges: %v vs %v", i, a1[i], a2[i])
+		}
+	}
+}

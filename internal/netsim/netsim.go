@@ -54,6 +54,14 @@ type Packet struct {
 	Payload any
 	// SentAt is the virtual time the packet entered the link.
 	SentAt time.Duration
+
+	// refs counts pending scheduler references when the owning link has
+	// packet recycling armed (Link.SetRecycle): queue-drain, delivery,
+	// and a possible duplicate delivery each hold one. The struct (and
+	// its payload, via the release hook) goes back on the link's free
+	// list when the count hits zero. Unused — always zero — on links
+	// without recycling.
+	refs int
 }
 
 // Verdict is a middlebox processor's decision about one packet.

@@ -97,6 +97,16 @@ func (p *Path) AddTap(t Tap) {
 	p.s2c.AddTap(t)
 }
 
+// SetRecycle arms packet recycling on both links (see Link.SetRecycle):
+// delivered or dropped packets hand their payload to release and return
+// their structs to per-link free lists. The transport layer installs
+// this when a trial arena is armed; consumers must then not retain
+// packets or payloads past their callbacks.
+func (p *Path) SetRecycle(release func(payload any)) {
+	p.c2s.SetRecycle(release)
+	p.s2c.SetRecycle(release)
+}
+
 // SetBandwidth throttles both directions to the given rate in bits per
 // second (the adversary's §IV-C knob).
 func (p *Path) SetBandwidth(bps float64) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 )
 
 // BenchRecord is the schema of BENCH_sweep.json: the committed
@@ -21,6 +22,11 @@ type BenchRecord struct {
 	SequentialMS int64   `json:"sequential_ms"`
 	ParallelMS   int64   `json:"parallel_ms"`
 	Speedup      float64 `json:"speedup"`
+	// AllocsPerTrial is the sequential run's attributed heap allocation
+	// count divided by trials — the headline number the arena/pool work
+	// drives down. Recorded at top level so a human (or jq) reads it
+	// without summing the stage table; absent in older baselines.
+	AllocsPerTrial float64 `json:"allocs_per_trial,omitempty"`
 	// Note annotates the record ("single-core box: ..."); set by the bench
 	// recorder when the speedup figure is not meaningful.
 	Note string `json:"note,omitempty"`
@@ -60,6 +66,38 @@ func (r *Report) BenchStages() []BenchStage {
 		}
 	}
 	return out
+}
+
+// SeqAllocsPerTrial resolves the record's sequential allocs/trial: the
+// top-level field when recorded, else the sequential stage table summed
+// and normalized. Zero means the record predates alloc attribution.
+func (b *BenchRecord) SeqAllocsPerTrial() float64 {
+	if b.AllocsPerTrial > 0 {
+		return b.AllocsPerTrial
+	}
+	var total int64
+	for _, s := range b.SequentialStages {
+		total += s.AllocObjects
+	}
+	if total <= 0 || b.Trials <= 0 {
+		return 0
+	}
+	return float64(total) / float64(b.Trials)
+}
+
+// seqStageAllocsPerTrial maps stage name -> allocs/trial for the stages
+// that recorded allocation data.
+func (b *BenchRecord) seqStageAllocsPerTrial() map[string]float64 {
+	if b.Trials <= 0 {
+		return nil
+	}
+	m := make(map[string]float64, len(b.SequentialStages))
+	for _, s := range b.SequentialStages {
+		if s.AllocObjects > 0 {
+			m[s.Stage] = float64(s.AllocObjects) / float64(b.Trials)
+		}
+	}
+	return m
 }
 
 // effectiveCores resolves the record's core count: numcpu when recorded,
@@ -123,17 +161,31 @@ type BenchDiff struct {
 	// only when judged.
 	SpeedupJudged bool
 	SpeedupOK     bool
+	// AllocsPerTrialOld / AllocsPerTrialNew are the sequential runs'
+	// total attributed allocs/trial (0 when a record predates alloc
+	// attribution). AllocRegressionPct is the total's change: positive =
+	// more allocations. AllocJudged is false when the allocation gate was
+	// skipped (no threshold, or either record lacks stage alloc data).
+	AllocsPerTrialOld  float64
+	AllocsPerTrialNew  float64
+	AllocRegressionPct float64
+	AllocJudged        bool
 	// Failed is the gate verdict; Notes explain it (and any skips).
 	Failed bool
 	Notes  []string
 }
 
 // DiffBench gates new against old: fail when sequential ms/trial regresses
-// by more than thresholdPct percent, and — only on multi-core boxes and
-// only when speedupFloor > 0 — when the parallel speedup falls below
-// speedupFloor. A single-core box cannot win with workers>1, so its
-// speedup judgment is skipped with a note, never failed.
-func DiffBench(old, new *BenchRecord, thresholdPct, speedupFloor float64) *BenchDiff {
+// by more than thresholdPct percent; when allocThresholdPct > 0, fail when
+// any stage's (or the total's) sequential allocs/trial regresses by more
+// than that percentage — allocation counts are near-deterministic, so this
+// gate can run much tighter than the wall-clock one; and — only on
+// multi-core boxes and only when speedupFloor > 0 — when the parallel
+// speedup falls below speedupFloor. A single-core box cannot win with
+// workers>1, so its speedup judgment is skipped with a note, never failed.
+// Records that predate alloc attribution skip the allocation judgment with
+// a note.
+func DiffBench(old, new *BenchRecord, thresholdPct, speedupFloor, allocThresholdPct float64) *BenchDiff {
 	d := &BenchDiff{
 		SeqPerTrialOldMS: float64(old.SequentialMS) / float64(old.Trials),
 		SeqPerTrialNewMS: float64(new.SequentialMS) / float64(new.Trials),
@@ -172,6 +224,56 @@ func DiffBench(old, new *BenchRecord, thresholdPct, speedupFloor float64) *Bench
 		} else {
 			d.Notes = append(d.Notes, fmt.Sprintf(
 				"parallel speedup %.2fx meets the %.2fx floor", new.Speedup, speedupFloor))
+		}
+	}
+	d.AllocsPerTrialOld = old.SeqAllocsPerTrial()
+	d.AllocsPerTrialNew = new.SeqAllocsPerTrial()
+	if d.AllocsPerTrialOld > 0 {
+		d.AllocRegressionPct = 100 * (d.AllocsPerTrialNew - d.AllocsPerTrialOld) / d.AllocsPerTrialOld
+	}
+	switch {
+	case allocThresholdPct <= 0:
+		if d.AllocsPerTrialOld > 0 && d.AllocsPerTrialNew > 0 {
+			d.Notes = append(d.Notes, fmt.Sprintf(
+				"allocs/trial: %.0f -> %.0f (%+.1f%%; no threshold configured, informational)",
+				d.AllocsPerTrialOld, d.AllocsPerTrialNew, d.AllocRegressionPct))
+		}
+	case d.AllocsPerTrialOld == 0 || d.AllocsPerTrialNew == 0:
+		d.Notes = append(d.Notes,
+			"a record predates stage allocation attribution; allocation judgment skipped")
+	default:
+		d.AllocJudged = true
+		if d.AllocRegressionPct > allocThresholdPct {
+			d.Failed = true
+			d.Notes = append(d.Notes, fmt.Sprintf(
+				"allocs/trial regressed %.1f%% (%.0f -> %.0f), over the %.1f%% threshold",
+				d.AllocRegressionPct, d.AllocsPerTrialOld, d.AllocsPerTrialNew, allocThresholdPct))
+		} else {
+			d.Notes = append(d.Notes, fmt.Sprintf(
+				"allocs/trial: %.0f -> %.0f (%+.1f%%, threshold %.1f%%)",
+				d.AllocsPerTrialOld, d.AllocsPerTrialNew, d.AllocRegressionPct, allocThresholdPct))
+		}
+		// Per-stage gate: a regression hidden inside one stage must not be
+		// washed out by a win in another.
+		oldStages, newStages := old.seqStageAllocsPerTrial(), new.seqStageAllocsPerTrial()
+		names := make([]string, 0, len(oldStages))
+		for stage := range oldStages {
+			names = append(names, stage)
+		}
+		sort.Strings(names)
+		for _, stage := range names {
+			oldPer := oldStages[stage]
+			newPer, ok := newStages[stage]
+			if !ok {
+				continue // stage gone or alloc-free now: an improvement
+			}
+			pct := 100 * (newPer - oldPer) / oldPer
+			if pct > allocThresholdPct {
+				d.Failed = true
+				d.Notes = append(d.Notes, fmt.Sprintf(
+					"stage %q allocs/trial regressed %.1f%% (%.0f -> %.0f), over the %.1f%% threshold",
+					stage, pct, oldPer, newPer, allocThresholdPct))
+			}
 		}
 	}
 	return d

@@ -18,7 +18,7 @@ func benchRec(trials int, seqMS, parMS int64, cores int) *BenchRecord {
 func TestDiffBenchPassesWithinThreshold(t *testing.T) {
 	old := benchRec(16, 560, 690, 1)
 	cur := benchRec(16, 600, 700, 1)
-	d := DiffBench(old, cur, 25, 0)
+	d := DiffBench(old, cur, 25, 0, 0)
 	if d.Failed {
 		t.Fatalf("7%% regression failed a 25%% gate: %+v", d)
 	}
@@ -30,7 +30,7 @@ func TestDiffBenchPassesWithinThreshold(t *testing.T) {
 func TestDiffBenchFailsOverThreshold(t *testing.T) {
 	old := benchRec(16, 560, 690, 1)
 	cur := benchRec(16, 900, 950, 1)
-	d := DiffBench(old, cur, 25, 0)
+	d := DiffBench(old, cur, 25, 0, 0)
 	if !d.Failed {
 		t.Fatalf("60%% regression passed a 25%% gate: %+v", d)
 	}
@@ -44,7 +44,7 @@ func TestDiffBenchNormalizesPerTrial(t *testing.T) {
 	// regression.
 	old := benchRec(16, 560, 690, 1)
 	cur := benchRec(32, 1120, 1380, 1)
-	d := DiffBench(old, cur, 5, 0)
+	d := DiffBench(old, cur, 5, 0, 0)
 	if d.Failed || d.SeqRegressionPct != 0 {
 		t.Fatalf("trial-count change misread as regression: %+v", d)
 	}
@@ -53,7 +53,7 @@ func TestDiffBenchNormalizesPerTrial(t *testing.T) {
 func TestDiffBenchSkipsSpeedupOnSingleCore(t *testing.T) {
 	old := benchRec(16, 560, 690, 1)
 	cur := benchRec(16, 560, 700, 1) // 0.8x "speedup" on one core
-	d := DiffBench(old, cur, 25, 1.0)
+	d := DiffBench(old, cur, 25, 1.0, 0)
 	if d.Failed || d.SpeedupJudged {
 		t.Fatalf("single-core speedup was judged: %+v", d)
 	}
@@ -65,12 +65,12 @@ func TestDiffBenchSkipsSpeedupOnSingleCore(t *testing.T) {
 func TestDiffBenchJudgesSpeedupOnMultiCore(t *testing.T) {
 	old := benchRec(16, 560, 690, 4)
 	slow := benchRec(16, 560, 700, 4) // parallel slower on 4 cores
-	d := DiffBench(old, slow, 25, 1.0)
+	d := DiffBench(old, slow, 25, 1.0, 0)
 	if !d.SpeedupJudged || d.SpeedupOK || !d.Failed {
 		t.Fatalf("multi-core sub-1x speedup passed a 1.0 floor: %+v", d)
 	}
 	fast := benchRec(16, 560, 200, 4)
-	d = DiffBench(old, fast, 25, 1.0)
+	d = DiffBench(old, fast, 25, 1.0, 0)
 	if !d.SpeedupJudged || !d.SpeedupOK || d.Failed {
 		t.Fatalf("2.8x speedup failed a 1.0 floor: %+v", d)
 	}
@@ -81,7 +81,7 @@ func TestDiffBenchLegacyBaselineWithoutNumCPU(t *testing.T) {
 	old := &BenchRecord{Benchmark: "full-attack sweep", Trials: 16, Workers: 1,
 		Cores: 1, SequentialMS: 566, ParallelMS: 690, Speedup: 0.82}
 	cur := benchRec(16, 570, 690, 1)
-	d := DiffBench(old, cur, 25, 1.0)
+	d := DiffBench(old, cur, 25, 1.0, 0)
 	if d.Failed || d.SpeedupJudged {
 		t.Fatalf("legacy baseline mishandled: %+v", d)
 	}
@@ -120,6 +120,78 @@ func TestReadBenchRecordRejectsBadTrials(t *testing.T) {
 	}
 	if _, err := ReadBenchRecord(path); err == nil {
 		t.Fatal("trials=0 record accepted")
+	}
+}
+
+func benchRecAllocs(trials int, stageAllocs map[string]int64) *BenchRecord {
+	rec := benchRec(trials, 560, 690, 1)
+	for stage, n := range stageAllocs {
+		rec.SequentialStages = append(rec.SequentialStages,
+			BenchStage{Stage: stage, TotalMS: 100, AllocObjects: n})
+	}
+	return rec
+}
+
+func TestDiffBenchAllocGatePassesAndFails(t *testing.T) {
+	old := benchRecAllocs(16, map[string]int64{"run": 1_000_000, "build": 100_000})
+	same := benchRecAllocs(16, map[string]int64{"run": 1_020_000, "build": 100_000})
+	d := DiffBench(old, same, 25, 0, 10)
+	if !d.AllocJudged || d.Failed {
+		t.Fatalf("2%% alloc growth failed a 10%% gate: %+v", d)
+	}
+	worse := benchRecAllocs(16, map[string]int64{"run": 1_500_000, "build": 100_000})
+	d = DiffBench(old, worse, 25, 0, 10)
+	if !d.AllocJudged || !d.Failed {
+		t.Fatalf("50%% alloc regression passed a 10%% gate: %+v", d)
+	}
+	if !strings.Contains(strings.Join(d.Notes, "\n"), "allocs/trial regressed") {
+		t.Fatalf("alloc failure note missing: %v", d.Notes)
+	}
+}
+
+func TestDiffBenchAllocGateCatchesPerStageRegression(t *testing.T) {
+	// A big win in one stage must not wash out a regression in another:
+	// total allocs drop here, but "build" alone doubles.
+	old := benchRecAllocs(16, map[string]int64{"run": 1_000_000, "build": 100_000})
+	cur := benchRecAllocs(16, map[string]int64{"run": 400_000, "build": 200_000})
+	d := DiffBench(old, cur, 25, 0, 10)
+	if !d.Failed {
+		t.Fatalf("doubled build-stage allocs passed a 10%% gate: %+v", d)
+	}
+	if !strings.Contains(strings.Join(d.Notes, "\n"), `stage "build"`) {
+		t.Fatalf("per-stage failure note missing: %v", d.Notes)
+	}
+}
+
+func TestDiffBenchAllocGateNormalizesPerTrial(t *testing.T) {
+	old := benchRecAllocs(16, map[string]int64{"run": 1_000_000})
+	cur := benchRecAllocs(32, map[string]int64{"run": 2_000_000})
+	d := DiffBench(old, cur, 200, 0, 5)
+	if d.Failed {
+		t.Fatalf("trial-count change misread as alloc regression: %+v", d)
+	}
+}
+
+func TestDiffBenchAllocGateSkipsLegacyBaseline(t *testing.T) {
+	old := benchRec(16, 560, 690, 1) // no stage alloc data
+	cur := benchRecAllocs(16, map[string]int64{"run": 1_000_000})
+	d := DiffBench(old, cur, 25, 0, 10)
+	if d.AllocJudged || d.Failed {
+		t.Fatalf("legacy baseline was alloc-judged: %+v", d)
+	}
+	if !strings.Contains(strings.Join(d.Notes, "\n"), "allocation judgment skipped") {
+		t.Fatalf("skip note missing: %v", d.Notes)
+	}
+}
+
+func TestSeqAllocsPerTrialPrefersTopLevel(t *testing.T) {
+	rec := benchRecAllocs(16, map[string]int64{"run": 1_600_000})
+	if got := rec.SeqAllocsPerTrial(); got != 100_000 {
+		t.Fatalf("stage-derived allocs/trial = %.0f, want 100000", got)
+	}
+	rec.AllocsPerTrial = 42
+	if got := rec.SeqAllocsPerTrial(); got != 42 {
+		t.Fatalf("top-level allocs/trial ignored: %.0f", got)
 	}
 }
 

@@ -27,6 +27,8 @@ type Event struct {
 	at   time.Duration
 	seq  uint64
 	fn   func()
+	fnA  func(any) // AtArg form: pre-bound callback + argument, no closure
+	arg  any
 	idx  int // heap index; -1 once removed
 	dead bool
 	next *Event // free-list link; non-nil only while recycled
@@ -92,6 +94,39 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Event {
 	return s.At(s.now+d, fn)
 }
 
+// AtArg is At for hot paths that would otherwise close over a single
+// value: fn is a long-lived function (typically a method value bound
+// once at construction) and arg is handed back to it when the event
+// fires. Scheduling this way allocates nothing beyond the (recycled)
+// Event — netsim's per-packet delivery timers are the motivating
+// caller, which fire hundreds of times per simulated page load.
+func (s *Scheduler) AtArg(at time.Duration, fn func(any), arg any) *Event {
+	if fn == nil {
+		panic("simtime: AtArg called with nil callback")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("simtime: event scheduled in the past: at=%v now=%v", at, s.now))
+	}
+	ev := s.free
+	if ev != nil {
+		s.free = ev.next
+		*ev = Event{at: at, seq: s.nextSeq, fnA: fn, arg: arg}
+	} else {
+		ev = &Event{at: at, seq: s.nextSeq, fnA: fn, arg: arg}
+	}
+	s.nextSeq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// AfterArg is After's AtArg form.
+func (s *Scheduler) AfterArg(d time.Duration, fn func(any), arg any) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtArg(s.now+d, fn, arg)
+}
+
 // Cancel removes a pending event. Cancelling an already-cancelled event is
 // a no-op, so callers can cancel unconditionally in cleanups. A fired
 // event's handle is dead (its struct may have been recycled into a new
@@ -120,12 +155,18 @@ func (s *Scheduler) Step() bool {
 		if s.stepHook != nil {
 			s.stepHook(ev.at)
 		}
-		ev.fn()
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			ev.fnA(ev.arg)
+		}
 		// Recycle only after the callback returns: a callback that reaches
 		// its own stale handle (cancel-guarded cleanup paths) still sees a
 		// dead, unpooled event and no-ops. The struct becomes live again
 		// only when a later At re-arms it.
 		ev.fn = nil
+		ev.fnA = nil
+		ev.arg = nil
 		ev.next = s.free
 		s.free = ev
 		return true

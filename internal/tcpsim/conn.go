@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"h2privacy/internal/check"
+	"h2privacy/internal/pool"
 	"h2privacy/internal/simtime"
 	"h2privacy/internal/trace"
 )
@@ -67,6 +68,21 @@ type Conn struct {
 	peerFinSeq  uint64
 	eofSent     bool
 
+	// Trial-scoped recycling (nil without Config.Pool): segs free-lists
+	// outgoing Segment structs (shared with the peer via NewPair), arena
+	// rents payload and out-of-order buffers. Both are nil-safe.
+	segs  *segPool
+	arena *pool.Arena
+
+	// Timer callbacks bound once at construction: a method value
+	// (c.onRTO) evaluates to a fresh closure allocation at every arm
+	// site, and RTO/PTO timers re-arm on every ACK.
+	onRTOFn    func()
+	onPTOFn    func()
+	onRackFn   func()
+	onDelAckFn func()
+	rackHole   uint64 // sndUna snapshot the armed rack timer guards
+
 	stats Stats
 
 	tr        *trace.Tracer
@@ -101,7 +117,12 @@ func NewConn(sched *simtime.Scheduler, cfg Config, name string, iss uint64, out 
 		peerWnd:  cfg.RecvWindow,
 		rto:      time.Second, // conservative pre-handshake RTO (RFC 6298 §2)
 		ooo:      make(map[uint64][]byte),
+		arena:    cfg.Pool,
 	}
+	c.onRTOFn = c.onRTO
+	c.onPTOFn = c.onPTO
+	c.onRackFn = c.onRack
+	c.onDelAckFn = c.onDelAck
 	if cfg.Tracer.Enabled() {
 		c.tr = cfg.Tracer
 		c.ctRTO = c.tr.Counter(trace.LayerTCP, name+".rto")
@@ -172,7 +193,7 @@ func (c *Conn) Connect() {
 	c.sndNxt = c.iss + 1
 	c.maxSndNxt = c.sndNxt
 	c.setState(StateSynSent)
-	c.transmit(&Segment{Flags: FlagSYN, Seq: c.iss, Window: c.advertisedWindow()})
+	c.transmit(c.makeSeg(FlagSYN, c.iss, 0, c.advertisedWindow(), nil, false))
 	c.armRTO()
 }
 
@@ -208,7 +229,7 @@ func (c *Conn) Abort() {
 	if c.state == StateClosed || c.state == StateBroken {
 		return
 	}
-	c.transmit(&Segment{Flags: FlagRST, Seq: c.sndNxt, Ack: c.rcvNxt})
+	c.transmit(c.makeSeg(FlagRST, c.sndNxt, c.rcvNxt, 0, nil, false))
 	c.fail(fmt.Errorf("tcpsim: %s: connection aborted locally", c.name))
 }
 
@@ -235,7 +256,7 @@ func (c *Conn) Deliver(seg *Segment) {
 				c.peerWnd = seg.Window
 			}
 			c.setState(StateSynRcvd)
-			c.transmit(&Segment{Flags: FlagSYN | FlagACK, Seq: c.iss, Ack: c.rcvNxt, Window: c.advertisedWindow()})
+			c.transmit(c.makeSeg(FlagSYN|FlagACK, c.iss, c.rcvNxt, c.advertisedWindow(), nil, false))
 			c.armRTO()
 		}
 	case StateSynSent:
@@ -315,6 +336,17 @@ func (c *Conn) advertisedWindow() int {
 	return w
 }
 
+// makeSeg assembles an outgoing segment, recycled from the pair's
+// segment pool when one is armed (plain allocation otherwise). The
+// caller hands it to transmit and must not touch it afterwards: once
+// pooling is on, the network layer reclaims it after final delivery.
+func (c *Conn) makeSeg(flags Flags, seq, ack uint64, window int, payload []byte, rtx bool) *Segment {
+	seg := c.segs.get()
+	seg.Flags, seg.Seq, seg.Ack, seg.Window, seg.Payload, seg.Retransmit =
+		flags, seq, ack, window, payload, rtx
+	return seg
+}
+
 func (c *Conn) transmit(seg *Segment) {
 	if c.ck.Enabled() && !seg.Flags.Has(FlagRST) {
 		end := seg.Seq + uint64(len(seg.Payload))
@@ -334,7 +366,7 @@ func (c *Conn) sendAck(isDup bool) {
 		c.stats.DupAcksSent++
 	}
 	c.cancelDelAck()
-	c.transmit(&Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: c.advertisedWindow()})
+	c.transmit(c.makeSeg(FlagACK, c.sndNxt, c.rcvNxt, c.advertisedWindow(), nil, false))
 }
 
 // sendAckMaybeDelayed applies RFC 1122 delayed acknowledgements when
@@ -350,12 +382,15 @@ func (c *Conn) sendAckMaybeDelayed() {
 		return
 	}
 	if c.delAckTimer == nil {
-		c.delAckTimer = c.sched.After(c.cfg.DelAckTimeout, func() {
-			c.delAckTimer = nil
-			if c.delAckCount > 0 {
-				c.sendAck(false)
-			}
-		})
+		c.delAckTimer = c.sched.After(c.cfg.DelAckTimeout, c.onDelAckFn)
+	}
+}
+
+// onDelAck fires the delayed-ACK timer (bound once as onDelAckFn).
+func (c *Conn) onDelAck() {
+	c.delAckTimer = nil
+	if c.delAckCount > 0 {
+		c.sendAck(false)
 	}
 }
 

@@ -39,6 +39,17 @@ func NewPair(sched *simtime.Scheduler, rng *simtime.Rand, path *netsim.Path, cfg
 		func(pkt *netsim.Packet) { server.Deliver(segmentOf(pkt)) },
 		func(pkt *netsim.Packet) { client.Deliver(segmentOf(pkt)) },
 	)
+	if cfg.Pool != nil {
+		// One segment pool for both endpoints, recycled through netsim
+		// packet delivery: a segment (and its arena payload) comes home
+		// when its packet's last scheduled delivery fires or it is
+		// dropped at the middlebox. Consumers on that path — endpoints,
+		// the capture monitor, the adversary — never retain segments
+		// past their callbacks.
+		sp := &segPool{arena: cfg.Pool}
+		client.segs, server.segs = sp, sp
+		path.SetRecycle(sp.release)
+	}
 	// Cross-link the endpoints so the checker can verify that every byte a
 	// side delivers was actually sent by its peer.
 	cfg.Check.TCPPeers("client", "server")

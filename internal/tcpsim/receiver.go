@@ -33,7 +33,9 @@ func (c *Conn) processData(seg *Segment) {
 		c.stats.OutOfOrderSegs++
 		if c.oooBytes+len(seg.Payload) <= c.cfg.RecvWindow {
 			if _, ok := c.ooo[seq]; !ok {
-				buf := make([]byte, len(seg.Payload))
+				// Rented from the arena (plain make without one) and
+				// returned by drainOutOfOrder once delivered or superseded.
+				buf := c.arena.Bytes(len(seg.Payload))
 				copy(buf, seg.Payload)
 				c.ooo[seq] = buf
 				c.oooBytes += len(buf)
@@ -97,5 +99,7 @@ func (c *Conn) drainOutOfOrder() {
 			// Contiguous (possibly overlapping the front): deliver the tail.
 			c.deliverInOrder(buf[c.rcvNxt-low:])
 		}
+		// onData consumers copy synchronously, so the chunk can go home.
+		c.arena.Put(buf)
 	}
 }

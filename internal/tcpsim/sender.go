@@ -51,15 +51,9 @@ func (c *Conn) trySend() {
 		if n <= 0 {
 			break
 		}
-		payload := make([]byte, n)
+		payload := c.arena.Bytes(n)
 		copy(payload, c.sendBuf[offset:offset+n])
-		seg := &Segment{
-			Flags:   FlagACK,
-			Seq:     c.sndNxt,
-			Ack:     c.rcvNxt,
-			Window:  c.advertisedWindow(),
-			Payload: payload,
-		}
+		seg := c.makeSeg(FlagACK, c.sndNxt, c.rcvNxt, c.advertisedWindow(), payload, false)
 		if seg.Seq < c.maxSndNxt {
 			seg.Retransmit = true
 			c.stats.TimeoutRetxSegs++
@@ -88,7 +82,7 @@ func (c *Conn) trySend() {
 		if c.sndNxt > c.maxSndNxt {
 			c.maxSndNxt = c.sndNxt
 		}
-		c.transmit(&Segment{Flags: FlagACK | FlagFIN, Seq: c.finSeq, Ack: c.rcvNxt, Window: c.advertisedWindow()})
+		c.transmit(c.makeSeg(FlagACK|FlagFIN, c.finSeq, c.rcvNxt, c.advertisedWindow(), nil, false))
 		c.armRTO()
 	}
 }
@@ -243,14 +237,18 @@ func (c *Conn) armFastRetransmit() {
 	if window > 20*time.Millisecond {
 		window = 20 * time.Millisecond
 	}
-	holeSeq := c.sndUna
-	c.rackTimer = c.sched.After(window, func() {
-		c.rackTimer = nil
-		if c.state != StateEstablished || c.sndUna != holeSeq || c.dupAcks < c.cfg.DupAckThreshold {
-			return // the hole filled itself: reordering, not loss
-		}
-		c.fastRetransmit()
-	})
+	c.rackHole = c.sndUna
+	c.rackTimer = c.sched.After(window, c.onRackFn)
+}
+
+// onRack fires the RACK reordering-window timer (bound once as
+// onRackFn); rackHole holds the sndUna snapshot taken at arm time.
+func (c *Conn) onRack() {
+	c.rackTimer = nil
+	if c.state != StateEstablished || c.sndUna != c.rackHole || c.dupAcks < c.cfg.DupAckThreshold {
+		return // the hole filled itself: reordering, not loss
+	}
+	c.fastRetransmit()
 }
 
 // fastRetransmit resends the first unacknowledged segment and enters fast
@@ -282,7 +280,7 @@ func (c *Conn) fastRetransmit() {
 // retransmitFirstUnacked re-sends one MSS (or the FIN) starting at sndUna.
 func (c *Conn) retransmitFirstUnacked() {
 	if c.finSent && c.sndUna == c.finSeq {
-		c.transmit(&Segment{Flags: FlagACK | FlagFIN, Seq: c.finSeq, Ack: c.rcvNxt, Window: c.advertisedWindow(), Retransmit: true})
+		c.transmit(c.makeSeg(FlagACK|FlagFIN, c.finSeq, c.rcvNxt, c.advertisedWindow(), nil, true))
 		c.armRTOReset()
 		return
 	}
@@ -293,17 +291,10 @@ func (c *Conn) retransmitFirstUnacked() {
 	if n > c.cfg.MSS {
 		n = c.cfg.MSS
 	}
-	payload := make([]byte, n)
+	payload := c.arena.Bytes(n)
 	copy(payload, c.sendBuf[:n])
 	c.stats.SegmentsSent++
-	c.transmit(&Segment{
-		Flags:      FlagACK,
-		Seq:        c.sndUna,
-		Ack:        c.rcvNxt,
-		Window:     c.advertisedWindow(),
-		Payload:    payload,
-		Retransmit: true,
-	})
+	c.transmit(c.makeSeg(FlagACK, c.sndUna, c.rcvNxt, c.advertisedWindow(), payload, true))
 	c.armRTOReset()
 }
 
@@ -341,11 +332,11 @@ func (c *Conn) onRTO() {
 	switch c.state {
 	case StateSynSent:
 		c.stats.SegmentsSent++
-		c.transmit(&Segment{Flags: FlagSYN, Seq: c.iss, Window: c.advertisedWindow(), Retransmit: true})
+		c.transmit(c.makeSeg(FlagSYN, c.iss, 0, c.advertisedWindow(), nil, true))
 		c.armRTO()
 	case StateSynRcvd:
 		c.stats.SegmentsSent++
-		c.transmit(&Segment{Flags: FlagSYN | FlagACK, Seq: c.iss, Ack: c.rcvNxt, Window: c.advertisedWindow(), Retransmit: true})
+		c.transmit(c.makeSeg(FlagSYN|FlagACK, c.iss, c.rcvNxt, c.advertisedWindow(), nil, true))
 		c.armRTO()
 	case StateEstablished:
 		flight := int(c.sndNxt - c.sndUna)
@@ -409,7 +400,7 @@ func (c *Conn) armRTO() {
 	if c.rtoTimer != nil {
 		return
 	}
-	c.rtoTimer = c.sched.After(c.rto, c.onRTO)
+	c.rtoTimer = c.sched.After(c.rto, c.onRTOFn)
 	c.armPTO()
 }
 
@@ -430,22 +421,25 @@ func (c *Conn) armPTO() {
 	if pto >= c.rto {
 		return // the RTO fires first anyway
 	}
-	c.ptoTimer = c.sched.After(pto, func() {
-		c.ptoTimer = nil
-		if c.state != StateEstablished || c.sndNxt == c.sndUna {
-			return
-		}
-		c.stats.TLPProbes++
-		c.ctTLP.Inc()
-		if c.tr.Enabled() {
-			c.tr.Emit(trace.LayerTCP, "tlp",
-				trace.Str("conn", c.name), trace.Num("flight", int64(c.sndNxt-c.sndUna)))
-		}
-		c.rttPending = false // Karn: the probe poisons pending samples
-		c.retransmitFirstUnacked()
-		// No backoff, no cwnd collapse: the RTO remains armed as the
-		// backstop; the next ACK re-arms the probe.
-	})
+	c.ptoTimer = c.sched.After(pto, c.onPTOFn)
+}
+
+// onPTO fires the tail-loss probe timer (bound once as onPTOFn).
+func (c *Conn) onPTO() {
+	c.ptoTimer = nil
+	if c.state != StateEstablished || c.sndNxt == c.sndUna {
+		return
+	}
+	c.stats.TLPProbes++
+	c.ctTLP.Inc()
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.LayerTCP, "tlp",
+			trace.Str("conn", c.name), trace.Num("flight", int64(c.sndNxt-c.sndUna)))
+	}
+	c.rttPending = false // Karn: the probe poisons pending samples
+	c.retransmitFirstUnacked()
+	// No backoff, no cwnd collapse: the RTO remains armed as the
+	// backstop; the next ACK re-arms the probe.
 }
 
 func (c *Conn) disarmPTO() {
@@ -458,7 +452,7 @@ func (c *Conn) disarmPTO() {
 // armRTOReset restarts the timer (used when the window advances).
 func (c *Conn) armRTOReset() {
 	c.disarmRTO()
-	c.rtoTimer = c.sched.After(c.rto, c.onRTO)
+	c.rtoTimer = c.sched.After(c.rto, c.onRTOFn)
 }
 
 func (c *Conn) disarmRTO() {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"h2privacy/internal/check"
+	"h2privacy/internal/pool"
 	"h2privacy/internal/trace"
 )
 
@@ -162,6 +163,16 @@ type Config struct {
 	// still outlasts the window and triggers the storm the paper
 	// documents.
 	DisableRACKWindow bool
+	// Pool, when non-nil, arms trial-scoped memory recycling on pairs
+	// built with NewPair: segment payloads (and the receiver's
+	// out-of-order buffers) are rented from the arena, Segment structs
+	// are free-listed, and netsim packet recycling is installed on the
+	// path so everything returns once the last delivery fires. The
+	// arena is owned by the worker running the trial and is reused —
+	// via its Reset contract — across that worker's trials. Pooling
+	// changes where bytes live, never what they contain; byte-identity
+	// with the unpooled path is pinned by tests.
+	Pool *pool.Arena
 	// Tracer, when non-nil, arms per-connection transport tracing (cwnd
 	// changes, RTO fires, recovery entry/exit, SRTT samples).
 	Tracer *trace.Tracer

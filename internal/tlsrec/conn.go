@@ -24,8 +24,18 @@ type Conn struct {
 	sendSeq     uint64
 	recvSeq     uint64
 
-	buf    []byte // unparsed transport bytes
+	buf    []byte // transport bytes; [off:] is still unparsed
+	off    int    // parsed prefix of buf, reclaimed on the next Feed
 	output func([]byte)
+
+	// Per-record scratch, reused across seal/decrypt calls. Safe because
+	// every consumer of the emitted slices copies before returning (the
+	// sim's tcp.Write, h2sync's outQueue, and the h1/h2 Feed parsers all
+	// append into their own buffers).
+	sealBuf []byte // sealed record body handed to output
+	padBuf  []byte // keystream pad
+	macBuf  []byte // MAC concatenation scratch
+	ptBuf   []byte // decrypted plaintext handed to onRecord
 
 	onRecord      func(ContentType, []byte)
 	onEstablished func()
@@ -33,7 +43,9 @@ type Conn struct {
 
 // NewConn creates an endpoint. random seeds the handshake (pass distinct
 // deterministic values per endpoint); output transmits wire bytes and must
-// be non-nil.
+// be non-nil. The slice passed to output (and to OnRecord) is scratch the
+// Conn reuses for the next record: consumers that keep the bytes past the
+// callback must copy them.
 func NewConn(isClient bool, random [32]byte, output func([]byte)) *Conn {
 	if output == nil {
 		panic("tlsrec: NewConn requires an output function")
@@ -42,6 +54,7 @@ func NewConn(isClient bool, random [32]byte, output func([]byte)) *Conn {
 }
 
 // OnRecord registers the callback for decrypted application/alert records.
+// The plaintext slice is scratch reused for the next record; copy to keep.
 func (c *Conn) OnRecord(fn func(ContentType, []byte)) { c.onRecord = fn }
 
 // OnEstablished registers a callback fired once the handshake completes.
@@ -81,17 +94,24 @@ func (c *Conn) Send(ct ContentType, plaintext []byte) error {
 	return nil
 }
 
-// seal encrypts one record and emits it.
+// seal encrypts one record and emits it. The emitted slice is scratch
+// reused by the next seal; output consumers copy what they keep.
 func (c *Conn) seal(ct ContentType, plaintext []byte) {
 	seq := c.sendSeq
 	c.sendSeq++
-	body := make([]byte, HeaderSize+8+len(plaintext)+TagSize)
+	total := HeaderSize + 8 + len(plaintext) + TagSize
+	if cap(c.sealBuf) < total {
+		c.sealBuf = make([]byte, total)
+	}
+	body := c.sealBuf[:total]
 	putHeader(body, ct, 8+len(plaintext)+TagSize)
 	putUint64(body[HeaderSize:], seq)
 	ciphertext := body[HeaderSize+8 : HeaderSize+8+len(plaintext)]
 	copy(ciphertext, plaintext)
-	xorInto(ciphertext, keystream(c.key, seq, len(plaintext)))
-	tag := mac(c.key, seq, ct, ciphertext)
+	c.padBuf = keystreamInto(c.padBuf, c.key, seq, len(plaintext))
+	xorInto(ciphertext, c.padBuf)
+	var tag [TagSize]byte
+	tag, c.macBuf = macInto(c.macBuf, c.key, seq, ct, ciphertext)
 	copy(body[HeaderSize+8+len(plaintext):], tag[:])
 	c.output(body)
 }
@@ -102,20 +122,30 @@ func (c *Conn) Feed(b []byte) error {
 	if c.failed != nil {
 		return c.failed
 	}
+	// Reclaim the parsed prefix before appending. Reslicing forward after
+	// each record would strand the consumed capacity and force a fresh
+	// backing array every time the buffer cycles; compacting keeps one
+	// steady-state allocation for the connection's lifetime.
+	if c.off > 0 {
+		n := copy(c.buf, c.buf[c.off:])
+		c.buf = c.buf[:n]
+		c.off = 0
+	}
 	c.buf = append(c.buf, b...)
 	for {
-		hdr, ok := ParseHeader(c.buf)
+		rest := c.buf[c.off:]
+		hdr, ok := ParseHeader(rest)
 		if !ok {
 			return nil
 		}
 		if HeaderSize+hdr.Length > maxRecordWire {
 			return c.fail(fmt.Errorf("%w: wire length %d", ErrRecordTooLarge, hdr.Length))
 		}
-		if len(c.buf) < HeaderSize+hdr.Length {
+		if len(rest) < HeaderSize+hdr.Length {
 			return nil // incomplete record
 		}
-		body := c.buf[HeaderSize : HeaderSize+hdr.Length]
-		c.buf = c.buf[HeaderSize+hdr.Length:]
+		body := rest[HeaderSize : HeaderSize+hdr.Length]
+		c.off += HeaderSize + hdr.Length
 		if err := c.processRecord(hdr.Type, body); err != nil {
 			return c.fail(err)
 		}
@@ -141,7 +171,8 @@ func (c *Conn) processRecord(ct ContentType, body []byte) error {
 	}
 	seq := getUint64(body)
 	ciphertext := body[8 : len(body)-TagSize]
-	wantTag := mac(c.key, seq, ct, ciphertext)
+	var wantTag [TagSize]byte
+	wantTag, c.macBuf = macInto(c.macBuf, c.key, seq, ct, ciphertext)
 	gotTag := body[len(body)-TagSize:]
 	for i := range wantTag {
 		if wantTag[i] != gotTag[i] {
@@ -152,9 +183,13 @@ func (c *Conn) processRecord(ct ContentType, body []byte) error {
 		return fmt.Errorf("tlsrec: record sequence %d, want %d (transport reordered or lost data)", seq, c.recvSeq)
 	}
 	c.recvSeq++
-	plaintext := make([]byte, len(ciphertext))
+	if cap(c.ptBuf) < len(ciphertext) {
+		c.ptBuf = make([]byte, len(ciphertext))
+	}
+	plaintext := c.ptBuf[:len(ciphertext)]
 	copy(plaintext, ciphertext)
-	xorInto(plaintext, keystream(c.key, seq, len(plaintext)))
+	c.padBuf = keystreamInto(c.padBuf, c.key, seq, len(plaintext))
+	xorInto(plaintext, c.padBuf)
 	if c.onRecord != nil {
 		c.onRecord(ct, plaintext)
 	}

@@ -81,7 +81,8 @@ func TestSendBeforeHandshakeFails(t *testing.T) {
 func TestLargePayloadSplitsRecords(t *testing.T) {
 	var wire [][]byte
 	var cr, sr [32]byte
-	client := NewConn(true, cr, func(b []byte) { wire = append(wire, b) })
+	// The output slice is seal scratch, so keep a copy of each record.
+	client := NewConn(true, cr, func(b []byte) { wire = append(wire, append([]byte(nil), b...)) })
 	server := NewConn(false, sr, func(b []byte) { _ = client.Feed(b) })
 	client.Start()
 	_ = server.Feed(wire[0])

@@ -11,7 +11,13 @@ import (
 // cryptography, which is fine: the threat model here is an adversary who
 // never decrypts.
 func keystream(key [32]byte, seq uint64, n int) []byte {
-	out := make([]byte, 0, n+sha256.Size)
+	return keystreamInto(make([]byte, 0, n+sha256.Size), key, seq, n)
+}
+
+// keystreamInto writes the pad into buf (grown as needed) and returns it,
+// letting a Conn reuse one scratch buffer across records.
+func keystreamInto(buf []byte, key [32]byte, seq uint64, n int) []byte {
+	out := buf[:0]
 	var block [8 + 8 + 32]byte
 	copy(block[16:], key[:])
 	binary.BigEndian.PutUint64(block[:8], seq)
@@ -33,16 +39,26 @@ func xorInto(dst, pad []byte) {
 // mac computes the truncated record MAC over (key, seq, content type,
 // ciphertext).
 func mac(key [32]byte, seq uint64, ct ContentType, ciphertext []byte) [TagSize]byte {
-	h := sha256.New()
-	h.Write(key[:])
+	tag, _ := macInto(nil, key, seq, ct, ciphertext)
+	return tag
+}
+
+// macInto is mac with a caller-owned scratch buffer: it assembles the exact
+// byte stream mac hashes — key ‖ seq ‖ content type ‖ ciphertext — in
+// scratch and digests it with the stack-based sha256.Sum256, avoiding the
+// streaming API's hash-state and Sum allocations. Returns the tag and the
+// (possibly grown) scratch for reuse.
+func macInto(scratch []byte, key [32]byte, seq uint64, ct ContentType, ciphertext []byte) ([TagSize]byte, []byte) {
+	scratch = append(scratch[:0], key[:]...)
 	var hdr [9]byte
 	binary.BigEndian.PutUint64(hdr[:8], seq)
 	hdr[8] = byte(ct)
-	h.Write(hdr[:])
-	h.Write(ciphertext)
+	scratch = append(scratch, hdr[:]...)
+	scratch = append(scratch, ciphertext...)
+	sum := sha256.Sum256(scratch)
 	var tag [TagSize]byte
-	copy(tag[:], h.Sum(nil))
-	return tag
+	copy(tag[:], sum[:])
+	return tag, scratch
 }
 
 // deriveKey combines the two hello randoms into the session key.
