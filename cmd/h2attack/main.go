@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -59,6 +61,8 @@ func main() {
 	pf.RegisterPerf(flag.CommandLine)
 	var ffl cliutil.FeatureFlags
 	ffl.RegisterFeatures(flag.CommandLine)
+	var sf cliutil.SuperviseFlags
+	sf.RegisterSupervise(flag.CommandLine)
 	flag.Parse()
 
 	if *listScenarios {
@@ -82,18 +86,21 @@ func main() {
 	plan.ThrottleBps = *bw * 1e6
 	plan.Adaptive = *adaptive
 
+	// knobs reconstructs the non-default attack parameters for repro
+	// commands (check violations and quarantined trials alike).
+	knobs := fmt.Sprintf(" -jitter1 %v -jitter3 %v -drop %v -bw %v", *jitter1, *jitter3, *drop, *bw)
+	if *scenario != "" {
+		knobs += " -scenario " + *scenario
+	}
+	if *adaptive {
+		knobs += " -adaptive"
+	}
+
 	// -check arms per-layer invariant checking; a violation's repro line
 	// names the exact single-trial rerun (the sweep engine keys each trial's
 	// checker by that trial's own seed, so -seed N reproduces it alone).
 	rec := cf.NewRecorder()
 	if rec != nil {
-		knobs := fmt.Sprintf(" -jitter1 %v -jitter3 %v -drop %v -bw %v", *jitter1, *jitter3, *drop, *bw)
-		if *scenario != "" {
-			knobs += " -scenario " + *scenario
-		}
-		if *adaptive {
-			knobs += " -adaptive"
-		}
 		rec.SetRepro(func(v check.Violation) string {
 			return fmt.Sprintf("go run ./cmd/h2attack -check -seed %d%s", v.TrialSeed, knobs)
 		})
@@ -155,7 +162,14 @@ func main() {
 		if *pcapPath != "" || *timeline {
 			fmt.Fprintln(os.Stderr, "h2attack: -pcap and -timeline apply to single trials; ignoring with -trials >1")
 		}
-		if err := runSweep(*seed, *trials, *parallel, *noPool, plan, *scenario, tracer, reg, rec, col, fcol); err != nil {
+		// First SIGINT starts the cooperative drain: workers stop claiming
+		// trials, the trial in flight is interrupted at the scheduler's next
+		// poll window, and the completed trials' artifacts export below. A
+		// second SIGINT force-kills through the restored default handler.
+		ctx, stop := cliutil.SignalContext()
+		defer stop()
+		quarantined, interrupted, err := runSweep(ctx, *seed, *trials, *parallel, *noPool, plan, *scenario, knobs, sf, tracer, reg, rec, col, fcol)
+		if err != nil {
 			fatal(err)
 		}
 		finishPerf()
@@ -166,6 +180,13 @@ func main() {
 			fatal(err)
 		}
 		exitChecks(cf, rec, ds, *hold)
+		if interrupted {
+			fmt.Fprintln(os.Stderr, "h2attack: interrupted — partial artifacts exported")
+			os.Exit(130)
+		}
+		if code := sf.Exit(quarantined); code != 0 {
+			os.Exit(code)
+		}
 		return
 	}
 
@@ -180,10 +201,25 @@ func main() {
 	if fcol != nil {
 		fl = flowseq.New(0, fcol)
 	}
+	// The supervision flags apply to the single-trial path too, so a
+	// quarantined trial's repro command (-trials 1 -seed S -chaos mode:0
+	// -step-budget N) replays the exact failure standalone: the chaos
+	// injection fires, the watchdog kills it, and the panic is loud and
+	// uncaught — this path is for diagnosis, not salvage.
+	chaosFor, err := cliutil.ParseChaosSpec(sf.Chaos)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.TrialConfig{Seed: *seed, Attack: &plan, Scenario: *scenario, Trace: tracer, Metrics: reg, Check: ck, Flows: fl,
+		StepBudget: sf.StepBudget, WallDeadline: sf.TrialDeadline}
+	if chaosFor != nil {
+		cfg.Chaos = chaosFor(0)
+	}
 	pw := col.Worker()
 	tok := pw.BeginTrial()
 	sp := pw.Start(perf.StageBuild)
-	tb, err := core.NewTestbed(core.TrialConfig{Seed: *seed, Attack: &plan, Scenario: *scenario, Trace: tracer, Metrics: reg, Check: ck, Flows: fl, Perf: pw})
+	cfg.Perf = pw
+	tb, err := core.NewTestbed(cfg)
 	sp.Stop()
 	if err != nil {
 		fatal(err)
@@ -268,9 +304,10 @@ func exitChecks(cf cliutil.CheckFlags, rec *check.Recorder, ds *obs.DebugServer,
 }
 
 // runSweep is the -trials >1 path: n same-plan trials over the sweep
-// engine, aggregated exactly as table2 aggregates (HTML identified, ranks
-// correct, broken loads).
-func runSweep(seed int64, n, workers int, noPool bool, plan adversary.AttackPlan, scenario string, tracer *trace.Tracer, reg *obs.Registry, rec *check.Recorder, col *perf.Collector, fcol *flowseq.Collector) error {
+// engine under trial supervision, aggregated exactly as table2 aggregates
+// (HTML identified, ranks correct, broken loads). Returns the quarantined
+// trial count and whether the sweep was interrupted (partial results).
+func runSweep(ctx context.Context, seed int64, n, workers int, noPool bool, plan adversary.AttackPlan, scenario, knobs string, sf cliutil.SuperviseFlags, tracer *trace.Tracer, reg *obs.Registry, rec *check.Recorder, col *perf.Collector, fcol *flowseq.Collector) (quarantined int, interrupted bool, err error) {
 	opts := experiment.Options{
 		Trials:   n,
 		BaseSeed: seed,
@@ -282,19 +319,49 @@ func runSweep(seed int64, n, workers int, noPool bool, plan adversary.AttackPlan
 		Perf:     col,
 		Features: fcol,
 		Progress: experiment.NewProgress(os.Stderr),
+		Ctx:      ctx,
 	}
+	quar, err := sf.Apply(&opts)
+	if err != nil {
+		return 0, false, err
+	}
+	// A quarantined trial's repro replays it standalone: same seed and
+	// attack knobs as a one-trial run, with the chaos injection remapped to
+	// flat index 0 and — for watchdog kills — the same step budget, so the
+	// replay dies as loudly as the original did.
+	quar.SetRepro(func(f experiment.TrialFailure) string {
+		cmd := fmt.Sprintf("go run ./cmd/h2attack -trials 1 -seed %d%s", f.Seed, knobs)
+		if opts.ChaosTrial != nil {
+			if m := opts.ChaosTrial(f.Trial); m != core.ChaosNone {
+				cmd += fmt.Sprintf(" -chaos %s:0", m)
+			}
+		}
+		if f.Kind == experiment.FailTimeout {
+			cmd += fmt.Sprintf(" -step-budget %d", sf.StepBudget)
+		}
+		return cmd
+	})
 	opts.Progress.Start("attack", n)
 	results, err := opts.Sweep(n, func(t int) core.TrialConfig {
 		return core.TrialConfig{Seed: seed + int64(t), Attack: &plan, Scenario: scenario}
 	})
 	if err != nil {
-		return err
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return 0, false, err
+		}
+		interrupted = true
 	}
 	opts.Progress.Done()
 	var html, ranks, allRanks, broken metrics.Counter
 	var resets metrics.Sample
 	outcomes := make(map[adversary.Outcome]int)
+	completed := 0
 	for _, res := range results {
+		if res == nil {
+			// Trials an interrupted sweep never ran.
+			continue
+		}
+		completed++
 		html.Observe(res.ObjectSuccess(website.TargetID))
 		all := true
 		for k := 0; k < website.PartyCount; k++ {
@@ -312,6 +379,12 @@ func runSweep(seed int64, n, workers int, noPool bool, plan adversary.AttackPlan
 		fmt.Printf(", scenario %s", scenario)
 	}
 	fmt.Println(" ==")
+	if interrupted {
+		fmt.Printf("  INTERRUPTED: %d of %d trials completed; aggregates below are partial\n", completed, n)
+	}
+	if qn := quar.Len(); qn > 0 {
+		fmt.Printf("  DEGRADED: %d trial(s) quarantined (counted as broken below); see repro commands in the quarantine report\n", qn)
+	}
 	fmt.Printf("  quiz HTML identified:      %.0f%%\n", html.Percent())
 	fmt.Printf("  emblem ranks correct:      %.0f%%\n", ranks.Percent())
 	fmt.Printf("  full ranking recovered:    %.0f%%\n", allRanks.Percent())
@@ -326,7 +399,8 @@ func runSweep(seed int64, n, workers int, noPool bool, plan adversary.AttackPlan
 		}
 	}
 	fmt.Println(strings.Join(parts, ", "))
-	return nil
+	qn, err := sf.Report(quar, os.Stderr, "h2attack")
+	return qn, interrupted, err
 }
 
 func holdAndClose(ds *obs.DebugServer, hold time.Duration) {

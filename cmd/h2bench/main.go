@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +50,8 @@ func run() int {
 	pf.RegisterPerf(flag.CommandLine)
 	var ffl cliutil.FeatureFlags
 	ffl.RegisterFeatures(flag.CommandLine)
+	var sf cliutil.SuperviseFlags
+	sf.RegisterSupervise(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: h2bench [flags] all|<experiment-id>...\nexperiments: %s\n", strings.Join(experiment.IDs(), " "))
 		flag.PrintDefaults()
@@ -63,6 +67,31 @@ func run() int {
 		return 2
 	}
 	opts := experiment.Options{Trials: *trials, BaseSeed: *seed, Workers: *parallel, NoPool: *noPool}
+	// Trial supervision: watchdogs, retry/quarantine (degraded completion
+	// instead of aborting the whole regeneration run on one bad trial),
+	// and cooperative SIGINT drain — a partial manifest still gets written.
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	opts.Ctx = ctx
+	quar, err := sf.Apply(&opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "h2bench:", err)
+		return 2
+	}
+	// Experiments derive per-variant seeds internally, so the repro replays
+	// the owning experiment with the same options (cheap at low -trials);
+	// the flat index pins which trial died. -chaos specs address flat
+	// indices of every sub-sweep alike, so they carry over verbatim.
+	quar.SetRepro(func(f experiment.TrialFailure) string {
+		cmd := fmt.Sprintf("go run ./cmd/h2bench -trials %d -seed %d", *trials, *seed)
+		if sf.Chaos != "" {
+			cmd += " -chaos " + sf.Chaos
+		}
+		if f.Kind == experiment.FailTimeout {
+			cmd += fmt.Sprintf(" -step-budget %d", sf.StepBudget)
+		}
+		return fmt.Sprintf("%s <experiment-id>  # failed trial: seed %d, flat index %d", cmd, f.Seed, f.Trial)
+	})
 	rec := cf.NewRecorder()
 	if rec != nil {
 		// An experiment derives per-variant seeds internally, so the repro
@@ -123,6 +152,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "h2bench:", err)
 		return 1
 	}
+	interrupted := false
 	for _, id := range args {
 		runner, ok := experiment.Lookup(id)
 		if !ok {
@@ -133,6 +163,15 @@ func run() int {
 		opts.Perf.BeginExperiment(id)
 		rep, err := runner(opts)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// Cooperative drain: stop starting experiments, but still
+				// flush every artifact accumulated so far (partial manifest,
+				// features, check report) on the way out.
+				interrupted = true
+				opts.Progress.Done()
+				fmt.Fprintf(os.Stderr, "h2bench: interrupted during %s — exporting partial artifacts\n", id)
+				break
+			}
 			fmt.Fprintln(os.Stderr, "h2bench:", err)
 			return 1
 		}
@@ -171,12 +210,18 @@ func run() int {
 		if ffl.Armed() {
 			manifest.FinishFeatures(fcol, ffl.OutPath)
 		}
+		manifest.FinishQuarantine(quar)
 		if err := manifest.WriteFile(*manifestPath); err != nil {
 			fmt.Fprintln(os.Stderr, "h2bench:", err)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "h2bench: wrote run manifest (%d experiments) to %s\n",
-			len(manifest.Runs), *manifestPath)
+		fmt.Fprintf(os.Stderr, "h2bench: wrote run manifest (%d experiments%s) to %s\n",
+			len(manifest.Runs), map[bool]string{true: ", partial"}[interrupted], *manifestPath)
+	}
+	qn, err := sf.Report(quar, os.Stderr, "h2bench")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "h2bench:", err)
+		return 1
 	}
 	if n, err := cf.Report(rec, os.Stderr, "h2bench"); err != nil {
 		fmt.Fprintln(os.Stderr, "h2bench:", err)
@@ -184,5 +229,8 @@ func run() int {
 	} else if n > 0 {
 		return 1
 	}
-	return 0
+	if interrupted {
+		return 130
+	}
+	return sf.Exit(qn)
 }

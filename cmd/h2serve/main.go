@@ -11,8 +11,6 @@ import (
 	"fmt"
 	"net"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"h2privacy/internal/check"
 	"h2privacy/internal/cliutil"
@@ -75,30 +73,12 @@ func run(addr string, tf cliutil.TraceFlags, df cliutil.DebugFlags, cf cliutil.C
 		fl.SetClock(flowseq.WallClock())
 		fl.SetFlow(addr)
 	}
-	if tf.Armed() || cf.Armed() || ffl.Armed() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			if err := tf.Export(tracer, os.Stderr, "h2serve"); err != nil {
-				fmt.Fprintln(os.Stderr, "h2serve:", err)
-				os.Exit(1)
-			}
-			fl.Finalize()
-			if err := ffl.Export(fcol, os.Stderr, "h2serve"); err != nil {
-				fmt.Fprintln(os.Stderr, "h2serve:", err)
-				os.Exit(1)
-			}
-			ck.Finalize()
-			if n, err := cf.Report(rec, os.Stderr, "h2serve"); err != nil || n > 0 {
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "h2serve:", err)
-				}
-				os.Exit(1)
-			}
-			os.Exit(0)
-		}()
-	}
+	// Graceful shutdown: the first SIGINT/SIGTERM closes the listener so
+	// ListenAndServe unblocks and the exports below run in the main flow
+	// (no more exiting from a signal goroutine mid-write); a second signal
+	// force-kills through the restored default handler.
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
 	var reg *obs.Registry
 	var mRequests *obs.CounterVec
 	if df.Armed() {
@@ -133,10 +113,32 @@ func run(addr string, tf cliutil.TraceFlags, df cliutil.DebugFlags, cf cliutil.C
 	if err != nil {
 		return err
 	}
+	go func() {
+		<-ctx.Done()
+		l.Close()
+	}()
 	fmt.Printf("serving %s (%d objects) on %s\n", site.Host, len(site.Objects), l.Addr())
 	fmt.Println("objects:")
 	for _, o := range site.Objects {
 		fmt.Printf("  %-40s %7d bytes\n", o.Path, o.Size)
 	}
-	return srv.ListenAndServe(l)
+	serveErr := srv.ListenAndServe(l)
+	if ctx.Err() == nil {
+		return serveErr
+	}
+	fmt.Fprintln(os.Stderr, "h2serve: shutting down")
+	if err := tf.Export(tracer, os.Stderr, "h2serve"); err != nil {
+		return err
+	}
+	fl.Finalize()
+	if err := ffl.Export(fcol, os.Stderr, "h2serve"); err != nil {
+		return err
+	}
+	ck.Finalize()
+	if n, err := cf.Report(rec, os.Stderr, "h2serve"); err != nil {
+		return err
+	} else if n > 0 {
+		os.Exit(1)
+	}
+	return nil
 }

@@ -259,6 +259,30 @@ func (c *Checker) Finalize() int {
 	return total
 }
 
+// Abandon flushes whatever violations a dead trial recorded before it
+// panicked or tripped a watchdog, WITHOUT running the end-of-trial
+// invariants: conservation checks assume the trial drained cleanly and
+// would fire spuriously on mid-flight state (packets still queued on a
+// link read as offered-but-unaccounted). Violations recorded before the
+// failure are real evidence — often the cause — so they reach the
+// Recorder; the trial's failure itself is reported by the sweep
+// supervisor, not here. A dead trial with zero violations flushes
+// nothing — it never counts as a checked trial in the recorder's
+// summary. Returns the flushed total. Safe on nil.
+func (c *Checker) Abandon() int {
+	if c == nil {
+		return 0
+	}
+	c.lock()
+	total := c.total
+	violations := c.violations
+	c.unlock()
+	if c.rec != nil && total > 0 {
+		c.rec.absorb(total, violations)
+	}
+	return total
+}
+
 // ---------------------------------------------------------------------------
 // tcpsim hooks
 

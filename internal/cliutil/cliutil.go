@@ -8,15 +8,22 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"h2privacy/internal/check"
+	"h2privacy/internal/core"
+	"h2privacy/internal/experiment"
 	"h2privacy/internal/flowseq"
 	"h2privacy/internal/obs"
 	"h2privacy/internal/perf"
@@ -349,6 +356,137 @@ func (ff *FeatureFlags) Export(col *flowseq.Collector, logw io.Writer, tool stri
 			tool, r.StreamRows, r.BurstRows, r.SpanRows, r.Schema, format, ff.OutPath)
 	}
 	return nil
+}
+
+// DefaultStepBudget is the per-trial virtual-time watchdog default: a
+// full attack trial executes ~12k scheduler events, so five million is
+// ~400x headroom for any legitimate configuration while a chaos-hang
+// trial burns through it in a fraction of a second.
+const DefaultStepBudget = 5_000_000
+
+// SuperviseFlags holds the sweep supervision flag group: retry bounds,
+// per-trial watchdogs, deterministic fault injection, the degraded-mode
+// exit policy and the quarantine artifact path. Registered alongside the
+// Check/Perf/Feature groups so all sweep-capable commands stay
+// consistent.
+type SuperviseFlags struct {
+	MaxRetries    int
+	TrialDeadline time.Duration
+	StepBudget    uint64
+	Chaos         string
+	Strict        bool
+	QuarantineOut string
+}
+
+// RegisterSupervise adds -max-retries, -trial-deadline, -step-budget,
+// -chaos, -strict and -quarantine-out to fs.
+func (sf *SuperviseFlags) RegisterSupervise(fs *flag.FlagSet) {
+	fs.IntVar(&sf.MaxRetries, "max-retries", 1,
+		"re-run a failed trial this many times (fresh state each attempt, escalating backoff) before quarantining it")
+	fs.DurationVar(&sf.TrialDeadline, "trial-deadline", 0,
+		"wall-clock watchdog per trial attempt (0 disables); nondeterministic backstop — prefer -step-budget for reproducible kills")
+	fs.Uint64Var(&sf.StepBudget, "step-budget", DefaultStepBudget,
+		"virtual-time watchdog: kill a trial attempt after this many scheduler events (deterministic; 0 disables)")
+	fs.StringVar(&sf.Chaos, "chaos", "",
+		"deterministically sabotage trials for supervisor testing: comma list of mode:flatIndex with modes panic|hang, e.g. panic:3,hang:11")
+	fs.BoolVar(&sf.Strict, "strict", false,
+		"exit non-zero when the sweep completes degraded (any trial quarantined)")
+	fs.StringVar(&sf.QuarantineOut, "quarantine-out", "",
+		"write the machine-readable quarantine file (failed trials with repro commands) to this path")
+}
+
+// ParseChaosSpec parses the -chaos spec ("panic:3,hang:11") into the
+// experiment.Options.ChaosTrial hook: a map from flat trial index to the
+// injected core.ChaosMode. Empty spec → nil hook (no injection).
+func ParseChaosSpec(spec string) (func(int) core.ChaosMode, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	m := make(map[int]core.ChaosMode)
+	for _, part := range strings.Split(spec, ",") {
+		mode, idxStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -chaos entry %q (want mode:trialIndex)", part)
+		}
+		cm, err := core.ParseChaosMode(mode)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil || idx < 0 {
+			return nil, fmt.Errorf("bad -chaos trial index %q in %q", idxStr, part)
+		}
+		m[idx] = cm
+	}
+	return func(flat int) core.ChaosMode { return m[flat] }, nil
+}
+
+// Apply threads the supervision flags into opts — retry bounds,
+// watchdogs, chaos injection — and arms degraded mode with a fresh
+// Quarantine collector, published as the "quarantine" expvar for
+// /debug/vars. Returns the collector for Report after the sweep.
+func (sf *SuperviseFlags) Apply(opts *experiment.Options) (*experiment.Quarantine, error) {
+	chaos, err := ParseChaosSpec(sf.Chaos)
+	if err != nil {
+		return nil, err
+	}
+	q := experiment.NewQuarantine()
+	obs.PublishQuarantineVar(func() any { return q.Receipt() })
+	opts.MaxRetries = sf.MaxRetries
+	opts.RetryBackoff = 100 * time.Millisecond
+	opts.TrialDeadline = sf.TrialDeadline
+	opts.StepBudget = sf.StepBudget
+	opts.Quarantine = q
+	opts.ChaosTrial = chaos
+	return q, nil
+}
+
+// Report prints the degraded-mode summary (each quarantined trial with
+// its standalone repro command) and writes the -quarantine-out artifact —
+// always when the flag is set, even with zero failures, so CI can assert
+// the file's presence and content unconditionally. Returns the
+// quarantined count; with -strict a non-zero count should exit non-zero
+// (Exit folds that policy).
+func (sf *SuperviseFlags) Report(q *experiment.Quarantine, logw io.Writer, tool string) (int, error) {
+	n := q.Len()
+	if n > 0 && logw != nil {
+		fmt.Fprintf(logw, "%s: sweep DEGRADED: %d trial(s) quarantined after exhausting retries\n", tool, n)
+		for _, f := range q.Failures() {
+			fmt.Fprintf(logw, "  trial %d (seed %d) [%s] after %d attempt(s): %s\n",
+				f.Trial, f.Seed, f.Kind, f.Attempts, f.Err)
+			fmt.Fprintf(logw, "      repro: %s\n", f.Repro)
+		}
+	}
+	if sf.QuarantineOut != "" {
+		if err := q.WriteFile(sf.QuarantineOut, tool); err != nil {
+			return n, err
+		}
+		if logw != nil {
+			fmt.Fprintf(logw, "%s: wrote quarantine file (%d entries) to %s\n", tool, n, sf.QuarantineOut)
+		}
+	}
+	return n, nil
+}
+
+// Exit resolves the degraded-mode exit policy: 0 when nothing was
+// quarantined or degraded completion is tolerated (the default — a
+// degraded sweep that salvaged its other trials is a success), 1 under
+// -strict.
+func (sf *SuperviseFlags) Exit(quarantined int) int {
+	if quarantined > 0 && sf.Strict {
+		return 1
+	}
+	return 0
+}
+
+// SignalContext returns a context cancelled on SIGINT/SIGTERM, for
+// experiment.Options.Ctx: the first signal starts the cooperative drain
+// (workers stop claiming trials, the trial in flight is interrupted at
+// the scheduler's next poll window, partial artifacts export on the way
+// out); a second signal kills the process through the restored default
+// handler. Callers defer stop().
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
 // DebugFlags holds -debug-addr.

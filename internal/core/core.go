@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -125,6 +126,34 @@ type TrialConfig struct {
 	// at zero cost (every span on a nil worker is a no-op). The handle is
 	// worker-scoped, not shared: sweeps hand each worker goroutine its own.
 	Perf *perf.Worker
+	// Ctx, when non-nil, arms cooperative cancellation: the scheduler polls
+	// the context every few thousand fired events and stops stepping once
+	// it is done, and RunTrial returns ctx.Err() instead of a result. The
+	// sweep engine threads Options.Ctx here so a SIGINT drains mid-trial.
+	// An unfired context is observationally invisible — no events, no RNG
+	// draws, byte-identical output.
+	Ctx context.Context
+	// StepBudget, when >0, arms the deterministic per-trial watchdog: the
+	// scheduler panics with *simtime.BudgetError once the trial has fired
+	// this many events, so a wedged simulation (a self-rescheduling timer
+	// loop that never quiesces) dies loudly instead of hanging a sweep
+	// worker. The budget counts virtual events, so it trips at the same
+	// point for the same seed on any host. The supervised sweep engine
+	// recovers the panic into a structured timeout failure; standalone
+	// RunTrial callers see the panic. Normal trials fire well under a
+	// million events, so generous budgets are invisible.
+	StepBudget uint64
+	// WallDeadline, when >0, arms the wall-clock watchdog backstop: the
+	// scheduler panics with *simtime.DeadlineError once this much host
+	// time has elapsed. Nondeterministic by nature (trials it kills are
+	// not byte-reproducible across hosts) — prefer StepBudget; use this
+	// against pathological-but-finite event storms that grind for minutes.
+	WallDeadline time.Duration
+	// Chaos deterministically sabotages the trial so the sweep supervisor
+	// itself can be tested: ChaosPanic panics as the run starts, ChaosHang
+	// schedules a self-rescheduling timer loop that never quiesces (caught
+	// by StepBudget or WallDeadline). ChaosNone (the default) is inert.
+	Chaos ChaosMode
 	// DeferMetrics suppresses the at-collection publication of the trial's
 	// outcome metrics (PublishTrialMetrics); the caller publishes the
 	// returned TrialResult itself. The parallel sweep engine uses this to
@@ -167,6 +196,19 @@ func NewTestbed(cfg TrialConfig) (*Testbed, error) {
 		cfg.TCP.Pool = cfg.Pool
 	}
 	sched := simtime.NewScheduler()
+	// Watchdogs and cancellation arm before any component schedules: all
+	// three are pure scheduler-side guards that consume no RNG draws and
+	// schedule no events, so an armed-but-untripped trial stays
+	// byte-identical to an unsupervised one.
+	if cfg.StepBudget > 0 {
+		sched.SetStepBudget(cfg.StepBudget)
+	}
+	if cfg.WallDeadline > 0 {
+		sched.SetWallDeadline(cfg.WallDeadline)
+	}
+	if ctx := cfg.Ctx; ctx != nil {
+		sched.SetInterrupt(func() bool { return ctx.Err() != nil })
+	}
 	rng := simtime.NewRand(cfg.Seed)
 	tb := &Testbed{Sched: sched, Site: website.ISideWith(), Tracer: cfg.Trace, cfg: cfg}
 	if cfg.Trace.Enabled() {
@@ -315,29 +357,54 @@ func NewTestbed(cfg TrialConfig) (*Testbed, error) {
 		sc.Arm(inj)
 		tb.Injector = inj
 	}
+	// Chaos-hang injection arms last so it perturbs nothing before the
+	// trial is fully assembled (the trial is sacrificial either way).
+	if cfg.Chaos == ChaosHang {
+		armChaosHang(sched)
+	}
 	return tb, nil
 }
 
 // Run starts both endpoints and executes the trial to quiescence or the
 // configured duration, returning the collected result.
 func (tb *Testbed) Run() *TrialResult {
+	if tb.cfg.Chaos == ChaosPanic {
+		panic(chaosPanicValue(tb.cfg.Seed))
+	}
 	sp := tb.cfg.Perf.Start(perf.StageRun)
 	tb.Server.Start()
 	tb.Browser.Start()
 	tb.Sched.RunUntil(tb.cfg.Duration)
 	sp.Stop()
+	if tb.Sched.Interrupted() {
+		// Cooperatively cancelled mid-run: the simulation stopped between
+		// events, so capture parsing and the checker's end-of-trial
+		// conservation invariants would all fire on half-flight state.
+		// Return no result; RunTrial surfaces ctx.Err() instead.
+		return nil
+	}
 	return tb.collect()
 }
 
-// RunTrial assembles and runs one trial.
+// RunTrial assembles and runs one trial. With TrialConfig.Ctx armed and
+// cancelled — before the build or mid-run via the scheduler's cooperative
+// interrupt — it returns ctx.Err() instead of a half-computed result, so
+// a draining sweep never publishes partial trials.
 func RunTrial(cfg TrialConfig) (*TrialResult, error) {
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		return nil, cfg.Ctx.Err()
+	}
 	sp := cfg.Perf.Start(perf.StageBuild)
 	tb, err := NewTestbed(cfg)
 	sp.Stop()
 	if err != nil {
 		return nil, err
 	}
-	return tb.Run(), nil
+	res := tb.Run()
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		return nil, cfg.Ctx.Err()
+	}
+	return res, nil
 }
 
 // TrialResult is everything a trial yields.
@@ -408,6 +475,13 @@ type TrialResult struct {
 	// timelines, burst tables and clean-slate spans when TrialConfig.Flows
 	// was armed; nil otherwise.
 	Features *flowseq.FlowFeatures
+	// Quarantined marks a placeholder result the sweep supervision layer
+	// slotted in for a trial that failed permanently (panic or watchdog
+	// timeout after its retries). Placeholders read as broken loads in the
+	// reports but are skipped by the metrics publisher; the structured
+	// failure lives in the sweep's quarantine record. See
+	// QuarantinedResult.
+	Quarantined bool
 }
 
 func (tb *Testbed) collect() *TrialResult {
@@ -527,6 +601,12 @@ func NewTrialPublisher(reg *obs.Registry) *TrialPublisher {
 // trial-index order.
 func (p *TrialPublisher) Publish(res *TrialResult) {
 	if p == nil || p.reg == nil || res == nil {
+		return
+	}
+	if res.Quarantined {
+		// Placeholder for a quarantined trial: publishing it would book a
+		// phantom broken page load. The sweep's supervision counters
+		// (sweep_trials_quarantined and friends) account for it instead.
 		return
 	}
 	reg := p.reg

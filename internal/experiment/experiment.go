@@ -5,14 +5,17 @@
 package experiment
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"h2privacy/internal/check"
+	"h2privacy/internal/core"
 	"h2privacy/internal/flowseq"
 	"h2privacy/internal/obs"
 	"h2privacy/internal/perf"
@@ -92,6 +95,55 @@ type Options struct {
 	// Manifest, when non-nil, collects per-experiment accounting in RunAll
 	// (callers running experiments by hand use Manifest.Record directly).
 	Manifest *Manifest
+	// Ctx, when non-nil, arms cooperative cancellation: workers stop
+	// claiming new trials once the context is done, the trial in flight is
+	// interrupted at the scheduler's next poll window, and the sweep
+	// returns the context error after draining the publications of the
+	// trials that did complete — so a SIGINT-cancelled run still exports
+	// partial manifests, features and check reports.
+	Ctx context.Context
+	// MaxRetries bounds how many times the supervisor re-runs a failed
+	// trial (fresh scheduler/RNG/checker/analyzer each attempt) before
+	// giving up: 0 (default) means one attempt, no retries. A
+	// deterministic failure fails identically every attempt; retries exist
+	// for host-side flakes and for proving the retry path itself.
+	MaxRetries int
+	// RetryBackoff is the wall-clock delay before the first retry,
+	// doubling for each further one; 0 retries immediately. Wall-clock
+	// only — it never touches virtual time or any deterministic output.
+	RetryBackoff time.Duration
+	// TrialDeadline, when > 0, arms a wall-clock watchdog on every trial
+	// attempt (core.TrialConfig.WallDeadline): a simulation grinding past
+	// it is killed with a simtime.DeadlineError. A nondeterministic
+	// backstop against host-side wedges — prefer StepBudget, which trips
+	// deterministically, wherever reproducibility matters.
+	TrialDeadline time.Duration
+	// StepBudget, when > 0, arms a virtual-time watchdog on every trial
+	// attempt (core.TrialConfig.StepBudget): a trial executing more than
+	// this many scheduler events is killed with a simtime.BudgetError at
+	// exactly that event count, identically on every host and worker
+	// count.
+	StepBudget uint64
+	// Quarantine, when non-nil, arms degraded mode: a trial still dead
+	// after its retries is recorded here (with a standalone repro command)
+	// and replaced by a placeholder result instead of aborting the sweep.
+	// Nil keeps the historical fail-fast behavior — except that panics now
+	// surface as structured *TrialFailure errors rather than crashing.
+	Quarantine *Quarantine
+	// SuperviseLog, when non-nil, receives the supervisor's diagnostic
+	// lines (per-attempt failure notices and panic stacks); nil writes to
+	// stderr. Host-side diagnostics only — never part of any byte-identical
+	// artifact (stacks carry goroutine IDs and scheduler-dependent frames).
+	SuperviseLog io.Writer
+	// ChaosTrial, when non-nil, deterministically sabotages chosen trials:
+	// called with the flat trial index before every trial *attempt*, its
+	// non-ChaosNone answers are injected as core.TrialConfig.Chaos. This
+	// is the supervisor's own test harness (and the CI chaos lane) — the
+	// same hook at any worker count sabotages the same trials. Consulting
+	// per attempt lets a stateful hook model transient faults that a retry
+	// recovers from; such a hook must be safe for concurrent use by sweep
+	// workers (the cmds' -chaos hook is a pure map lookup).
+	ChaosTrial func(flat int) core.ChaosMode
 }
 
 func (o Options) withDefaults() Options {

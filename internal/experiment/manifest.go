@@ -47,8 +47,19 @@ type Manifest struct {
 	// schema version, per-table row counts and the export path. Derived
 	// entirely from virtual time and event counts, so StripWallClock keeps
 	// it — same-seed runs must agree on it at any worker count.
-	Features *flowseq.Receipt  `json:"features,omitempty"`
-	Extra    map[string]string `json:"extra,omitempty"`
+	Features *flowseq.Receipt `json:"features,omitempty"`
+	// Degraded marks a sweep that completed with quarantined trials:
+	// every result slot is populated, but the quarantined ones are
+	// placeholders and the run's aggregates under-count accordingly.
+	// Omitted (false) on clean runs so their manifests stay byte-identical
+	// to the pre-supervision format.
+	Degraded bool `json:"degraded,omitempty"`
+	// Quarantine lists the permanently failed trials with their repro
+	// commands. Derived from seeds, deterministic panic values and
+	// attempt counts, so StripWallClock keeps it — identical failure sets
+	// must agree on it at any worker count.
+	Quarantine *QuarantineReceipt `json:"quarantine,omitempty"`
+	Extra      map[string]string  `json:"extra,omitempty"`
 }
 
 // ManifestRun is one experiment's entry.
@@ -103,6 +114,19 @@ func (m *Manifest) FinishPerf(c *perf.Collector) {
 		return
 	}
 	m.Perf = c.Report()
+}
+
+// FinishQuarantine attaches the quarantine receipt and flips the manifest
+// into degraded mode — only when something was actually quarantined, so a
+// clean supervised run's manifest is indistinguishable from an
+// unsupervised one.
+func (m *Manifest) FinishQuarantine(q *Quarantine) {
+	if m == nil || q.Len() == 0 {
+		return
+	}
+	r := q.Receipt()
+	m.Quarantine = &r
+	m.Degraded = true
 }
 
 // FinishFeatures attaches the flowseq collector's receipt (nil collector →

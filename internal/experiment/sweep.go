@@ -5,9 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"h2privacy/internal/check"
 	"h2privacy/internal/core"
-	"h2privacy/internal/flowseq"
 	"h2privacy/internal/perf"
 	"h2privacy/internal/pool"
 )
@@ -101,6 +99,12 @@ func (o Options) forEachTrial(n int, run func(pw *perf.Worker, arena *pool.Arena
 		defer pw.Close()
 		arena := o.workerArena()
 		for t := 0; t < n; t++ {
+			// Cooperative cancellation: stop claiming trials once the
+			// context is done. The trial in flight (if any) was already
+			// interrupted by the scheduler's poll hook.
+			if o.Ctx != nil && o.Ctx.Err() != nil {
+				return o.Ctx.Err()
+			}
 			arena.Reset()
 			tok := pw.BeginTrial()
 			err := run(pw, arena, t)
@@ -129,6 +133,18 @@ func (o Options) forEachTrial(n int, run func(pw *perf.Worker, arena *pool.Arena
 			for {
 				t := int(next.Add(1)) - 1
 				if t >= n || failed.Load() {
+					return
+				}
+				if o.Ctx != nil && o.Ctx.Err() != nil {
+					// Cancellation drains like a failure at this worker's
+					// current index: lowest index wins, so every worker
+					// converging here yields one deterministic context error.
+					failed.Store(true)
+					mu.Lock()
+					if t < errT {
+						errT, first = t, o.Ctx.Err()
+					}
+					mu.Unlock()
 					return
 				}
 				arena.Reset()
@@ -160,6 +176,7 @@ func (o Options) sweep(n, arity int, cfgs func(t int) []core.TrialConfig) ([]*co
 	out := make([]*core.TrialResult, n*arity)
 	err := o.forEachTrial(n, func(pw *perf.Worker, arena *pool.Arena, t int) error {
 		for j, cfg := range cfgs(t) {
+			flat := t*arity + j
 			cfg.Perf = pw
 			if cfg.Pool == nil {
 				// Worker-local arena: both trials of a pair share it (the
@@ -174,28 +191,32 @@ func (o Options) sweep(n, arity int, cfgs func(t int) []core.TrialConfig) ([]*co
 				cfg.Metrics = o.Metrics
 				cfg.DeferMetrics = cfg.Metrics != nil
 			}
-			if o.Check != nil && cfg.Check == nil {
-				// Keyed by the trial's own seed (already seedFor-derived by
-				// the experiment) so the recorder's repro line names the seed
-				// that actually reproduces this trial.
-				cfg.Check = check.New(cfg.Seed, t*arity+j, o.Check)
+			// Supervision plumbing: cancellation, watchdogs and fault
+			// injection. All zero-cost no-ops when unarmed, so a plain
+			// sweep's trials are configured exactly as before. The
+			// per-attempt collaborators (checker, flow analyzer — keyed by
+			// the trial's own seedFor-derived seed and flat index so repro
+			// lines and export order stay exact) are created inside
+			// superviseTrial's attempt loop, fresh per attempt.
+			if cfg.Ctx == nil {
+				cfg.Ctx = o.Ctx
 			}
-			if o.Features != nil && cfg.Flows == nil {
-				// One analyzer per trial, keyed by the flat trial index so the
-				// collector's export sorts into the sequential order whatever
-				// worker finished first.
-				cfg.Flows = flowseq.New(t*arity+j, o.Features)
+			if cfg.StepBudget == 0 {
+				cfg.StepBudget = o.StepBudget
 			}
-			res, err := core.RunTrial(cfg)
+			if cfg.WallDeadline == 0 {
+				cfg.WallDeadline = o.TrialDeadline
+			}
+			res, err := o.superviseTrial(flat, cfg)
 			o.Progress.Tick()
 			if err != nil {
 				return err
 			}
-			out[t*arity+j] = res
+			out[flat] = res
 		}
 		return nil
 	})
-	if err != nil {
+	if err != nil && !isCancellation(err) {
 		return nil, err
 	}
 	if o.Metrics != nil {
@@ -210,11 +231,17 @@ func (o Options) sweep(n, arity int, cfgs func(t int) []core.TrialConfig) ([]*co
 		// registry's lookup lock n times per family.
 		pub := core.NewTrialPublisher(o.Metrics)
 		for _, res := range out {
+			// Publish skips nil slots (trials a cancelled sweep never ran)
+			// and quarantined placeholders, so the drain is safe on partial
+			// and degraded result sets alike.
 			pub.Publish(res)
 		}
 		sp.Stop()
 	}
-	return out, nil
+	// On cancellation the partial results are returned together with the
+	// context error: completed trials were drained above, and the caller
+	// (cmds' SIGINT path) exports whatever the collectors accumulated.
+	return out, err
 }
 
 // Sweep runs n trials — cfg(t) builds trial t's configuration, typically

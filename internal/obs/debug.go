@@ -52,6 +52,30 @@ func PublishFeaturesVar(fn func() any) {
 	})
 }
 
+// quarantineVar mirrors featuresVar for the sweep supervision layer: the
+// single registered "quarantine" expvar indirects through a swappable
+// callback so successive runs (and tests) can re-arm it.
+var (
+	quarantineVar     atomic.Value // of func() any
+	quarantineVarOnce sync.Once
+)
+
+// PublishQuarantineVar exposes fn's value as the "quarantine" expvar —
+// the /debug/vars view of the sweep's degraded-mode state (quarantined
+// trial count, failure records, repro commands). Call it each time a
+// supervised sweep arms a quarantine collector; the latest fn wins.
+func PublishQuarantineVar(fn func() any) {
+	quarantineVar.Store(fn)
+	quarantineVarOnce.Do(func() {
+		expvar.Publish("quarantine", expvar.Func(func() any {
+			if fn, ok := quarantineVar.Load().(func() any); ok {
+				return fn()
+			}
+			return nil
+		}))
+	})
+}
+
 // FlowSource serves live flowseq feature state — implemented by
 // *flowseq.Collector (whose WriteFlows renders burst tables, JSONL or CSV).
 // Declared here so obs need not import flowseq: the dependency points the

@@ -226,6 +226,15 @@ func DiffBench(old, new *BenchRecord, thresholdPct, speedupFloor, allocThreshold
 				"parallel speedup %.2fx meets the %.2fx floor", new.Speedup, speedupFloor))
 		}
 	}
+	if old.SingleCore() && !new.SingleCore() {
+		// The speedup floor judges the NEW record (measured on this box), so
+		// the gate works even against a single-core baseline — but the
+		// baseline's own speedup figure is meaningless and its wall-clock
+		// numbers came from different hardware. Nudge toward upgrading it.
+		d.Notes = append(d.Notes, fmt.Sprintf(
+			"baseline was recorded on a single-core box, this run on %d cores: consider committing this run's record (CI artifact) as the new baseline",
+			new.effectiveCores()))
+	}
 	d.AllocsPerTrialOld = old.SeqAllocsPerTrial()
 	d.AllocsPerTrialNew = new.SeqAllocsPerTrial()
 	if d.AllocsPerTrialOld > 0 {

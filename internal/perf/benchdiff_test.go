@@ -230,3 +230,29 @@ func TestBenchStagesHottestFirst(t *testing.T) {
 		}
 	}
 }
+
+func TestDiffBenchFlagsSingleCoreBaselineUpgrade(t *testing.T) {
+	// A single-core committed baseline diffed against a multi-core run
+	// still gates (on the new record's own speedup), but nudges toward
+	// committing the multi-core record as the new baseline.
+	old := benchRec(16, 560, 690, 1)
+	cur := benchRec(16, 560, 200, 4)
+	d := DiffBench(old, cur, 25, 1.0, 0)
+	if d.Failed || !d.SpeedupJudged || !d.SpeedupOK {
+		t.Fatalf("multi-core run failed against single-core baseline: %+v", d)
+	}
+	notes := strings.Join(d.Notes, "\n")
+	if !strings.Contains(notes, "baseline was recorded on a single-core box") {
+		t.Fatalf("upgrade nudge missing: %v", d.Notes)
+	}
+	// Same-shape diffs stay quiet: multi-core baseline gets no nudge…
+	d = DiffBench(benchRec(16, 560, 210, 4), cur, 25, 1.0, 0)
+	if strings.Contains(strings.Join(d.Notes, "\n"), "single-core box") {
+		t.Fatalf("nudge on a multi-core baseline: %v", d.Notes)
+	}
+	// …and neither does a single-core run against a single-core baseline.
+	d = DiffBench(old, benchRec(16, 560, 690, 1), 25, 1.0, 0)
+	if strings.Contains(strings.Join(d.Notes, "\n"), "consider committing") {
+		t.Fatalf("nudge on a single-core run: %v", d.Notes)
+	}
+}

@@ -46,7 +46,85 @@ type Scheduler struct {
 	running  bool
 	free     *Event // recycled fired events (see Event)
 	stepHook func(time.Duration)
+
+	// Watchdog state (see SetStepBudget / SetWallDeadline / SetInterrupt).
+	// All three are off by default and cost one predictable branch per
+	// fired event when unarmed.
+	steps        uint64
+	stepBudget   uint64
+	wallDeadline time.Time
+	wallLimit    time.Duration
+	interrupt    func() bool
+	interrupted  bool
 }
+
+// pollEvery is how often (in fired events) the wall-deadline and
+// interrupt hooks are polled. Both involve a host-clock read or an
+// atomic-ish load, so they are amortized; the step budget is exact.
+const pollEvery = 1024
+
+// BudgetError is the panic value raised when a trial exceeds its step
+// budget: the deterministic watchdog verdict for a wedged simulation
+// (e.g. a self-rescheduling timer loop that never quiesces). It fires at
+// exactly the same event count for the same seed regardless of host, wall
+// clock or worker count, so supervised sweeps stay byte-reproducible.
+type BudgetError struct {
+	Steps uint64        // events fired when the budget tripped
+	Now   time.Duration // virtual time at the trip
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("simtime: step budget exceeded: %d events fired, virtual time %v", e.Steps, e.Now)
+}
+
+// DeadlineError is the panic value raised when a trial exceeds its
+// wall-clock deadline — the nondeterministic backstop for simulations
+// wedged in ways the step budget cannot see (a pathological but finite
+// event storm that grinds for minutes). Trials killed this way are NOT
+// reproducible byte-for-byte across hosts; prefer the step budget where
+// determinism matters.
+type DeadlineError struct {
+	Limit time.Duration // the configured deadline
+	Steps uint64        // events fired when the deadline tripped
+	Now   time.Duration // virtual time at the trip
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("simtime: wall deadline %v exceeded: %d events fired, virtual time %v", e.Limit, e.Steps, e.Now)
+}
+
+// SetStepBudget arms the deterministic watchdog: once n events have
+// fired, the next Step panics with *BudgetError instead of running
+// forever. 0 (the default) disables. The budget counts fired events, not
+// scheduled ones, so cancelled timers don't consume it.
+func (s *Scheduler) SetStepBudget(n uint64) { s.stepBudget = n }
+
+// Steps reports how many events have fired so far.
+func (s *Scheduler) Steps() uint64 { return s.steps }
+
+// SetWallDeadline arms the wall-clock watchdog: once d of host time has
+// elapsed (measured from this call, polled every pollEvery events), Step
+// panics with *DeadlineError. 0 disables. Nondeterministic by nature —
+// see DeadlineError.
+func (s *Scheduler) SetWallDeadline(d time.Duration) {
+	if d <= 0 {
+		s.wallDeadline = time.Time{}
+		s.wallLimit = 0
+		return
+	}
+	s.wallDeadline = time.Now().Add(d)
+	s.wallLimit = d
+}
+
+// SetInterrupt installs a cooperative cancellation probe, polled every
+// pollEvery fired events: when fn reports true, the run loops stop
+// stepping (Step returns false) and Interrupted reports true. The sweep
+// engine wires a context's Err here so a SIGINT drains mid-trial instead
+// of waiting out the simulation. nil removes the probe.
+func (s *Scheduler) SetInterrupt(fn func() bool) { s.interrupt = fn }
+
+// Interrupted reports whether the interrupt probe has stopped a run.
+func (s *Scheduler) Interrupted() bool { return s.interrupted }
 
 // NewScheduler returns an empty scheduler with the clock at zero.
 func NewScheduler() *Scheduler { return &Scheduler{} }
@@ -143,12 +221,39 @@ func (s *Scheduler) Cancel(ev *Event) {
 }
 
 // Step runs the single earliest pending event, advancing the clock to its
-// time. It reports whether an event was run.
+// time. It reports whether an event was run. With a step budget armed it
+// panics with *BudgetError once the budget is exhausted; with a wall
+// deadline armed it panics with *DeadlineError once host time runs out —
+// in both cases the error, not a hang, is the contract.
 func (s *Scheduler) Step() bool {
+	if s.interrupted {
+		return false
+	}
 	for len(s.queue) > 0 {
 		ev := heap.Pop(&s.queue).(*Event)
 		if ev.dead {
 			continue
+		}
+		if s.stepBudget > 0 && s.steps >= s.stepBudget {
+			// Push the event back so the scheduler state stays coherent for
+			// a recovering supervisor that wants to inspect it.
+			ev.dead = false
+			heap.Push(&s.queue, ev)
+			panic(&BudgetError{Steps: s.steps, Now: s.now})
+		}
+		s.steps++
+		if s.steps%pollEvery == 0 {
+			if s.interrupt != nil && s.interrupt() {
+				s.interrupted = true
+				ev.dead = false
+				heap.Push(&s.queue, ev)
+				return false
+			}
+			if !s.wallDeadline.IsZero() && time.Now().After(s.wallDeadline) {
+				ev.dead = false
+				heap.Push(&s.queue, ev)
+				panic(&DeadlineError{Limit: s.wallLimit, Steps: s.steps, Now: s.now})
+			}
 		}
 		ev.dead = true
 		s.now = ev.at
@@ -192,7 +297,11 @@ func (s *Scheduler) RunUntil(deadline time.Duration) {
 		if ev == nil || ev.at > deadline {
 			break
 		}
-		s.Step()
+		if !s.Step() {
+			// Interrupted: stop draining. The clock still advances to the
+			// deadline below so collection sees a consistent end time.
+			break
+		}
 	}
 	if s.now < deadline {
 		s.now = deadline

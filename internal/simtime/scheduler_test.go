@@ -424,3 +424,120 @@ func TestSchedulerAtArgAllocs(t *testing.T) {
 		t.Fatalf("AtArg with warmed free list allocates %.1f per event, want 0", allocs)
 	}
 }
+
+// TestStepBudgetTripsSelfReschedulingLoop is the watchdog regression
+// test: a timer callback that always reschedules itself would run Run()
+// forever; with a step budget armed the scheduler must panic with a
+// typed *BudgetError at exactly the budgeted event count — an error, not
+// a hang.
+func TestStepBudgetTripsSelfReschedulingLoop(t *testing.T) {
+	s := NewScheduler()
+	s.SetStepBudget(10_000)
+	var spins int
+	var spin func()
+	spin = func() {
+		spins++
+		s.After(time.Microsecond, spin)
+	}
+	s.After(0, spin)
+	defer func() {
+		r := recover()
+		be, ok := r.(*BudgetError)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *BudgetError", r, r)
+		}
+		if be.Steps != 10_000 {
+			t.Fatalf("budget tripped at %d steps, want exactly 10000", be.Steps)
+		}
+		if spins != 10_000 {
+			t.Fatalf("callback ran %d times before the trip, want 10000", spins)
+		}
+		if s.Steps() != 10_000 {
+			t.Fatalf("Steps() = %d after the trip, want 10000", s.Steps())
+		}
+	}()
+	s.Run()
+	t.Fatal("Run returned: the self-rescheduling loop drained without tripping the budget")
+}
+
+// TestStepBudgetInvisibleUnderBudget pins that an armed-but-untripped
+// budget changes nothing: same firing order, same clock, no panic. This
+// is the supervision invisibility contract at the scheduler layer.
+func TestStepBudgetInvisibleUnderBudget(t *testing.T) {
+	run := func(budget uint64) ([]int, time.Duration) {
+		s := NewScheduler()
+		if budget > 0 {
+			s.SetStepBudget(budget)
+		}
+		var got []int
+		s.At(30*time.Millisecond, func() { got = append(got, 3) })
+		s.At(10*time.Millisecond, func() { got = append(got, 1) })
+		s.At(20*time.Millisecond, func() { got = append(got, 2) })
+		s.Run()
+		return got, s.Now()
+	}
+	plain, plainNow := run(0)
+	budgeted, budgetedNow := run(1 << 20)
+	if len(plain) != len(budgeted) || plainNow != budgetedNow {
+		t.Fatalf("budgeted run diverged: %v@%v vs %v@%v", budgeted, budgetedNow, plain, plainNow)
+	}
+	for i := range plain {
+		if plain[i] != budgeted[i] {
+			t.Fatalf("budgeted run reordered events: %v vs %v", budgeted, plain)
+		}
+	}
+}
+
+// TestWallDeadlineTripsGrindingRun covers the nondeterministic backstop:
+// a run that keeps stepping past its wall deadline panics with
+// *DeadlineError at the next poll boundary.
+func TestWallDeadlineTripsGrindingRun(t *testing.T) {
+	s := NewScheduler()
+	s.SetWallDeadline(time.Nanosecond) // already expired by the first poll
+	var spin func()
+	spin = func() { s.After(time.Microsecond, spin) }
+	s.After(0, spin)
+	defer func() {
+		de, ok := recover().(*DeadlineError)
+		if !ok {
+			t.Fatalf("recovered %T, want *DeadlineError", de)
+		}
+		if de.Limit != time.Nanosecond {
+			t.Fatalf("DeadlineError.Limit = %v, want the configured 1ns", de.Limit)
+		}
+	}()
+	s.Run()
+	t.Fatal("Run returned despite an expired wall deadline")
+}
+
+// TestInterruptStopsRunCooperatively: the interrupt probe stops the run
+// loops at a poll boundary with events still queued, without panicking —
+// the cooperative-cancellation path a context wires into.
+func TestInterruptStopsRunCooperatively(t *testing.T) {
+	s := NewScheduler()
+	stop := false
+	s.SetInterrupt(func() bool { return stop })
+	var fired int
+	var spin func()
+	spin = func() {
+		fired++
+		if fired == 2*pollEvery {
+			stop = true
+		}
+		s.After(time.Microsecond, spin)
+	}
+	s.After(0, spin)
+	s.RunUntil(time.Hour)
+	if !s.Interrupted() {
+		t.Fatal("scheduler did not report Interrupted after the probe fired")
+	}
+	if fired > 3*pollEvery {
+		t.Fatalf("run kept stepping %d events after the interrupt, want a stop within one poll window", fired)
+	}
+	if s.Len() == 0 {
+		t.Fatal("interrupt drained the queue; it must stop with pending events intact")
+	}
+	if s.Step() {
+		t.Fatal("Step ran an event after interruption")
+	}
+}
