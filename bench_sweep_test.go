@@ -30,6 +30,50 @@ func sweepWorkload(workers int, trials int) (time.Duration, []*core.TrialResult,
 	return time.Since(start), results, col.Report(), err
 }
 
+// fleetWorkload is the timed workload for the fleet-scale cost curve: a
+// sequential attacked fleet sweep (N flows behind one shared bottleneck,
+// interference budget 1) with stage attribution armed.
+func fleetWorkload(n, trials int) (time.Duration, *perf.Report, error) {
+	col := perf.NewCollector()
+	plan := adversary.DefaultPlan()
+	plan.Adaptive = true
+	opts := experiment.Options{Trials: trials, BaseSeed: 42, Workers: 1, Perf: col}
+	start := time.Now()
+	_, err := opts.Sweep(trials, func(t int) core.TrialConfig {
+		return core.TrialConfig{Seed: opts.BaseSeed + int64(t), Attack: &plan,
+			Fleet: &core.FleetConfig{N: n, Budget: 1}}
+	})
+	return time.Since(start), col.Report(), err
+}
+
+// fleetBenchRows measures the fleet cost curve at the same load levels the
+// fleetscale experiment sweeps; trial counts shrink as N grows so the
+// whole curve stays cheap enough for CI.
+func fleetBenchRows(t *testing.T) []perf.FleetBenchRow {
+	t.Helper()
+	levels := []struct{ n, trials int }{{1, 8}, {10, 4}, {100, 2}, {1000, 1}}
+	rows := make([]perf.FleetBenchRow, 0, len(levels))
+	for _, lv := range levels {
+		wall, rep, err := fleetWorkload(lv.n, lv.trials)
+		if err != nil {
+			t.Fatalf("fleet workload N=%d: %v", lv.n, err)
+		}
+		var allocs int64
+		for _, s := range rep.BenchStages() {
+			allocs += s.AllocObjects
+		}
+		row := perf.FleetBenchRow{
+			N: lv.n, Trials: lv.trials,
+			MSPerTrial:     float64(wall.Milliseconds()) / float64(lv.trials),
+			AllocsPerTrial: float64(allocs) / float64(lv.trials),
+		}
+		rows = append(rows, row)
+		t.Logf("fleet N=%-5d %d trials: %.1f ms/trial, %.0f allocs/trial",
+			row.N, row.Trials, row.MSPerTrial, row.AllocsPerTrial)
+	}
+	return rows
+}
+
 // BenchmarkSweepWorkers measures the sweep engine at 1 worker and at every
 // core, for before/after comparison of the parallel fan-out.
 func BenchmarkSweepWorkers(b *testing.B) {
@@ -89,6 +133,7 @@ func TestBenchSweepRecord(t *testing.T) {
 	// Pin the headline allocs/trial at top level (derived from the stage
 	// table) so benchdiff and humans read it without summing stages.
 	rec.AllocsPerTrial = rec.SeqAllocsPerTrial()
+	rec.FleetRows = fleetBenchRows(t)
 	if rec.SingleCore() {
 		rec.Note = "single-core box: parallel speedup is expected to be <=1x here and is not judged"
 	}

@@ -9,6 +9,7 @@
 //	         [-debug-addr :9090] [-hold 30s]
 //	         [-perf] [-perf-out perf.json] [-cpuprofile cpu.pprof] [-memprofile heap.pprof]
 //	h2attack -trials 50 [-parallel W]   (aggregate success over seeds N..N+49)
+//	h2attack -fleet 100 -budget 1       (shared-bottleneck fleet: pick the target out of 99 decoys)
 //	h2attack -scenarios                 (list the fault-scenario catalog)
 package main
 
@@ -48,6 +49,8 @@ func main() {
 	scenario := flag.String("scenario", "", "inject a named fault scenario (see -scenarios)")
 	listScenarios := flag.Bool("scenarios", false, "list the fault-scenario catalog and exit")
 	adaptive := flag.Bool("adaptive", false, "arm the closed-loop driver: watchdogs, retry with escalation, heartbeat re-arm, graceful degradation")
+	fleet := flag.Int("fleet", 1, "fleet size N: multiplex N client-server pairs (flow 0 is the target, the rest decoy page loads) over one shared bottleneck")
+	budgetK := flag.Int("budget", 1, "with -fleet >1: the adversary's concurrent-interference budget K (0 observes but never touches a flow)")
 	pcapPath := flag.String("pcap", "", "export the gateway's capture to this pcap file")
 	timeline := flag.Bool("timeline", false, "print the merged event timeline")
 	hold := flag.Duration("hold", 0, "keep the process (and -debug-addr endpoints) alive this long after the trial")
@@ -94,6 +97,15 @@ func main() {
 	}
 	if *adaptive {
 		knobs += " -adaptive"
+	}
+	if *fleet > 1 {
+		knobs += fmt.Sprintf(" -fleet %d -budget %d", *fleet, *budgetK)
+	}
+
+	// -fleet >1 switches every trial to the shared-bottleneck topology.
+	var fleetCfg *core.FleetConfig
+	if *fleet > 1 {
+		fleetCfg = &core.FleetConfig{N: *fleet, Budget: *budgetK}
 	}
 
 	// -check arms per-layer invariant checking; a violation's repro line
@@ -168,7 +180,7 @@ func main() {
 		// second SIGINT force-kills through the restored default handler.
 		ctx, stop := cliutil.SignalContext()
 		defer stop()
-		quarantined, interrupted, err := runSweep(ctx, *seed, *trials, *parallel, *noPool, plan, *scenario, knobs, sf, tracer, reg, rec, col, fcol)
+		quarantined, interrupted, err := runSweep(ctx, *seed, *trials, *parallel, *noPool, plan, *scenario, fleetCfg, knobs, sf, tracer, reg, rec, col, fcol)
 		if err != nil {
 			fatal(err)
 		}
@@ -211,9 +223,36 @@ func main() {
 		fatal(err)
 	}
 	cfg := core.TrialConfig{Seed: *seed, Attack: &plan, Scenario: *scenario, Trace: tracer, Metrics: reg, Check: ck, Flows: fl,
-		StepBudget: sf.StepBudget, WallDeadline: sf.TrialDeadline}
+		StepBudget: sf.StepBudget, WallDeadline: sf.TrialDeadline, Fleet: fleetCfg}
 	if chaosFor != nil {
 		cfg.Chaos = chaosFor(0)
+	}
+	// A fleet trial runs through core.RunTrial (the topology is assembled
+	// there) and reports selection + collateral instead of the single-pair
+	// play-by-play.
+	if fleetCfg != nil {
+		if *pcapPath != "" || *timeline {
+			fmt.Fprintln(os.Stderr, "h2attack: -pcap and -timeline apply to single-pair trials; ignoring with -fleet >1")
+		}
+		fpw := col.Worker()
+		ftok := fpw.BeginTrial()
+		cfg.Perf = fpw
+		res, err := core.RunTrial(cfg)
+		fpw.EndTrial(ftok)
+		fpw.Close()
+		finishPerf()
+		if err != nil {
+			fatal(err)
+		}
+		if err := tf.Export(tracer, os.Stdout, "h2attack"); err != nil {
+			fatal(err)
+		}
+		if err := ffl.Export(fcol, os.Stdout, "h2attack"); err != nil {
+			fatal(err)
+		}
+		printFleet(res)
+		exitChecks(cf, rec, ds, *hold)
+		return
 	}
 	pw := col.Worker()
 	tok := pw.BeginTrial()
@@ -307,7 +346,7 @@ func exitChecks(cf cliutil.CheckFlags, rec *check.Recorder, ds *obs.DebugServer,
 // engine under trial supervision, aggregated exactly as table2 aggregates
 // (HTML identified, ranks correct, broken loads). Returns the quarantined
 // trial count and whether the sweep was interrupted (partial results).
-func runSweep(ctx context.Context, seed int64, n, workers int, noPool bool, plan adversary.AttackPlan, scenario, knobs string, sf cliutil.SuperviseFlags, tracer *trace.Tracer, reg *obs.Registry, rec *check.Recorder, col *perf.Collector, fcol *flowseq.Collector) (quarantined int, interrupted bool, err error) {
+func runSweep(ctx context.Context, seed int64, n, workers int, noPool bool, plan adversary.AttackPlan, scenario string, fleetCfg *core.FleetConfig, knobs string, sf cliutil.SuperviseFlags, tracer *trace.Tracer, reg *obs.Registry, rec *check.Recorder, col *perf.Collector, fcol *flowseq.Collector) (quarantined int, interrupted bool, err error) {
 	opts := experiment.Options{
 		Trials:   n,
 		BaseSeed: seed,
@@ -343,7 +382,12 @@ func runSweep(ctx context.Context, seed int64, n, workers int, noPool bool, plan
 	})
 	opts.Progress.Start("attack", n)
 	results, err := opts.Sweep(n, func(t int) core.TrialConfig {
-		return core.TrialConfig{Seed: seed + int64(t), Attack: &plan, Scenario: scenario}
+		cfg := core.TrialConfig{Seed: seed + int64(t), Attack: &plan, Scenario: scenario}
+		if fleetCfg != nil {
+			fc := *fleetCfg
+			cfg.Fleet = &fc
+		}
+		return cfg
 	})
 	if err != nil {
 		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
@@ -354,6 +398,8 @@ func runSweep(ctx context.Context, seed int64, n, workers int, noPool bool, plan
 	opts.Progress.Done()
 	var html, ranks, allRanks, broken metrics.Counter
 	var resets metrics.Sample
+	var targetSel metrics.Counter
+	var fleetInterventions, decoyBroken, decoyResets int
 	outcomes := make(map[adversary.Outcome]int)
 	completed := 0
 	for _, res := range results {
@@ -362,6 +408,16 @@ func runSweep(ctx context.Context, seed int64, n, workers int, noPool bool, plan
 			continue
 		}
 		completed++
+		if fo := res.Fleet; fo != nil {
+			targetSel.Observe(fo.TargetSelected)
+			fleetInterventions += fo.Interventions
+			for _, d := range fo.Decoys {
+				if d.Broken {
+					decoyBroken++
+				}
+				decoyResets += d.Resets
+			}
+		}
 		html.Observe(res.ObjectSuccess(website.TargetID))
 		all := true
 		for k := 0; k < website.PartyCount; k++ {
@@ -385,6 +441,12 @@ func runSweep(ctx context.Context, seed int64, n, workers int, noPool bool, plan
 	if qn := quar.Len(); qn > 0 {
 		fmt.Printf("  DEGRADED: %d trial(s) quarantined (counted as broken below); see repro commands in the quarantine report\n", qn)
 	}
+	if fleetCfg != nil {
+		fmt.Printf("  fleet:                     N=%d budget=%d\n", fleetCfg.N, fleetCfg.Budget)
+		fmt.Printf("  target selected:           %.0f%%\n", targetSel.Percent())
+		fmt.Printf("  interventions/trial:       %.0f\n", float64(fleetInterventions)/float64(completed))
+		fmt.Printf("  decoy broken / resets:     %d / %d\n", decoyBroken, decoyResets)
+	}
 	fmt.Printf("  quiz HTML identified:      %.0f%%\n", html.Percent())
 	fmt.Printf("  emblem ranks correct:      %.0f%%\n", ranks.Percent())
 	fmt.Printf("  full ranking recovered:    %.0f%%\n", allRanks.Percent())
@@ -401,6 +463,52 @@ func runSweep(ctx context.Context, seed int64, n, workers int, noPool bool, plan
 	fmt.Println(strings.Join(parts, ", "))
 	qn, err := sf.Report(quar, os.Stderr, "h2attack")
 	return qn, interrupted, err
+}
+
+// printFleet renders a fleet trial: who the middlebox picked out of the
+// crowd, what it did to them, and what happened to everyone else.
+func printFleet(res *core.TrialResult) {
+	fo := res.Fleet
+	fmt.Println("== fleet trial ==")
+	fmt.Printf("  topology:          %d flows over one %s bottleneck, budget K=%d\n",
+		fo.N, fo.Discipline, fo.Budget)
+	fmt.Printf("  selected flows:    %v (target selected: %t, budget peak %d)\n",
+		fo.Selected, fo.TargetSelected, fo.BudgetPeak)
+	fmt.Printf("  interventions:     %d\n", fo.Interventions)
+	fmt.Printf("  bottleneck c→s:    %d pkts / %d bytes (%d queue drops)\n",
+		fo.AggC2S.Forwarded, fo.AggC2S.Bytes, fo.AggC2S.DroppedQueue)
+	fmt.Printf("  bottleneck s→c:    %d pkts / %d bytes (%d queue drops)\n",
+		fo.AggS2C.Forwarded, fo.AggS2C.Bytes, fo.AggS2C.DroppedQueue)
+
+	var loads time.Duration
+	var loaded, brokenN, resetsN, targeted int
+	for _, d := range fo.Decoys {
+		if d.LoadTime > 0 {
+			loads += d.LoadTime
+			loaded++
+		}
+		if d.Broken {
+			brokenN++
+		}
+		resetsN += d.Resets
+		if d.Targeted {
+			targeted++
+		}
+	}
+	fmt.Printf("  decoys:            %d loaded / %d broken / %d reset cycles / %d mis-targeted\n",
+		loaded, brokenN, resetsN, targeted)
+	if loaded > 0 {
+		fmt.Printf("  mean decoy load:   %v\n", (loads / time.Duration(loaded)).Round(time.Millisecond))
+	}
+
+	fmt.Println("\n== target verdict ==")
+	fmt.Printf("  attack outcome:   %s (%d drop attempt(s))\n", res.Outcome, res.AttackAttempts)
+	fmt.Printf("  quiz HTML identified: %t\n", res.Identified[website.TargetID])
+	fmt.Printf("  true ranking:     %s\n", seqString(res.DisplaySeq))
+	fmt.Printf("  inferred ranking: %s\n", seqString(res.InferredSeq))
+	if res.Broken {
+		fmt.Printf("  page load broke: %s\n", res.BrokenReason)
+	}
 }
 
 func holdAndClose(ds *obs.DebugServer, hold time.Duration) {

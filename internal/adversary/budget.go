@@ -1,0 +1,148 @@
+package adversary
+
+import (
+	"sort"
+
+	"h2privacy/internal/check"
+	"h2privacy/internal/flowseq"
+)
+
+// Budget is the fleet adversary's per-flow interference cap: a middlebox
+// on an aggregation link can only jitter/throttle/drop K flows at once
+// (per-flow qdisc and filter state is finite). Acquire claims a slot for
+// one flow, Release returns it; Peak reports the high-water mark. Every
+// transition mirrors into the armed checker's budget shadow, so a driver
+// that over-acquires or double-releases is an invariant violation, not a
+// silent drift. A nil Budget is the unconstrained (non-fleet) adversary:
+// TryAcquire always grants, nothing is counted.
+type Budget struct {
+	cap  int
+	held map[int]bool
+	peak int
+	ck   *check.Checker
+}
+
+// NewBudget builds a K-slot budget and arms the checker's budget shadow
+// (nil checker disables the mirroring at zero cost).
+func NewBudget(k int, ck *check.Checker) *Budget {
+	if k < 0 {
+		k = 0
+	}
+	ck.BudgetArm(k)
+	return &Budget{cap: k, held: make(map[int]bool), ck: ck}
+}
+
+// Cap returns K.
+func (b *Budget) Cap() int {
+	if b == nil {
+		return 0
+	}
+	return b.cap
+}
+
+// Held reports how many slots are currently claimed.
+func (b *Budget) Held() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.held)
+}
+
+// Peak reports the maximum concurrently-held slot count.
+func (b *Budget) Peak() int {
+	if b == nil {
+		return 0
+	}
+	return b.peak
+}
+
+// TryAcquire claims a slot for flow; false when the budget is exhausted
+// or the flow already holds one. Nil receiver always grants (no cap).
+func (b *Budget) TryAcquire(flow int) bool {
+	if b == nil {
+		return true
+	}
+	if b.held[flow] || len(b.held) >= b.cap {
+		return false
+	}
+	b.held[flow] = true
+	if len(b.held) > b.peak {
+		b.peak = len(b.held)
+	}
+	b.ck.BudgetAcquire(flow)
+	return true
+}
+
+// Release returns flow's slot; a release without a matching acquire is a
+// no-op here but a violation in the checker's shadow.
+func (b *Budget) Release(flow int) {
+	if b == nil {
+		return
+	}
+	if b.held[flow] {
+		delete(b.held, flow)
+	}
+	b.ck.BudgetRelease(flow)
+}
+
+// FlowScore is one flow's capture-visible selection score.
+type FlowScore struct {
+	Flow  int
+	Score int
+}
+
+// SelectTargets ranks N flows by what a middlebox can actually see at its
+// tap — each flow's flowseq Live() snapshot — and returns the flow
+// indices of the top k, largest per-request response first. The score is
+// the estimated payload of the largest server→client burst observed so
+// far divided by the requests that produced it: the response-size
+// signature the paper's attack fingerprints. Raw burst size alone is
+// fooled by a slow volunteer (a decoy's whole small page merges into one
+// burst bigger than the target's first response), but bytes-per-request
+// is robust — the target site's 28 KB base page dwarfs any single decoy
+// object, whatever the volunteer's pacing. Ties break on flow index,
+// flows with no observed response score nothing and are never selected,
+// and the ranking is a pure function of the analyzer snapshots — no RNG
+// — so selection is deterministic at any worker count.
+//
+// minScore is the arming floor: flows scoring below it are not selected
+// even when budget remains. A floor above the decoy ceiling (no decoy
+// response exceeds ~6 KB) lets the caller rescan until the real target's
+// big response shows up, instead of wasting budget slots on the noise
+// visible at the first scan.
+func SelectTargets(flows []*flowseq.Analyzer, k, minScore int) []int {
+	if k <= 0 {
+		return nil
+	}
+	scores := make([]FlowScore, 0, len(flows))
+	for i, a := range flows {
+		lf := a.Live()
+		if lf.MaxBurstBody <= 0 {
+			continue
+		}
+		gets := lf.GETs
+		if gets < 1 {
+			gets = 1
+		}
+		s := lf.MaxBurstBody / gets
+		if s < minScore {
+			continue
+		}
+		scores = append(scores, FlowScore{Flow: i, Score: s})
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].Score != scores[j].Score {
+			return scores[i].Score > scores[j].Score
+		}
+		return scores[i].Flow < scores[j].Flow
+	})
+	if len(scores) > k {
+		scores = scores[:k]
+	}
+	picked := make([]int, len(scores))
+	for i, s := range scores {
+		picked[i] = s.Flow
+	}
+	sort.Ints(picked)
+	return picked
+}

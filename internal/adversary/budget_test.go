@@ -1,0 +1,122 @@
+package adversary
+
+import (
+	"reflect"
+	"testing"
+
+	"h2privacy/internal/check"
+	"h2privacy/internal/flowseq"
+)
+
+// fedAnalyzer builds an analyzer that has observed gets client GET
+// records and one server→client burst whose body estimate sums bodies:
+// the first record opens the burst (response HEADERS, no object bytes),
+// each body record then contributes plainLen − 9 bytes — the same size
+// model the monitor's feed produces.
+func fedAnalyzer(gets int, bodies ...int) *flowseq.Analyzer {
+	a := flowseq.New(0, nil)
+	for i := 0; i < gets; i++ {
+		a.Record(true, 120, 80, true, false, false)
+	}
+	if len(bodies) > 0 {
+		a.Record(false, 60, 40, false, false, false)
+		for _, b := range bodies {
+			a.Record(false, b+38, b+9, false, false, false)
+		}
+	}
+	return a
+}
+
+func TestBudgetCapHeldPeak(t *testing.T) {
+	b := NewBudget(2, nil)
+	if !b.TryAcquire(3) || !b.TryAcquire(7) {
+		t.Fatal("two acquires under a 2-slot budget must both grant")
+	}
+	if b.TryAcquire(3) {
+		t.Error("re-acquire by a holding flow granted")
+	}
+	if b.TryAcquire(9) {
+		t.Error("acquire beyond the cap granted")
+	}
+	if b.Held() != 2 || b.Peak() != 2 || b.Cap() != 2 {
+		t.Errorf("held=%d peak=%d cap=%d, want 2/2/2", b.Held(), b.Peak(), b.Cap())
+	}
+	b.Release(3)
+	if !b.TryAcquire(9) {
+		t.Error("acquire after a release refused")
+	}
+	if b.Peak() != 2 {
+		t.Errorf("peak drifted to %d after release+reacquire at the cap", b.Peak())
+	}
+}
+
+func TestBudgetNilIsUnconstrained(t *testing.T) {
+	var b *Budget
+	for flow := 0; flow < 100; flow++ {
+		if !b.TryAcquire(flow) {
+			t.Fatal("nil budget refused an acquire")
+		}
+	}
+	b.Release(5)
+	if b.Held() != 0 || b.Peak() != 0 || b.Cap() != 0 {
+		t.Error("nil budget counted something")
+	}
+}
+
+// TestBudgetCheckerShadow pins the mirroring contract: clean
+// acquire/release traffic adds no violations, while a release without a
+// matching acquire is booked by the checker even though the Budget
+// itself shrugs it off.
+func TestBudgetCheckerShadow(t *testing.T) {
+	rec := check.NewRecorder()
+	ck := check.New(1, 0, rec)
+	b := NewBudget(1, ck)
+	b.TryAcquire(0)
+	b.Release(0)
+	b.Release(0) // no matching acquire: shadow violation, Budget no-op
+	if n := ck.Finalize(); n != 1 {
+		t.Fatalf("unmatched release booked %d violations, want 1:\n%s", n, rec.Report())
+	}
+	for _, v := range ck.Violations() {
+		if v.Rule != "budget-release-unheld" {
+			t.Errorf("unexpected violation %q: %s", v.Rule, v.Detail)
+		}
+	}
+}
+
+// TestSelectTargetsBytesPerRequest pins the selector's robustness to
+// slow volunteers: a decoy whose whole small page merges into one burst
+// out-sizes the target's first response, but loses on bytes-per-request.
+func TestSelectTargetsBytesPerRequest(t *testing.T) {
+	flows := []*flowseq.Analyzer{
+		fedAnalyzer(1, 15600),                              // target: one GET, one big response
+		fedAnalyzer(6, 3000, 3000, 3000, 3000, 2500, 2460), // slow decoy: 6 objects merged into one 16.96 KB burst
+		fedAnalyzer(2, 4000),
+	}
+	got := SelectTargets(flows, 1, 0)
+	if !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("selected %v, want the planted target [0]", got)
+	}
+}
+
+func TestSelectTargetsFloorAndOrder(t *testing.T) {
+	flows := []*flowseq.Analyzer{
+		fedAnalyzer(1, 2000),
+		fedAnalyzer(1, 15600),
+		nil, // unobserved flow scores nothing
+		fedAnalyzer(1),
+		fedAnalyzer(1, 9000),
+	}
+	// Floor above the decoy ceiling: only the big responses qualify, and
+	// the picked set comes back in ascending flow order.
+	if got := SelectTargets(flows, 3, 8192); !reflect.DeepEqual(got, []int{1, 4}) {
+		t.Fatalf("floor 8192 selected %v, want [1 4]", got)
+	}
+	// No floor: k truncates by score, keeping the two largest.
+	if got := SelectTargets(flows, 2, 0); !reflect.DeepEqual(got, []int{1, 4}) {
+		t.Fatalf("k=2 selected %v, want [1 4]", got)
+	}
+	if got := SelectTargets(flows, 0, 0); got != nil {
+		t.Fatalf("k=0 selected %v, want nothing", got)
+	}
+}

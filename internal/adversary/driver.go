@@ -285,6 +285,13 @@ type Driver struct {
 	freshRun   int // untainted records within the current run
 	gen        int // invalidates scheduled watchdog/heartbeat callbacks
 
+	// onRelease, when set, fires once when the driver stops interfering
+	// for good (degrade) — the fleet adversary returns the flow's budget
+	// slot there. Phase 3 still holds the slot: request spacing is live
+	// interference until the trial ends.
+	onRelease func()
+	released  bool
+
 	// Live phase metrics (nil instruments when no registry is armed).
 	mPhase       *obs.Gauge
 	mTransitions *obs.CounterVec
@@ -332,6 +339,12 @@ func NewDriver(sched *simtime.Scheduler, controller *Controller, monitor *captur
 
 // Phase reports the current phase.
 func (d *Driver) Phase() Phase { return d.phase }
+
+// SetOnRelease registers a hook fired exactly once when the driver goes
+// terminally passive (degrade: trigger timeout, no reset after retries,
+// or a broken connection). The fleet adversary releases the flow's
+// interference-budget slot there.
+func (d *Driver) SetOnRelease(fn func()) { d.onRelease = fn }
 
 // Attempts reports how many drop windows the driver opened.
 func (d *Driver) Attempts() int { return d.attempts }
@@ -600,4 +613,8 @@ func (d *Driver) degrade(reason string) {
 		tr.Emit(trace.LayerAdversary, "degrade", trace.Str("reason", reason))
 	}
 	d.transition(PhaseDegraded)
+	if d.onRelease != nil && !d.released {
+		d.released = true
+		d.onRelease()
+	}
 }

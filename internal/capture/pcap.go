@@ -54,6 +54,18 @@ func FlowID() string {
 		serverIP[0], serverIP[1], serverIP[2], serverIP[3], serverPort)
 }
 
+// FleetFlowID returns the canonical identifier of fleet member flow i:
+// flow 0 — the target, the one a standalone trial simulates — keeps the
+// exact FlowID 5-tuple, and each decoy gets a distinct synthesized client
+// port, so feature rows and debug exports attribute per-flow at the
+// shared bottleneck. Sort order over a fleet is lexicographic on this
+// string (the collector's contract), not numeric on i.
+func FleetFlowID(i int) string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d-%d.%d.%d.%d:%d",
+		clientIP[0], clientIP[1], clientIP[2], clientIP[3], clientPort+i,
+		serverIP[0], serverIP[1], serverIP[2], serverIP[3], serverPort)
+}
+
 // WritePcap serializes the packet log as a classic libpcap capture
 // (Ethernet + IPv4 + TCP, checksums zeroed) that Wireshark and tshark can
 // open — the artifact the paper's monitor produced. Only forwarded

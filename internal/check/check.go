@@ -69,6 +69,13 @@ type Checker struct {
 
 	links [2]linkShadow
 	caps  [2]capShadow
+	aggs  [2]aggShadow
+
+	// Adversary interference-budget shadow: which fleet flows currently
+	// hold a slot, and the configured cap.
+	budgetCap    int
+	budgetActive map[int]bool
+	budgetPeak   int
 
 	lastAt  time.Duration
 	stepped bool
@@ -125,6 +132,15 @@ type linkShadow struct {
 
 func (l *linkShadow) droppedTotal() int {
 	return l.droppedPkts[0] + l.droppedPkts[1] + l.droppedPkts[2] + l.droppedPkts[3]
+}
+
+// aggShadow tallies admissions to a shared bottleneck, one direction.
+// armed distinguishes "no bottleneck in this trial" from "a bottleneck
+// that admitted nothing".
+type aggShadow struct {
+	armed    bool
+	fwdPkts  int
+	fwdBytes int64
 }
 
 type capShadow struct {
@@ -794,6 +810,128 @@ func (c *Checker) LinkStatsFinal(dir uint8, sent, delivered, duplicated, dropped
 				dir, p.field, p.got, p.shadow)
 		}
 	}
+}
+
+// AggForwarded observes a packet admitted to the shared bottleneck's
+// serializer. Member links book their own LinkForwarded too, so at every
+// instant the aggregate shadow must equal the per-flow forwarded sums —
+// the fleet-topology conservation invariant AggStatsFinal settles.
+func (c *Checker) AggForwarded(dir uint8, size int) {
+	if c == nil {
+		return
+	}
+	c.lock()
+	defer c.unlock()
+	a := &c.aggs[dir&1]
+	a.armed = true
+	a.fwdPkts++
+	a.fwdBytes += int64(size)
+}
+
+// AggStatsFinal cross-checks a bottleneck's AggStats against the shadow
+// tally at trial end, and pins the aggregate-conservation invariant: when
+// every link in a direction feeds the bottleneck, the per-flow forwarded
+// packet/byte sums (the links shadow) must equal what the aggregate
+// serialized. droppedQueue is the shared queue's tail-drop count; each
+// such drop also books on exactly one member link, so the per-flow
+// DroppedQueue sum must cover it.
+func (c *Checker) AggStatsFinal(dir uint8, forwarded int, bytes int64, droppedQueue int) {
+	if c == nil {
+		return
+	}
+	c.lock()
+	defer c.unlock()
+	a := &c.aggs[dir&1]
+	if !a.armed && forwarded == 0 && droppedQueue == 0 {
+		return
+	}
+	if forwarded != a.fwdPkts || bytes != a.fwdBytes {
+		c.violate("netsim", "agg-stats-drift",
+			"dir=%d AggStats says %d pkts/%d bytes but the shadow tally says %d/%d",
+			dir, forwarded, bytes, a.fwdPkts, a.fwdBytes)
+	}
+	l := &c.links[dir&1]
+	if a.fwdPkts != l.forwardedPkts || a.fwdBytes != l.forwardBytes {
+		c.violate("netsim", "agg-conservation",
+			"dir=%d per-flow forwarded sums (%d pkts/%d bytes) != bottleneck admissions (%d/%d)",
+			dir, l.forwardedPkts, l.forwardBytes, a.fwdPkts, a.fwdBytes)
+	}
+	if droppedQueue > l.droppedPkts[DropQueue] {
+		c.violate("netsim", "agg-conservation",
+			"dir=%d bottleneck tail-dropped %d packets but the flows only booked %d queue drops",
+			dir, droppedQueue, l.droppedPkts[DropQueue])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// adversary budget hooks
+
+// BudgetArm announces the adversary's interference budget: at most k
+// fleet flows may hold a slot concurrently.
+func (c *Checker) BudgetArm(k int) {
+	if c == nil {
+		return
+	}
+	c.lock()
+	defer c.unlock()
+	c.budgetCap = k
+	if c.budgetActive == nil {
+		c.budgetActive = make(map[int]bool)
+	}
+}
+
+// BudgetAcquire observes the adversary taking a slot for a flow. A flow
+// may hold at most one slot, and the active count must never exceed the
+// armed cap.
+func (c *Checker) BudgetAcquire(flow int) {
+	if c == nil {
+		return
+	}
+	c.lock()
+	defer c.unlock()
+	if c.budgetActive == nil {
+		c.budgetActive = make(map[int]bool)
+	}
+	if c.budgetActive[flow] {
+		c.violate("adversary", "budget-double-acquire",
+			"flow %d acquired a budget slot it already holds", flow)
+		return
+	}
+	c.budgetActive[flow] = true
+	if n := len(c.budgetActive); n > c.budgetPeak {
+		c.budgetPeak = n
+	}
+	if len(c.budgetActive) > c.budgetCap {
+		c.violate("adversary", "budget-exceeded",
+			"%d flows hold interference slots but the budget is %d",
+			len(c.budgetActive), c.budgetCap)
+	}
+}
+
+// BudgetRelease observes the adversary returning a flow's slot.
+func (c *Checker) BudgetRelease(flow int) {
+	if c == nil {
+		return
+	}
+	c.lock()
+	defer c.unlock()
+	if !c.budgetActive[flow] {
+		c.violate("adversary", "budget-release-unheld",
+			"flow %d released a budget slot it does not hold", flow)
+		return
+	}
+	delete(c.budgetActive, flow)
+}
+
+// BudgetPeak reports the highest concurrent slot count observed. Safe on
+// nil.
+func (c *Checker) BudgetPeak() int {
+	if c == nil {
+		return 0
+	}
+	c.lock()
+	defer c.unlock()
+	return c.budgetPeak
 }
 
 // ---------------------------------------------------------------------------

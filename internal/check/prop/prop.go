@@ -51,6 +51,12 @@ type Trial struct {
 	RandomJitter    time.Duration
 	ThrottleBps     float64
 	CrossTrafficBps float64
+
+	// Fleet topology: FleetN > 1 multiplexes the trial over a shared
+	// bottleneck with FleetN-1 decoy page loads and gives the adversary a
+	// FleetBudget-flow interference cap (core.FleetConfig).
+	FleetN      int
+	FleetBudget int
 }
 
 // String renders the trial compactly, zero dimensions omitted — the form
@@ -87,6 +93,9 @@ func (t Trial) String() string {
 	if t.CrossTrafficBps > 0 {
 		s += fmt.Sprintf(" crosstraffic=%.0fbps", t.CrossTrafficBps)
 	}
+	if t.FleetN > 1 {
+		s += fmt.Sprintf(" fleet=%d budget=%d", t.FleetN, t.FleetBudget)
+	}
 	return s
 }
 
@@ -110,6 +119,9 @@ func (t Trial) Config() core.TrialConfig {
 		plan := adversary.DefaultPlan()
 		plan.Adaptive = t.Adaptive
 		cfg.Attack = &plan
+	}
+	if t.FleetN > 1 {
+		cfg.Fleet = &core.FleetConfig{N: t.FleetN, Budget: t.FleetBudget}
 	}
 	return cfg
 }
@@ -158,6 +170,13 @@ func Generate(rng *simtime.Rand, seed int64) Trial {
 	}
 	if rng.Bool(0.2) {
 		t.CrossTrafficBps = 1e6 + 49e6*rng.Float64()
+	}
+	if rng.Bool(0.2) {
+		// Shared-bottleneck fleet: small load mixes keep the seed budget
+		// cheap; the budget spans observe-only (0) through multi-flow
+		// interference.
+		t.FleetN = 2 + rng.Intn(11)
+		t.FleetBudget = rng.Intn(3)
 	}
 	return t
 }
@@ -280,6 +299,8 @@ func Shrink(t Trial, log io.Writer) (Trial, int) {
 	// Pass 1: remove whole dimensions, cheapest-to-understand first.
 	zeros := []func(*Trial){
 		func(c *Trial) { c.Scenario = "" },
+		func(c *Trial) { c.FleetN, c.FleetBudget = 0, 0 },
+		func(c *Trial) { c.FleetBudget = 0 },
 		func(c *Trial) { c.CrossTrafficBps = 0 },
 		func(c *Trial) { c.ServerPush = false },
 		func(c *Trial) { c.Shuffled = false },
@@ -307,6 +328,7 @@ func Shrink(t Trial, log io.Writer) (Trial, int) {
 		func(c *Trial) bool { c.RequestSpacing /= 2; return c.RequestSpacing > 10*time.Microsecond },
 		func(c *Trial) bool { c.ThrottleBps /= 2; return c.ThrottleBps > 1e6 },
 		func(c *Trial) bool { c.CrossTrafficBps /= 2; return c.CrossTrafficBps > 1e5 },
+		func(c *Trial) bool { c.FleetN /= 2; return c.FleetN > 1 },
 	}
 	for _, h := range halves {
 		for probes < shrinkBudget {

@@ -86,6 +86,14 @@ type TrialConfig struct {
 	// through the same gateway — the uncontrolled traffic a real campus
 	// link carries. Zero disables.
 	CrossTrafficBps float64
+	// Fleet, when non-nil, switches the trial to the shared-bottleneck
+	// fleet topology: N client–server pairs multiplexed over one
+	// aggregation link, with the adversary constrained to a K-flow
+	// interference budget and target selection from capture-visible
+	// features. See FleetConfig; RunTrial routes to the fleet path. Flow 0
+	// is the target pair this config otherwise describes; at N=1 with a
+	// mirrored bottleneck the trial is byte-identical to Fleet=nil.
+	Fleet *FleetConfig
 	// Predict tunes the prediction module.
 	Predict predict.Config
 	// Duration bounds the simulated time. Default 120 s.
@@ -394,6 +402,9 @@ func RunTrial(cfg TrialConfig) (*TrialResult, error) {
 	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 		return nil, cfg.Ctx.Err()
 	}
+	if cfg.Fleet != nil {
+		return runFleetTrial(cfg)
+	}
 	sp := cfg.Perf.Start(perf.StageBuild)
 	tb, err := NewTestbed(cfg)
 	sp.Stop()
@@ -475,6 +486,11 @@ type TrialResult struct {
 	// timelines, burst tables and clean-slate spans when TrialConfig.Flows
 	// was armed; nil otherwise.
 	Features *flowseq.FlowFeatures
+	// Fleet carries the shared-bottleneck topology's per-trial outcome —
+	// target selection, budget accounting, decoy page-load fates and the
+	// aggregate link stats — when TrialConfig.Fleet was armed; nil
+	// otherwise.
+	Fleet *FleetOutcome
 	// Quarantined marks a placeholder result the sweep supervision layer
 	// slotted in for a trial that failed permanently (panic or watchdog
 	// timeout after its retries). Placeholders read as broken loads in the
@@ -485,9 +501,38 @@ type TrialResult struct {
 }
 
 func (tb *Testbed) collect() *TrialResult {
-	// Capture finalize: monitor reads, DoM metrics, burst segmentation and
-	// prediction — everything between the scheduler stopping and the
-	// check/publish epilogues.
+	res := tb.collectCapture()
+	if ck := tb.cfg.Check; ck.Enabled() {
+		csp := tb.cfg.Perf.Start(perf.StageCheck)
+		// Hand the checker each link's final stats for drift detection, then
+		// run the end-of-trial conservation checks and flush the report.
+		for _, dir := range []netsim.Direction{netsim.ClientToServer, netsim.ServerToClient} {
+			d := uint8(check.DirC2S)
+			if dir == netsim.ServerToClient {
+				d = check.DirS2C
+			}
+			st := tb.Path.Link(dir).Stats()
+			ck.LinkStatsFinal(d, st.Sent, st.Delivered, st.Duplicated,
+				st.DroppedLoss, st.DroppedPolicy, st.DroppedQueue, st.DroppedFault,
+				st.BytesDelivered)
+		}
+		res.CheckViolations = ck.Finalize()
+		csp.Stop()
+	}
+	if !tb.cfg.DeferMetrics {
+		psp := tb.cfg.Perf.Start(perf.StagePublish)
+		PublishTrialMetrics(tb.cfg.Metrics, res)
+		psp.Stop()
+	}
+	return res
+}
+
+// collectCapture runs the capture half of collection — monitor reads, DoM
+// metrics, burst segmentation, prediction and feature finalization — and
+// leaves the checker/publish epilogues to the caller. The point-to-point
+// collect() runs them against the single path; the fleet trial runs them
+// against per-flow sums plus the shared bottleneck's aggregate stats.
+func (tb *Testbed) collectCapture() *TrialResult {
 	sp := tb.cfg.Perf.Start(perf.StageCapture)
 	res := &TrialResult{
 		Perm:               append([]int(nil), tb.Plan.Perm...),
@@ -530,28 +575,6 @@ func (tb *Testbed) collect() *TrialResult {
 		res.Features = tb.cfg.Flows.Finalize()
 	}
 	sp.Stop()
-	if ck := tb.cfg.Check; ck.Enabled() {
-		csp := tb.cfg.Perf.Start(perf.StageCheck)
-		// Hand the checker each link's final stats for drift detection, then
-		// run the end-of-trial conservation checks and flush the report.
-		for _, dir := range []netsim.Direction{netsim.ClientToServer, netsim.ServerToClient} {
-			d := uint8(check.DirC2S)
-			if dir == netsim.ServerToClient {
-				d = check.DirS2C
-			}
-			st := tb.Path.Link(dir).Stats()
-			ck.LinkStatsFinal(d, st.Sent, st.Delivered, st.Duplicated,
-				st.DroppedLoss, st.DroppedPolicy, st.DroppedQueue, st.DroppedFault,
-				st.BytesDelivered)
-		}
-		res.CheckViolations = ck.Finalize()
-		csp.Stop()
-	}
-	if !tb.cfg.DeferMetrics {
-		psp := tb.cfg.Perf.Start(perf.StagePublish)
-		PublishTrialMetrics(tb.cfg.Metrics, res)
-		psp.Stop()
-	}
 	return res
 }
 

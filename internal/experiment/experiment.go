@@ -252,6 +252,7 @@ var registry = []struct {
 	{"padding", "Defense extension: random DATA-frame padding", Padding},
 	{"h1base", "HTTP/1.1 baseline: everything serialized (§II)", H1Baseline},
 	{"robustness", "Fault scenarios: open-loop vs adaptive attack driver", Robustness},
+	{"fleetscale", "Fleet-scale shared bottleneck: one middlebox, N victims", FleetScale},
 }
 
 // IDs lists the experiment ids in order.

@@ -11,7 +11,7 @@ import (
 var smallOpts = Options{Trials: 4, BaseSeed: 10}
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig1", "fig2", "fig3", "table1", "fig4", "fig5", "fig6", "table2", "ablation", "defense", "pushdef", "partial", "sensitivity", "crosstraffic", "tcpablation", "padding", "h1base", "robustness"}
+	want := []string{"fig1", "fig2", "fig3", "table1", "fig4", "fig5", "fig6", "table2", "ablation", "defense", "pushdef", "partial", "sensitivity", "crosstraffic", "tcpablation", "padding", "h1base", "robustness", "fleetscale"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("ids = %v", got)

@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"fmt"
+
+	"h2privacy/internal/adversary"
+	"h2privacy/internal/core"
+	"h2privacy/internal/metrics"
+	"h2privacy/internal/website"
+)
+
+// fleetTrialCap bounds the page-load budget per table row: a fleet trial
+// at load N runs N full page loads, so the per-row trial count scales
+// down as 1/N (40 trials at N=1, one trial at N>=40). It doubles as the
+// seedFor stride, so rows never share a seed whatever their trial count.
+const fleetTrialCap = 40
+
+// fleetLoads lists the table's rows: fleet sizes from the degenerate
+// single pair up to a thousand victims behind one middlebox.
+func fleetLoads() []int { return []int{1, 10, 100, 1000} }
+
+// fleetTrialsFor scales the per-row trial count to a roughly constant
+// page-load budget: min(Trials, fleetTrialCap) loads per row, at least
+// one trial.
+func fleetTrialsFor(n, trials int) int {
+	budget := trials
+	if budget > fleetTrialCap {
+		budget = fleetTrialCap
+	}
+	t := budget / n
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// FleetScale measures the attack through the shared-bottleneck topology:
+// for each fleet size N it pairs a Budget-0 baseline against a Budget-1
+// attacked run at shared seeds — same decoys, same bottleneck, same
+// volunteer — and tabulates how often the adversary's flowseq-feature
+// selector finds the planted target among N-1 decoys, the attack's
+// clean-slate and HTML-identification rates on that target, and the
+// collateral the interference inflicts on flows it never selected
+// (page-load inflation, spurious resets, broken loads). Row N=1 is the
+// degenerate fleet: bit-identical to the standalone attacked trial at
+// the same seed (core's fleet identity test pins this), so its numbers
+// line up with the single-pair robustness table's clean row.
+func FleetScale(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	plan := adversary.DefaultPlan()
+	plan.Adaptive = true
+
+	rep := &Report{
+		ID:    "fleetscale",
+		Title: "Fleet-scale shared bottleneck: one middlebox, N victims",
+		Header: []string{"N", "K", "trials", "target sel (%)", "clean-slate (%)",
+			"html (%)", "avg interventions", "decoy infl mean/max (%)",
+			"spurious resets", "broken delta"},
+	}
+	for v, n := range fleetLoads() {
+		n := n
+		trials := fleetTrialsFor(n, opts.Trials)
+		baseRes, atkRes, err := opts.SweepPaired(trials, func(t int) (core.TrialConfig, core.TrialConfig) {
+			seed := seedFor(opts.BaseSeed, v, fleetTrialCap, t)
+			return core.TrialConfig{Seed: seed, Attack: &plan,
+					Fleet: &core.FleetConfig{N: n, Budget: 0}},
+				core.TrialConfig{Seed: seed, Attack: &plan,
+					Fleet: &core.FleetConfig{N: n, Budget: 1}}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleetscale N=%d: %w", n, err)
+		}
+		var selected, clean, html metrics.Counter
+		var interventions int
+		var col core.CollateralStats
+		var inflSum, inflMax float64
+		var inflRows int
+		for t, res := range atkRes {
+			if res.Fleet == nil {
+				return nil, fmt.Errorf("fleetscale N=%d: trial %d missing fleet outcome", n, t)
+			}
+			if base := baseRes[t].Fleet; base == nil || base.Interventions != 0 {
+				return nil, fmt.Errorf("fleetscale N=%d: budget-0 baseline intervened", n)
+			}
+			selected.Observe(res.Fleet.TargetSelected)
+			clean.Observe(res.Outcome == adversary.OutcomeCleanSlate ||
+				res.Outcome == adversary.OutcomeRetryCleanSlate)
+			html.Observe(res.ObjectSuccess(website.TargetID))
+			interventions += res.Fleet.Interventions
+			cs := core.FleetCollateral(res, baseRes[t])
+			col.Decoys += cs.Decoys
+			col.Inflated += cs.Inflated
+			col.SpuriousResets += cs.SpuriousResets
+			col.BrokenDelta += cs.BrokenDelta
+			if cs.Decoys > 0 {
+				inflSum += cs.MeanInflationPct
+				inflRows++
+			}
+			if cs.MaxInflationPct > inflMax {
+				inflMax = cs.MaxInflationPct
+			}
+		}
+		meanInfl := 0.0
+		if inflRows > 0 {
+			meanInfl = inflSum / float64(inflRows)
+		}
+		rep.Rows = append(rep.Rows, []string{
+			itoa(n), "1", itoa(trials),
+			pct(selected.Percent()), pct(clean.Percent()), pct(html.Percent()),
+			f0(float64(interventions) / float64(trials)),
+			fmt.Sprintf("%.1f / %.1f", meanInfl, inflMax),
+			itoa(col.SpuriousResets), itoa(col.BrokenDelta),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"paired sweeps at shared seeds: Budget-0 baseline vs Budget-1 adaptive attack, FIFO bottleneck",
+		"target sel: the flowseq-feature selector armed flow 0 (the planted target) among N-1 decoys",
+		"decoy inflation pairs each decoy's page-load time against its own Budget-0 baseline",
+		"N=1 is bit-identical to the standalone attacked trial (core fleet identity test)")
+	return rep, nil
+}

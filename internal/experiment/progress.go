@@ -174,6 +174,12 @@ func PlannedTrials(id string, opts Options) int {
 		return capped(T, 25)
 	case "robustness":
 		return 2 * len(robustnessScenarios()) * capped(T, robustnessTrialCap)
+	case "fleetscale":
+		total := 0
+		for _, n := range fleetLoads() {
+			total += 2 * fleetTrialsFor(n, T)
+		}
+		return total
 	}
 	return 0
 }

@@ -7,11 +7,12 @@ import (
 	"h2privacy/internal/obs"
 )
 
-// Collector aggregates finalized flows across a sweep, keyed by flat
-// trial index. It is safe for concurrent add (worker-pool trials finalize
+// Collector aggregates finalized flows across a sweep, keyed by (flat
+// trial index, flow ID) — fleet trials finalize one row set per member
+// flow. It is safe for concurrent add (worker-pool trials finalize
 // in completion order) and concurrent read (/debug/flows scrapes
-// mid-sweep); every export sorts by trial index, so output is
-// byte-identical at any worker count.
+// mid-sweep); every export sorts by trial index then flow ID, so output
+// is byte-identical at any worker count.
 //
 // Metrics split, mirroring the sweep engine's determinism contract: the
 // live counters PublishTo resolves (records, GETs, stream opens, resets,
@@ -19,9 +20,16 @@ import (
 // order-independent, so a live scrape shows the sweep advance — while the
 // order-sensitive families (histograms, labeled totals) publish deferred
 // and in trial-index order through PublishFeatures.
+// flowKey identifies one flow of one trial; retried trials overwrite
+// their failed attempt's rows key by key.
+type flowKey struct {
+	trial int
+	flow  string
+}
+
 type Collector struct {
 	mu     sync.Mutex
-	trials map[int]*FlowFeatures
+	trials map[flowKey]*FlowFeatures
 
 	// Live instruments, resolved by PublishTo; nil no-ops otherwise.
 	cRecC2S  *obs.Counter
@@ -35,7 +43,7 @@ type Collector struct {
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{trials: make(map[int]*FlowFeatures)}
+	return &Collector{trials: make(map[flowKey]*FlowFeatures)}
 }
 
 // PublishTo resolves the live flow_* counters against reg and pre-creates
@@ -140,13 +148,14 @@ func PublishFeatures(reg *obs.Registry, ff *FlowFeatures) {
 	}
 }
 
-// add registers a finalized flow; last Finalize for a trial index wins.
+// add registers a finalized flow; last Finalize for a (trial, flow) key
+// wins.
 func (c *Collector) add(ff *FlowFeatures) {
 	if c == nil || ff == nil {
 		return
 	}
 	c.mu.Lock()
-	c.trials[ff.Trial] = ff
+	c.trials[flowKey{ff.Trial, ff.Flow}] = ff
 	c.mu.Unlock()
 }
 
@@ -199,7 +208,7 @@ func (c *Collector) liveSpan() {
 	c.cSpans.Inc()
 }
 
-// sorted snapshots the collected flows in trial-index order.
+// sorted snapshots the collected flows in (trial index, flow ID) order.
 func (c *Collector) sorted() []*FlowFeatures {
 	if c == nil {
 		return nil
@@ -210,7 +219,12 @@ func (c *Collector) sorted() []*FlowFeatures {
 	for _, ff := range c.trials {
 		out = append(out, ff)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Trial < out[j].Trial })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Trial != out[j].Trial {
+			return out[i].Trial < out[j].Trial
+		}
+		return out[i].Flow < out[j].Flow
+	})
 	return out
 }
 
@@ -227,13 +241,18 @@ type Receipt struct {
 	Path       string `json:"path,omitempty"`
 }
 
-// Receipt builds the current receipt. Nil collector returns a zero
-// receipt (schema still stamped, so consumers can tell "absent" from
-// "empty" by Trials).
+// Receipt builds the current receipt. Trials counts distinct trial
+// indices (a fleet trial contributes many flows but is still one trial).
+// Nil collector returns a zero receipt (schema still stamped, so
+// consumers can tell "absent" from "empty" by Trials).
 func (c *Collector) Receipt(path string) Receipt {
 	r := Receipt{Schema: SchemaVersion, Path: path}
+	lastTrial := -1
 	for _, ff := range c.sorted() {
-		r.Trials++
+		if ff.Trial != lastTrial {
+			r.Trials++
+			lastTrial = ff.Trial
+		}
 		r.StreamRows += len(ff.Streams)
 		r.BurstRows += len(ff.Bursts)
 		r.SpanRows += len(ff.Spans)

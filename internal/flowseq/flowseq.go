@@ -477,3 +477,65 @@ func (a *Analyzer) finish(s *streamState, state string, t time.Duration) {
 	s.endAt = t
 	a.deactivate(s)
 }
+
+// Sibling returns a fresh analyzer for another flow of the same trial:
+// same flat trial index, same collector, same clock — so a fleet trial's
+// member flows all land in one collector keyed (trial, flow). Nil
+// receiver returns nil (the whole sibling family stays disabled).
+func (a *Analyzer) Sibling(flow string) *Analyzer {
+	if a == nil {
+		return nil
+	}
+	s := New(a.trial, a.col)
+	s.clock = a.clock
+	s.flow = flow
+	return s
+}
+
+// LiveFeatures is a mid-trial snapshot of the capture-visible signals a
+// shared-bottleneck adversary can score a flow by, without waiting for
+// Finalize: request activity, control chatter, recency, and the
+// server→client response-burst body estimate (the size signature the
+// paper's attack fingerprints pages with).
+type LiveFeatures struct {
+	Flow string
+	// GETs and Controls are the monitor's client→server record counts.
+	GETs     int
+	Controls int
+	// LastEvent is the most recent record/frame timestamp.
+	LastEvent time.Duration
+	// MaxBurstBody is the largest estimated object payload of any
+	// server→client burst so far, the still-open burst included — the
+	// response-size signature the paper's attack fingerprints pages with.
+	// A flow whose handshake chatter closed a tiny first burst still
+	// scores by its page response.
+	MaxBurstBody int
+	// S2CBursts counts closed server→client bursts so far.
+	S2CBursts int
+}
+
+// Live snapshots the selector-facing features. Nil receiver returns the
+// zero value — an unobserved flow scores nothing.
+func (a *Analyzer) Live() LiveFeatures {
+	if a == nil {
+		return LiveFeatures{}
+	}
+	a.lock()
+	defer a.unlock()
+	lf := LiveFeatures{
+		Flow:      a.flow,
+		GETs:      a.gets,
+		Controls:  a.controls,
+		LastEvent: a.lastEvent,
+		S2CBursts: len(a.wire[1].bursts),
+	}
+	for i := range a.wire[1].bursts {
+		if b := a.wire[1].bursts[i].Body; b > lf.MaxBurstBody {
+			lf.MaxBurstBody = b
+		}
+	}
+	if a.wire[1].open && a.wire[1].body > lf.MaxBurstBody {
+		lf.MaxBurstBody = a.wire[1].body
+	}
+	return lf
+}

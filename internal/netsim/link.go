@@ -122,6 +122,16 @@ type Link struct {
 	recycle   bool
 	release   func(payload any)
 	pktFree   pool.FreeList[Packet]
+
+	// Shared-bottleneck attachment (see bottleneck.go). When agg is
+	// non-nil the link's own queue/serializer is replaced by the shared
+	// one; everything upstream of serialization — middlebox processors,
+	// blackout, loss, and the jitter/duplicate draws — stays here so the
+	// per-flow RNG stream is untouched. aggQ is this link's DRR queue and
+	// aggTxDoneEv its shared-queue drain callback, both bound at attach.
+	agg         *Bottleneck
+	aggQ        *aggQueue
+	aggTxDoneEv func(any)
 }
 
 // NewLink builds a link for one direction. deliver may be set later with
@@ -299,13 +309,16 @@ func (l *Link) Send(size int, payload any) {
 		return
 	}
 
+	// With a bottleneck attached, queueing and serialization are the
+	// shared link's job from here on.
+	if l.agg != nil {
+		l.agg.send(l, now, pkt, size, extra)
+		return
+	}
+
 	// Tail drop when the serialization queue is over its byte limit.
 	if l.queuedBytes+size > l.cfg.QueueLimit {
-		l.stats.DroppedQueue++
-		l.ck.LinkDropped(l.ckDir, size, check.DropQueue)
-		l.traceDrop(pkt, "queue")
-		l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedQueue})
-		l.discard(pkt)
+		l.dropQueue(now, pkt, size)
 		return
 	}
 
@@ -337,12 +350,30 @@ func (l *Link) Send(size int, payload any) {
 	}
 }
 
+// dropQueue books a queue tail drop (local or shared budget) on the
+// link's stats, checker, trace and taps, then discards the packet.
+func (l *Link) dropQueue(now time.Duration, pkt *Packet, size int) {
+	l.stats.DroppedQueue++
+	l.ck.LinkDropped(l.ckDir, size, check.DropQueue)
+	l.traceDrop(pkt, "queue")
+	l.observe(PacketEvent{Now: now, Pkt: pkt, Action: ActionDroppedQueue})
+	l.discard(pkt)
+}
+
 // onTxDone fires when the packet's last bit leaves the serialization
 // queue: the queued-byte budget is returned and one scheduler reference
 // on the packet is dropped.
 func (l *Link) onTxDone(v any) {
 	pkt := v.(*Packet)
 	l.queuedBytes -= pkt.Size
+	l.unref(pkt)
+}
+
+// onAggTxDone is onTxDone for a bottleneck-attached link: the byte
+// budget returned is the shared one.
+func (l *Link) onAggTxDone(v any) {
+	pkt := v.(*Packet)
+	l.agg.dirs[dirIndex(l.dir)].queuedBytes -= pkt.Size
 	l.unref(pkt)
 }
 

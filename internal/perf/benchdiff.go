@@ -34,6 +34,20 @@ type BenchRecord struct {
 	// breakdown, hottest first.
 	SequentialStages []BenchStage `json:"sequential_stages,omitempty"`
 	ParallelStages   []BenchStage `json:"parallel_stages,omitempty"`
+	// FleetRows carry the fleet-scale cost curve: sequential ms/trial and
+	// allocs/trial at each shared-bottleneck load level N. Absent in
+	// baselines that predate the fleet topology.
+	FleetRows []FleetBenchRow `json:"fleet_rows,omitempty"`
+}
+
+// FleetBenchRow is one load level of the fleet-scale cost curve: a
+// sequential fleet sweep (N flows behind one bottleneck, budget 1) timed
+// and alloc-attributed per trial.
+type FleetBenchRow struct {
+	N              int     `json:"n"`
+	Trials         int     `json:"trials"`
+	MSPerTrial     float64 `json:"ms_per_trial"`
+	AllocsPerTrial float64 `json:"allocs_per_trial,omitempty"`
 }
 
 // BenchStage is one stage's share of a bench run.
@@ -170,6 +184,9 @@ type BenchDiff struct {
 	AllocsPerTrialNew  float64
 	AllocRegressionPct float64
 	AllocJudged        bool
+	// FleetJudged is true when both records carried fleet-scale rows and at
+	// least one load level N was compared.
+	FleetJudged bool
 	// Failed is the gate verdict; Notes explain it (and any skips).
 	Failed bool
 	Notes  []string
@@ -285,5 +302,62 @@ func DiffBench(old, new *BenchRecord, thresholdPct, speedupFloor, allocThreshold
 			}
 		}
 	}
+	diffFleet(d, old, new, thresholdPct, allocThresholdPct)
 	return d
+}
+
+// diffFleet gates the fleet-scale cost curve row by row, keyed on the
+// load level N. Wall time uses the same percentage threshold as the main
+// sequential gate; allocations use the (tighter) allocation threshold.
+// When either record lacks fleet rows — a baseline that predates the
+// fleet topology — the judgment is skipped with a note, never failed.
+func diffFleet(d *BenchDiff, old, new *BenchRecord, thresholdPct, allocThresholdPct float64) {
+	switch {
+	case len(old.FleetRows) == 0 && len(new.FleetRows) == 0:
+		return
+	case len(old.FleetRows) == 0:
+		d.Notes = append(d.Notes,
+			"baseline predates fleet-scale rows; fleet judgment skipped (commit this run's record to arm it)")
+		return
+	case len(new.FleetRows) == 0:
+		d.Notes = append(d.Notes,
+			"new record lacks fleet-scale rows; fleet judgment skipped")
+		return
+	}
+	oldByN := make(map[int]FleetBenchRow, len(old.FleetRows))
+	for _, r := range old.FleetRows {
+		oldByN[r.N] = r
+	}
+	for _, nr := range new.FleetRows {
+		or, ok := oldByN[nr.N]
+		if !ok {
+			d.Notes = append(d.Notes, fmt.Sprintf(
+				"fleet N=%d: new load level (%.1f ms/trial, %.0f allocs/trial), no baseline to judge",
+				nr.N, nr.MSPerTrial, nr.AllocsPerTrial))
+			continue
+		}
+		d.FleetJudged = true
+		if or.MSPerTrial > 0 {
+			pct := 100 * (nr.MSPerTrial - or.MSPerTrial) / or.MSPerTrial
+			if pct > thresholdPct {
+				d.Failed = true
+				d.Notes = append(d.Notes, fmt.Sprintf(
+					"fleet N=%d ms/trial regressed %.1f%% (%.1f -> %.1f), over the %.1f%% threshold",
+					nr.N, pct, or.MSPerTrial, nr.MSPerTrial, thresholdPct))
+			} else {
+				d.Notes = append(d.Notes, fmt.Sprintf(
+					"fleet N=%d ms/trial: %.1f -> %.1f (%+.1f%%, threshold %.1f%%)",
+					nr.N, or.MSPerTrial, nr.MSPerTrial, pct, thresholdPct))
+			}
+		}
+		if allocThresholdPct > 0 && or.AllocsPerTrial > 0 && nr.AllocsPerTrial > 0 {
+			pct := 100 * (nr.AllocsPerTrial - or.AllocsPerTrial) / or.AllocsPerTrial
+			if pct > allocThresholdPct {
+				d.Failed = true
+				d.Notes = append(d.Notes, fmt.Sprintf(
+					"fleet N=%d allocs/trial regressed %.1f%% (%.0f -> %.0f), over the %.1f%% threshold",
+					nr.N, pct, or.AllocsPerTrial, nr.AllocsPerTrial, allocThresholdPct))
+			}
+		}
+	}
 }

@@ -256,3 +256,69 @@ func TestDiffBenchFlagsSingleCoreBaselineUpgrade(t *testing.T) {
 		t.Fatalf("nudge on a single-core run: %v", d.Notes)
 	}
 }
+
+func fleetRows(scale float64) []FleetBenchRow {
+	return []FleetBenchRow{
+		{N: 1, Trials: 8, MSPerTrial: 30 * scale, AllocsPerTrial: 10000 * scale},
+		{N: 10, Trials: 4, MSPerTrial: 90 * scale, AllocsPerTrial: 40000 * scale},
+		{N: 100, Trials: 2, MSPerTrial: 400 * scale, AllocsPerTrial: 300000 * scale},
+	}
+}
+
+func TestDiffBenchFleetGatePassesAndFails(t *testing.T) {
+	old := benchRec(16, 560, 690, 1)
+	old.FleetRows = fleetRows(1)
+	cur := benchRec(16, 560, 690, 1)
+	cur.FleetRows = fleetRows(1.1) // +10% across the curve
+	d := DiffBench(old, cur, 25, 0, 25)
+	if d.Failed || !d.FleetJudged {
+		t.Fatalf("10%% fleet drift failed a 25%% gate: %+v", d)
+	}
+	cur.FleetRows = fleetRows(1.6) // +60%
+	d = DiffBench(old, cur, 25, 0, 25)
+	if !d.Failed {
+		t.Fatalf("60%% fleet regression passed a 25%% gate: %+v", d)
+	}
+	if !strings.Contains(strings.Join(d.Notes, "\n"), "fleet N=") {
+		t.Fatalf("fleet failure note missing: %v", d.Notes)
+	}
+}
+
+func TestDiffBenchFleetGateCatchesAllocOnlyRegression(t *testing.T) {
+	old := benchRec(16, 560, 690, 1)
+	old.FleetRows = fleetRows(1)
+	cur := benchRec(16, 560, 690, 1)
+	cur.FleetRows = fleetRows(1)
+	cur.FleetRows[2].AllocsPerTrial *= 2 // N=100 allocs double, wall time flat
+	d := DiffBench(old, cur, 25, 0, 25)
+	if !d.Failed {
+		t.Fatalf("doubled fleet allocs passed the alloc gate: %+v", d)
+	}
+	if !strings.Contains(strings.Join(d.Notes, "\n"), "fleet N=100 allocs/trial regressed") {
+		t.Fatalf("fleet alloc failure note missing: %v", d.Notes)
+	}
+}
+
+func TestDiffBenchFleetGateSkipsLegacyBaseline(t *testing.T) {
+	// A baseline that predates the fleet topology must not fail the gate —
+	// it skips with a nudge to commit the new record.
+	old := benchRec(16, 560, 690, 1)
+	cur := benchRec(16, 560, 690, 1)
+	cur.FleetRows = fleetRows(1)
+	d := DiffBench(old, cur, 25, 0, 25)
+	if d.Failed || d.FleetJudged {
+		t.Fatalf("fleet gate judged against a legacy baseline: %+v", d)
+	}
+	if !strings.Contains(strings.Join(d.Notes, "\n"), "predates fleet-scale rows") {
+		t.Fatalf("legacy skip note missing: %v", d.Notes)
+	}
+	// New load levels absent from the baseline report but don't judge.
+	old.FleetRows = fleetRows(1)[:2]
+	d = DiffBench(old, cur, 25, 0, 25)
+	if d.Failed || !d.FleetJudged {
+		t.Fatalf("partial baseline misjudged: %+v", d)
+	}
+	if !strings.Contains(strings.Join(d.Notes, "\n"), "no baseline to judge") {
+		t.Fatalf("new-level note missing: %v", d.Notes)
+	}
+}

@@ -159,6 +159,71 @@ func ISideWith() *Site {
 	return s
 }
 
+// decoyGaps chain a decoy plan's embedded objects — small deterministic
+// spacings in the same regime as the target site's mid-page gaps.
+var decoyGaps = []time.Duration{
+	3 * time.Millisecond, 11 * time.Millisecond, 2 * time.Millisecond,
+	24 * time.Millisecond, 7 * time.Millisecond, 15 * time.Millisecond,
+	5 * time.Millisecond, 9 * time.Millisecond,
+}
+
+// DecoySite builds the deterministic catalog of fleet decoy flow idx: a
+// small page (base HTML plus a handful of embedded objects) whose total
+// transfer stays well under the target site's 28 KB base page, so
+// size-based target selection at the shared bottleneck has a real margin
+// to clear. Catalogs vary deterministically with idx — no RNG — and every
+// object size stays clear of the target catalog's identifying sizes.
+func DecoySite(idx int) *Site {
+	if idx < 0 {
+		idx = 0
+	}
+	s := &Site{Host: fmt.Sprintf("decoy-%04d.test", idx)}
+	add := func(id, typ string, size int, path string) {
+		s.Objects = append(s.Objects, Object{ID: id, Path: path, Type: typ, Size: size})
+	}
+	// Base page: 2–6 KB, stepping deterministically with idx. The +1 keeps
+	// every size odd-ish and off the target catalog's entries.
+	base := 2048 + (idx*397)%4096 + 1
+	add(BaseID, TypeHTML, base, "/")
+	// 3–6 embedded objects totalling at most ~16 KB.
+	n := 3 + idx%4
+	kinds := []string{TypeJS, TypeCSS, TypeImage}
+	for i := 0; i < n; i++ {
+		size := 512 + ((idx*131+i*977)%3800 + 1)
+		add(fmt.Sprintf("obj-%d", i), kinds[i%len(kinds)], size,
+			fmt.Sprintf("/static/obj-%d", i))
+	}
+	s.byID = make(map[string]*Object, len(s.Objects))
+	s.byPath = make(map[string]*Object, len(s.Objects))
+	for i := range s.Objects {
+		o := &s.Objects[i]
+		s.byID[o.ID] = o
+		s.byPath[o.Path] = o
+	}
+	return s
+}
+
+// SequentialPlan builds a generic request schedule covering the whole
+// catalog in order: the base page, then each embedded object chained at
+// small deterministic gaps once the base completes. It works for any
+// catalog (fleet decoys use it); the target site keeps its Table II
+// schedule via PlanFor.
+func (s *Site) SequentialPlan() (*Plan, error) {
+	if len(s.Objects) == 0 {
+		return nil, fmt.Errorf("website: empty catalog")
+	}
+	plan := &Plan{}
+	plan.Steps = append(plan.Steps, Step{ObjectID: s.Objects[0].ID})
+	for i, o := range s.Objects[1:] {
+		st := Step{ObjectID: o.ID, Gap: decoyGaps[i%len(decoyGaps)]}
+		if i == 0 {
+			st.TriggerDone = s.Objects[0].ID
+		}
+		plan.Steps = append(plan.Steps, st)
+	}
+	return plan, nil
+}
+
 // Object returns the catalog entry with the given id, or nil.
 func (s *Site) Object(id string) *Object { return s.byID[id] }
 
